@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * two-phase matmul block aspect ratio (the §6.3 `s = 2t` optimum vs
+//!   square and inverted blocks at equal budget),
+//! * Shares with optimised vs naive equal shares (communication and
+//!   runtime),
+//! * map-side combining on vs off for an aggregation job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::problems::join::{optimize_shares, Database, Query, SharesSchema};
+use mr_core::problems::matmul::{Matrix, TwoPhaseMatMul};
+use mr_sim::{
+    run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer,
+};
+use std::hint::black_box;
+
+fn matmul_aspect_ratio(c: &mut Criterion) {
+    let n = 32u32;
+    let a = Matrix::random(n as usize, 1);
+    let b = Matrix::random(n as usize, 2);
+    let mut grp = c.benchmark_group("ablation_matmul_aspect");
+    grp.sample_size(15);
+    // Equal budget 2st = 64; §6.3 says (8,4) is optimal.
+    for (s, t) in [(8u32, 4u32), (4, 8), (16, 2), (2, 16)] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{s}_t{t}")),
+            &(s, t),
+            |bencher, &(s, t)| {
+                let alg = TwoPhaseMatMul::new(n, s, t);
+                bencher.iter(|| {
+                    alg.run(black_box(&a), &b, &EngineConfig::sequential())
+                        .unwrap()
+                        .1
+                        .total_communication()
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+fn shares_optimized_vs_equal(c: &mut Criterion) {
+    let query = Query::chain(3);
+    let db = Database::random(&query, 24, 300, 13);
+    let mut grp = c.benchmark_group("ablation_shares");
+    grp.sample_size(15);
+
+    let optimized = optimize_shares(&query, &[300; 3], 16);
+    let equal = vec![2u64, 2, 2, 2]; // same p = 16, spread naively
+    for (name, shares) in [("optimized", optimized), ("equal", equal)] {
+        grp.bench_with_input(BenchmarkId::from_parameter(name), &shares, |bencher, shares| {
+            let schema = SharesSchema::new(query.clone(), shares.clone());
+            bencher.iter(|| {
+                schema
+                    .run(black_box(&db), &EngineConfig::sequential())
+                    .unwrap()
+                    .1
+                    .kv_pairs
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn combiner_on_off(c: &mut Criterion) {
+    let docs: Vec<String> = (0..5_000)
+        .map(|i| format!("k{} k{} k{} k{}", i % 50, i % 7, i % 13, i % 50))
+        .collect();
+    let mapper = FnMapper(|doc: &String, emit: &mut dyn FnMut(String, u64)| {
+        for w in doc.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    });
+    let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+        emit((k.clone(), vs.iter().sum()))
+    });
+    let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
+
+    let mut grp = c.benchmark_group("ablation_combiner");
+    grp.sample_size(15);
+    grp.bench_function("off", |bencher| {
+        bencher.iter(|| {
+            run_round(black_box(&docs), &mapper, &reducer, &EngineConfig::parallel(4))
+                .unwrap()
+                .1
+                .kv_pairs
+        })
+    });
+    grp.bench_function("on", |bencher| {
+        bencher.iter(|| {
+            run_round_combined(
+                black_box(&docs),
+                &mapper,
+                &combiner,
+                &reducer,
+                &EngineConfig::parallel(4),
+            )
+            .unwrap()
+            .1
+            .round
+            .kv_pairs
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, matmul_aspect_ratio, shares_optimized_vs_equal, combiner_on_off);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for **§4.2**: the distributed triangle algorithm on sparse
+//! graphs, across group counts, plus the serial baseline for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::problems::triangle::NodePartitionSchema;
+use mr_graph::{gen, subgraph};
+use mr_sim::{run_schema, EngineConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::gnm(200, 2000, 99);
+    let mut grp = c.benchmark_group("e42_triangles");
+    grp.sample_size(20);
+
+    grp.bench_function("serial_baseline", |bencher| {
+        bencher.iter(|| subgraph::triangle_count(black_box(&g)))
+    });
+
+    for k in [2u32, 4, 8] {
+        grp.bench_with_input(BenchmarkId::new("mapreduce_seq", k), &k, |bencher, &k| {
+            let schema = NodePartitionSchema::new(200, k);
+            bencher.iter(|| {
+                run_schema::<_, [u32; 3], _>(
+                    black_box(g.edges()),
+                    &schema,
+                    &EngineConfig::sequential(),
+                )
+                .unwrap()
+                .0
+                .len()
+            })
+        });
+    }
+
+    grp.bench_function("mapreduce_par4_k4", |bencher| {
+        let schema = NodePartitionSchema::new(200, 4);
+        bencher.iter(|| {
+            run_schema::<_, [u32; 3], _>(black_box(g.edges()), &schema, &EngineConfig::parallel(4))
+                .unwrap()
+                .0
+                .len()
+        })
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench for **§5.4**: bucket-pair 2-path enumeration across bucket
+//! counts vs the serial baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::problems::two_path::{BucketPairSchema, PerNodeSchema};
+use mr_graph::{gen, subgraph};
+use mr_sim::{run_schema, EngineConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::gnm(120, 1200, 7);
+    let mut grp = c.benchmark_group("e54_two_paths");
+    grp.sample_size(20);
+
+    grp.bench_function("serial_baseline", |bencher| {
+        bencher.iter(|| subgraph::two_paths(black_box(&g)).len())
+    });
+
+    grp.bench_function("per_node", |bencher| {
+        let schema = PerNodeSchema { n: 120 };
+        bencher.iter(|| {
+            run_schema::<_, (u32, u32, u32), _>(
+                black_box(g.edges()),
+                &schema,
+                &EngineConfig::sequential(),
+            )
+            .unwrap()
+            .0
+            .len()
+        })
+    });
+
+    for k in [2u32, 4, 8] {
+        grp.bench_with_input(BenchmarkId::new("bucket_pair", k), &k, |bencher, &k| {
+            let schema = BucketPairSchema::new(120, k);
+            bencher.iter(|| {
+                run_schema::<_, (u32, u32, u32), _>(
+                    black_box(g.edges()),
+                    &schema,
+                    &EngineConfig::sequential(),
+                )
+                .unwrap()
+                .0
+                .len()
+            })
+        });
+    }
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for **§5.5**: the fractional-edge-cover LP, share optimisation,
+//! and Shares join execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::problems::join::{optimize_shares, Database, Query, SharesSchema};
+use mr_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("e55_joins");
+    grp.sample_size(20);
+
+    grp.bench_function("rho_lp_chain7", |bencher| {
+        let q = Query::chain(7);
+        bencher.iter(|| black_box(&q).rho())
+    });
+
+    grp.bench_function("optimize_shares_chain5_p64", |bencher| {
+        let q = Query::chain(5);
+        bencher.iter(|| optimize_shares(black_box(&q), &[1000; 5], 64))
+    });
+
+    for p in [4u64, 16, 64] {
+        grp.bench_with_input(BenchmarkId::new("shares_chain3", p), &p, |bencher, &p| {
+            let query = Query::chain(3);
+            let db = Database::random(&query, 24, 300, 13);
+            let shares = optimize_shares(&query, &[300; 3], p);
+            let schema = SharesSchema::new(query, shares);
+            bencher.iter(|| {
+                schema
+                    .run(black_box(&db), &EngineConfig::sequential())
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+
+    grp.bench_function("serial_join_chain3", |bencher| {
+        let query = Query::chain(3);
+        let db = Database::random(&query, 24, 300, 13);
+        bencher.iter(|| black_box(&db).join(&query).len())
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

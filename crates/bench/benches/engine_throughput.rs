@@ -1,0 +1,55 @@
+//! Engine microbenchmark: raw map-shuffle-reduce throughput, sequential
+//! vs parallel, on the canonical word-count job (Example 2.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Synthetic corpus: 20k "documents" of 8 short words each.
+    let docs: Vec<String> = (0..20_000)
+        .map(|i| {
+            (0..8)
+                .map(|j| format!("w{}", (i * 31 + j * 7) % 500))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let mapper = FnMapper(|doc: &String, emit: &mut dyn FnMut(String, u64)| {
+        for w in doc.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    });
+    let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+        emit((k.clone(), vs.iter().sum()))
+    });
+
+    let mut grp = c.benchmark_group("engine_wordcount");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(docs.len() as u64));
+
+    for workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, &workers| {
+                let cfg = if workers == 1 {
+                    EngineConfig::sequential()
+                } else {
+                    EngineConfig::parallel(workers)
+                };
+                bencher.iter(|| {
+                    run_round(black_box(&docs), &mapper, &reducer, &cfg)
+                        .unwrap()
+                        .1
+                        .outputs
+                })
+            },
+        );
+    }
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for **Figure 1**: the full splitting sweep along the hyperbola.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_bench::experiments::fig1_hamming;
+use mr_core::model::MappingSchema;
+use mr_core::problems::hamming::SplittingSchema;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+
+    g.bench_function("full_series_b12", |bencher| {
+        bencher.iter(|| fig1_hamming::series(black_box(12)))
+    });
+
+    // Per-point assignment cost: mapping every input through the schema.
+    for c_param in [2u32, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("assign_all_b16", c_param),
+            &c_param,
+            |bencher, &c_param| {
+                let s = SplittingSchema::new(16, c_param);
+                bencher.iter(|| {
+                    let mut total = 0usize;
+                    for w in 0..(1u64 << 16) {
+                        total += MappingSchema::assign(&s, black_box(&w)).len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

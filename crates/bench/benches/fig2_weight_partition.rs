@@ -1,0 +1,40 @@
+//! Bench for **Figure 2 / §3.4–§3.5**: weight-partition assignment and
+//! the exact load/replication accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::model::MappingSchema;
+use mr_core::problems::hamming::{WeightSchema2D, WeightSchemaD};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+
+    for k in [2u32, 4] {
+        g.bench_with_input(BenchmarkId::new("assign_all_b16_2d", k), &k, |bencher, &k| {
+            let s = WeightSchema2D::new(16, k);
+            bencher.iter(|| {
+                let mut total = 0usize;
+                for w in 0..(1u64 << 16) {
+                    total += MappingSchema::assign(&s, black_box(&w)).len();
+                }
+                total
+            })
+        });
+    }
+
+    g.bench_function("exact_accounting_b32", |bencher| {
+        bencher.iter(|| {
+            let s = WeightSchema2D::new(black_box(32), 2);
+            (s.exact_max_load(), s.exact_replication())
+        })
+    });
+
+    g.bench_function("exact_max_load_4d_b32", |bencher| {
+        bencher.iter(|| WeightSchemaD::new(black_box(32), 4, 2).exact_max_load())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench for **§6**: one-phase vs two-phase matrix multiplication on the
+//! simulator, plus the serial product baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::problems::matmul::problem::run_one_phase;
+use mr_core::problems::matmul::{Matrix, OnePhaseSchema, TwoPhaseMatMul};
+use mr_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 32u32;
+    let a = Matrix::random(n as usize, 61);
+    let b = Matrix::random(n as usize, 62);
+    let mut grp = c.benchmark_group("t6_matmul");
+    grp.sample_size(20);
+
+    grp.bench_function("serial_multiply", |bencher| {
+        bencher.iter(|| black_box(&a).multiply(black_box(&b)))
+    });
+
+    for q in [256u64, 1024] {
+        grp.bench_with_input(BenchmarkId::new("one_phase", q), &q, |bencher, &q| {
+            let s = (q / (2 * n as u64)) as u32;
+            let s = (1..=s.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1);
+            let schema = OnePhaseSchema::new(n, s);
+            bencher.iter(|| {
+                run_one_phase(black_box(&a), &b, &schema, &EngineConfig::sequential()).unwrap()
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("two_phase", q), &q, |bencher, &q| {
+            let alg = TwoPhaseMatMul::for_budget(n, q);
+            bencher.iter(|| {
+                alg.run(black_box(&a), &b, &EngineConfig::sequential()).unwrap()
+            })
+        });
+    }
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for **Table 1**: cost of evaluating the lower-bound recipe and of
+//! the exhaustive empirical `g(q)` prober that validates it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_core::problems::hamming::HammingProblem;
+use mr_core::problems::triangle::TriangleProblem;
+use mr_core::recipe::max_outputs_covered;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+
+    g.bench_function("recipe_eval_hamming_b20", |bencher| {
+        let p = HammingProblem::distance_one(20);
+        let recipe = p.recipe();
+        bencher.iter(|| {
+            let mut acc = 0.0;
+            for log_q in 1..=20u32 {
+                acc += recipe.replication_lower_bound(black_box((1u64 << log_q) as f64));
+            }
+            acc
+        })
+    });
+
+    g.bench_function("empirical_g_hamming_b4_q6", |bencher| {
+        let p = HammingProblem::distance_one(4);
+        bencher.iter(|| max_outputs_covered(black_box(&p), 6))
+    });
+
+    g.bench_function("empirical_g_triangles_n6_q7", |bencher| {
+        let p = TriangleProblem::new(6);
+        bencher.iter(|| max_outputs_covered(black_box(&p), 7))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

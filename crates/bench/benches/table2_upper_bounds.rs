@@ -1,0 +1,44 @@
+//! Bench for **Table 2**: cost of exhaustively validating each
+//! constructive algorithm against its problem model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_core::model::validate_schema;
+use mr_core::problems::hamming::{HammingProblem, SplittingSchema};
+use mr_core::problems::matmul::{MatMulProblem, OnePhaseSchema};
+use mr_core::problems::triangle::{NodePartitionSchema, TriangleProblem};
+use mr_core::problems::two_path::{BucketPairSchema, TwoPathProblem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_validate");
+    g.sample_size(20);
+
+    g.bench_function("hamming_splitting_b10_c2", |bencher| {
+        let p = HammingProblem::distance_one(10);
+        let s = SplittingSchema::new(10, 2);
+        bencher.iter(|| validate_schema(black_box(&p), black_box(&s)))
+    });
+
+    g.bench_function("triangles_partition_n20_k4", |bencher| {
+        let p = TriangleProblem::new(20);
+        let s = NodePartitionSchema::new(20, 4);
+        bencher.iter(|| validate_schema(black_box(&p), black_box(&s)))
+    });
+
+    g.bench_function("two_paths_bucket_n20_k4", |bencher| {
+        let p = TwoPathProblem::new(20);
+        let s = BucketPairSchema::new(20, 4);
+        bencher.iter(|| validate_schema(black_box(&p), black_box(&s)))
+    });
+
+    g.bench_function("matmul_tiling_n12_s4", |bencher| {
+        let p = MatMulProblem::new(12);
+        let s = OnePhaseSchema::new(12, 4);
+        bencher.iter(|| validate_schema(black_box(&p), black_box(&s)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

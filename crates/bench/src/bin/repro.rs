@@ -1,0 +1,43 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p mr-bench --bin repro           # everything
+//! cargo run --release -p mr-bench --bin repro -- fig1   # one artifact
+//! cargo run --release -p mr-bench --bin repro -- list   # list ids
+//! ```
+
+use mr_bench::experiments::{self, Experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+
+    if args.first().map(String::as_str) == Some("list") {
+        println!("available experiments:");
+        for (id, _) in &all {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&Experiment> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        let picked: Vec<_> = all
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect();
+        if picked.is_empty() {
+            eprintln!("unknown experiment(s) {args:?}; try `repro list`");
+            std::process::exit(1);
+        }
+        picked
+    };
+
+    for (id, run) in selected {
+        println!("================================================================");
+        println!("[{id}]");
+        println!("================================================================");
+        println!("{}", run());
+    }
+}

@@ -1,0 +1,66 @@
+//! **§1.4 caveat** — skewed data: the model assumes balanced reducer
+//! loads, but power-law graphs concentrate edges on hub nodes. This
+//! experiment measures reducer-load skew (max/mean) for the triangle
+//! algorithm on Erdős–Rényi vs power-law graphs of equal size.
+
+use crate::table::{fmt, Table};
+use mr_core::problems::triangle::NodePartitionSchema;
+use mr_graph::gen;
+use mr_sim::{run_schema, EngineConfig};
+
+/// Renders the skew comparison.
+pub fn report() -> String {
+    let n = 300usize;
+    let er = gen::gnm(n, 3000, 41);
+    let avg_deg = 2.0 * er.num_edges() as f64 / n as f64;
+    let pl = gen::power_law(n, 2.1, avg_deg, 42);
+
+    let mut t = Table::new(&[
+        "graph", "edges", "k", "max load", "mean load", "skew (max/mean)",
+    ]);
+    for k in [3u32, 6, 10] {
+        let schema = NodePartitionSchema::new(n as u32, k);
+        for (name, g) in [("Erdos-Renyi", &er), ("power-law", &pl)] {
+            let (_, m) = run_schema::<_, [u32; 3], _>(g.edges(), &schema, &EngineConfig::parallel(4))
+                .expect("no budget");
+            t.row(vec![
+                name.into(),
+                g.num_edges().to_string(),
+                k.to_string(),
+                m.load.max.to_string(),
+                fmt(m.load.mean),
+                fmt(m.load.skew()),
+            ]);
+        }
+    }
+    format!(
+        "§1.4 caveat: reducer-load skew under heavy-tailed degree distributions\n\
+         (n = {n}; power-law exponent 2.1, matched average degree)\n\n{}\n\
+         Hub nodes concentrate edges in the reducers containing their group,\n\
+         breaking the uniform-q assumption — the skew-handling literature the\n\
+         paper cites ([14], [15]) addresses exactly this gap.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn power_law_is_more_skewed_than_er() {
+        use super::*;
+        let n = 150usize;
+        let er = gen::gnm(n, 1200, 1);
+        let pl = gen::power_law(n, 2.1, 16.0, 2);
+        let schema = NodePartitionSchema::new(n as u32, 6);
+        let (_, mer) =
+            run_schema::<_, [u32; 3], _>(er.edges(), &schema, &EngineConfig::sequential()).unwrap();
+        let (_, mpl) =
+            run_schema::<_, [u32; 3], _>(pl.edges(), &schema, &EngineConfig::sequential()).unwrap();
+        assert!(
+            mpl.load.skew() > mer.load.skew(),
+            "power-law skew {} should exceed ER skew {}",
+            mpl.load.skew(),
+            mer.load.skew()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper artifact. See `EXPERIMENTS.md` for the index.
+
+pub mod e12_cost_model;
+pub mod e14_skew;
+pub mod e35_weight_ddim;
+pub mod e36_distance_d;
+pub mod e42_sparse_triangles;
+pub mod e52_sample_graphs;
+pub mod e54_two_paths;
+pub mod e55_joins;
+pub mod e71_join_aggregate;
+pub mod fig1_hamming;
+pub mod fig2_weight;
+pub mod t6_matmul;
+pub mod table1;
+pub mod table2;
+
+/// An experiment id plus its report-producing runner.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// All experiment ids in presentation order, with their runner.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("table1", table1::report as fn() -> String),
+        ("table2", table2::report),
+        ("fig1", fig1_hamming::report),
+        ("fig2", fig2_weight::report),
+        ("e35", e35_weight_ddim::report),
+        ("e36", e36_distance_d::report),
+        ("e42", e42_sparse_triangles::report),
+        ("e52", e52_sample_graphs::report),
+        ("e54", e54_two_paths::report),
+        ("e55", e55_joins::report),
+        ("table6", t6_matmul::report),
+        ("e71", e71_join_aggregate::report),
+        ("e12", e12_cost_model::report),
+        ("e14", e14_skew::report),
+    ]
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each submodule of [`experiments`] reproduces one artifact (see
+//! `EXPERIMENTS.md` at the workspace root for the index and the recorded
+//! paper-vs-measured comparison). The `repro` binary prints them; the
+//! Criterion benches in `benches/` time the underlying workloads.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

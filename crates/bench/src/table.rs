@@ -1,0 +1,97 @@
+//! Minimal fixed-width table formatter for the `repro` binary's output.
+
+/// A simple right-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell/header mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float compactly (3 significant decimals, scientific for
+/// large magnitudes).
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e7 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.500");
+        assert_eq!(fmt(123456789.0), "1.235e8");
+    }
+}

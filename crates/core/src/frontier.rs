@@ -1,0 +1,206 @@
+//! Measured tradeoff frontiers: the `r = f(q)` curves of §1.2.
+//!
+//! §1.2 assumes "we have determined that the best algorithms for a problem
+//! have replication rate r and reducer size q, where r = f(q)". This
+//! module *constructs* those curves by validating every algorithm the
+//! library implements at a sweep of parameters, returning the achieved
+//! `(q, r)` points ready for [`CostModel`](crate::cost::CostModel)
+//! minimisation.
+
+use crate::model::validate_schema;
+use crate::problems::hamming::{HammingProblem, SplittingSchema, WeightSchema2D};
+use crate::problems::matmul::{MatMulProblem, OnePhaseSchema};
+use crate::problems::triangle::{NodePartitionSchema, TriangleProblem};
+use crate::problems::two_path::{BucketPairSchema, PerNodeSchema, TwoPathProblem};
+
+/// One achieved point on a tradeoff frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Human-readable algorithm identifier.
+    pub algorithm: String,
+    /// Achieved maximum reducer load.
+    pub q: u64,
+    /// Achieved replication rate (exact, from exhaustive validation).
+    pub r: f64,
+}
+
+/// Sorts points by `q` ascending and drops dominated points (those with
+/// both larger `q` and larger-or-equal `r` than another point).
+pub fn pareto(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
+    points.sort_by(|a, b| a.q.cmp(&b.q).then(a.r.partial_cmp(&b.r).expect("no NaN")));
+    let mut kept: Vec<FrontierPoint> = Vec::new();
+    let mut best_r = f64::INFINITY;
+    for p in points {
+        if p.r < best_r - 1e-12 {
+            best_r = p.r;
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+/// The Hamming-distance-1 frontier for `b`-bit strings: all Splitting
+/// divisors plus the §3.4 weight-partition points.
+///
+/// Exhaustive validation caps `b` at 16 in practice; panics above 20.
+pub fn hamming_frontier(b: u32) -> Vec<FrontierPoint> {
+    assert!(b <= 20, "frontier validation is exhaustive; keep b <= 20");
+    let problem = HammingProblem::distance_one(b);
+    let mut points = Vec::new();
+    for c in (1..=b).filter(|c| b.is_multiple_of(*c)) {
+        let s = SplittingSchema::new(b, c);
+        let rep = validate_schema(&problem, &s);
+        debug_assert!(rep.is_valid());
+        points.push(FrontierPoint {
+            algorithm: format!("splitting(c={c})"),
+            q: rep.max_load,
+            r: rep.replication_rate,
+        });
+    }
+    if b.is_multiple_of(2) {
+        let half = b / 2;
+        for k in (1..=half).filter(|k| half.is_multiple_of(*k) && half / k >= 2) {
+            let s = WeightSchema2D::new(b, k);
+            let rep = validate_schema(&problem, &s);
+            debug_assert!(rep.is_valid());
+            points.push(FrontierPoint {
+                algorithm: format!("weight-2d(k={k})"),
+                q: rep.max_load,
+                r: rep.replication_rate,
+            });
+        }
+    }
+    pareto(points)
+}
+
+/// The triangle frontier on `n` nodes across group counts.
+pub fn triangle_frontier(n: u32, ks: &[u32]) -> Vec<FrontierPoint> {
+    let problem = TriangleProblem::new(n);
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let s = NodePartitionSchema::new(n, k);
+            let rep = validate_schema(&problem, &s);
+            debug_assert!(rep.is_valid());
+            FrontierPoint {
+                algorithm: format!("node-partition(k={k})"),
+                q: rep.max_load,
+                r: rep.replication_rate,
+            }
+        })
+        .collect();
+    pareto(points)
+}
+
+/// The 2-path frontier on `n` nodes: per-node plus bucket-pair sweeps.
+pub fn two_path_frontier(n: u32, ks: &[u32]) -> Vec<FrontierPoint> {
+    let problem = TwoPathProblem::new(n);
+    let mut points = Vec::new();
+    {
+        let s = PerNodeSchema { n };
+        let rep = validate_schema(&problem, &s);
+        points.push(FrontierPoint {
+            algorithm: "per-node".into(),
+            q: rep.max_load,
+            r: rep.replication_rate,
+        });
+    }
+    for &k in ks.iter().filter(|&&k| k >= 2) {
+        let s = BucketPairSchema::new(n, k);
+        let rep = validate_schema(&problem, &s);
+        debug_assert!(rep.is_valid());
+        points.push(FrontierPoint {
+            algorithm: format!("bucket-pair(k={k})"),
+            q: rep.max_load,
+            r: rep.replication_rate,
+        });
+    }
+    pareto(points)
+}
+
+/// The matrix-multiplication frontier for `n×n` one-phase tiling across
+/// divisor group sizes.
+pub fn matmul_frontier(n: u32) -> Vec<FrontierPoint> {
+    let problem = MatMulProblem::new(n);
+    let points = (1..=n)
+        .filter(|s| n.is_multiple_of(*s))
+        .map(|s| {
+            let schema = OnePhaseSchema::new(n, s);
+            let rep = validate_schema(&problem, &schema);
+            debug_assert!(rep.is_valid());
+            FrontierPoint {
+                algorithm: format!("one-phase(s={s})"),
+                q: rep.max_load,
+                r: rep.replication_rate,
+            }
+        })
+        .collect();
+    pareto(points)
+}
+
+/// Converts a frontier to the `(q, r)` pairs the cost model consumes.
+pub fn as_cost_points(frontier: &[FrontierPoint]) -> Vec<(f64, f64)> {
+    frontier.iter().map(|p| (p.q as f64, p.r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn pareto_drops_dominated_points() {
+        let pts = vec![
+            FrontierPoint { algorithm: "a".into(), q: 10, r: 5.0 },
+            FrontierPoint { algorithm: "b".into(), q: 20, r: 6.0 }, // dominated
+            FrontierPoint { algorithm: "c".into(), q: 30, r: 2.0 },
+        ];
+        let kept = pareto(pts);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].algorithm, "a");
+        assert_eq!(kept[1].algorithm, "c");
+    }
+
+    #[test]
+    fn frontiers_are_monotone() {
+        // On a Pareto frontier r strictly decreases as q grows.
+        for frontier in [
+            hamming_frontier(12),
+            triangle_frontier(20, &[1, 2, 3, 4, 5]),
+            two_path_frontier(24, &[2, 3, 4, 6]),
+            matmul_frontier(12),
+        ] {
+            assert!(frontier.len() >= 2, "{frontier:?}");
+            for w in frontier.windows(2) {
+                assert!(w[1].q > w[0].q, "{frontier:?}");
+                assert!(w[1].r < w[0].r, "{frontier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_frontier_contains_weight_points() {
+        // The §3.4 algorithm contributes non-dominated points between
+        // log2 q = b/2 and b.
+        let f = hamming_frontier(12);
+        assert!(
+            f.iter().any(|p| p.algorithm.starts_with("weight-2d")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cost_model_integration() {
+        let f = matmul_frontier(12);
+        let pts = as_cost_points(&f);
+        // Communication-dominated cost picks the largest-q point (r = 1).
+        let comm = CostModel::linear(1e6, 1e-6);
+        let (q, r, _) = comm.cheapest_point(&pts).unwrap();
+        assert_eq!(r, 1.0);
+        assert_eq!(q, 2.0 * 144.0);
+        // Compute-dominated cost picks the smallest-q point.
+        let cpu = CostModel::linear(1e-6, 1e6);
+        let (q2, _, _) = cpu.cheapest_point(&pts).unwrap();
+        assert_eq!(q2, f[0].q as f64);
+    }
+}

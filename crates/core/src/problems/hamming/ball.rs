@@ -1,0 +1,100 @@
+//! The Ball-2 schema for Hamming distance 2 (§3.6, after \[3\]).
+//!
+//! One reducer per `b`-bit string `s`; every input `w` is sent to the `b`
+//! reducers whose centre is at distance 1 from `w`. The reducer for `s`
+//! therefore holds exactly the ball of radius 1 around `s` minus its
+//! centre — `b` strings, pairwise at distance 2 — and covers all `C(b,2)`
+//! distance-2 pairs through `s`. With `q = b` and `Θ(q²)` outputs per
+//! reducer, this construction is why no `O(q log q)`-style `g(q)` (and
+//! hence no tight lower bound) exists for distance 2.
+
+use crate::model::{MappingSchema, ReducerId};
+use crate::problems::hamming::problem::HammingProblem;
+
+/// The Ball-2 schema: reducer per centre string, `q = b`, `r = b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ball2Schema {
+    /// Bit-string length.
+    pub b: u32,
+}
+
+impl Ball2Schema {
+    /// Creates the schema.
+    pub fn new(b: u32) -> Self {
+        Ball2Schema { b }
+    }
+
+    /// Outputs covered per reducer: `C(b,2) ≈ q²/2` (§3.6).
+    pub fn outputs_per_reducer(&self) -> u64 {
+        let b = self.b as u64;
+        b * (b - 1) / 2
+    }
+}
+
+impl MappingSchema<HammingProblem> for Ball2Schema {
+    fn assign(&self, input: &u64) -> Vec<ReducerId> {
+        // Send w to the reducers of all centres at distance 1.
+        (0..self.b).map(|i| *input ^ (1u64 << i)).collect()
+    }
+
+    fn max_inputs_per_reducer(&self) -> u64 {
+        self.b as u64
+    }
+
+    fn name(&self) -> String {
+        format!("ball-2(b={})", self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_schema;
+
+    #[test]
+    fn ball2_covers_all_distance_2_pairs() {
+        for b in [4u32, 6, 8] {
+            let p = HammingProblem::new(b, 2);
+            let s = Ball2Schema::new(b);
+            let report = validate_schema(&p, &s);
+            assert!(report.is_valid(), "b={b}: {report:?}");
+            // Every string is a centre; every string is sent to b reducers.
+            assert_eq!(report.num_reducers, 1u64 << b);
+            assert!((report.replication_rate - b as f64).abs() < 1e-9);
+            assert_eq!(report.max_load, b as u64);
+        }
+    }
+
+    #[test]
+    fn ball2_reducer_load_is_exactly_b() {
+        // Each centre receives precisely its b distance-1 neighbours.
+        let b = 6;
+        let p = HammingProblem::new(b, 2);
+        let report = validate_schema(&p, &Ball2Schema::new(b));
+        assert_eq!(report.max_load, b as u64);
+        assert_eq!(report.total_assignments, (1u64 << b) * b as u64);
+    }
+
+    #[test]
+    fn ball2_demonstrates_quadratic_coverage() {
+        // The §3.6 point: coverage per reducer is Θ(q²), far above
+        // Lemma 3.1's (q/2)log₂q, so the d=1 lower-bound recipe cannot
+        // extend to d=2.
+        let s = Ball2Schema::new(16);
+        let q = 16.0f64;
+        let quadratic = s.outputs_per_reducer() as f64;
+        let lemma31_style = q / 2.0 * q.log2();
+        assert!(quadratic > 3.0 * lemma31_style);
+    }
+
+    #[test]
+    fn ball2_does_not_cover_distance_1() {
+        // The ball around s contains strings pairwise at distance exactly
+        // 2 — so distance-1 pairs are *not* covered (documented
+        // non-goal; the schema is for the distance-2 problem only).
+        let b = 5;
+        let p1 = HammingProblem::distance_one(b);
+        let report = validate_schema(&p1, &Ball2Schema::new(b));
+        assert!(report.uncovered_outputs > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The Hamming-distance problem (§3).
+//!
+//! Inputs are the `2^b` bit strings of length `b`; outputs are the pairs of
+//! strings at Hamming distance exactly `d` (the paper's headline results
+//! are for `d = 1`). Submodules provide the constructive algorithms:
+//!
+//! * [`problem`] — the [`Problem`](crate::model::Problem) instance and the
+//!   closed-form bounds (`|O| = (b/2)·2^b` for `d=1`, Lemma 3.1's
+//!   `g(q) = (q/2)·log₂q`, Theorem 3.2's `r ≥ b/log₂q`);
+//! * [`splitting`] — the q=2 pairs schema and the Splitting algorithm
+//!   family (§3.3), plus the distance-`d` generalisation (§3.6);
+//! * [`weight`] — the weight-partition algorithms for large `q` (§3.4
+//!   two-dimensional, §3.5 `d`-dimensional);
+//! * [`ball`] — the Ball-2 schema for distance 2 (§3.6).
+
+pub mod ball;
+pub mod problem;
+pub mod splitting;
+pub mod weight;
+
+pub use ball::Ball2Schema;
+pub use problem::{
+    hamming_distance, lemma31_g, theorem32_lower_bound, HammingProblem,
+};
+pub use splitting::{DistanceDSplittingSchema, PairsSchema, SplittingSchema};
+pub use weight::{WeightSchema2D, WeightSchemaD};

@@ -1,0 +1,441 @@
+//! The Splitting algorithm family (§3.3) and its distance-`d`
+//! generalisation (§3.6).
+//!
+//! For `c | b`, the Splitting algorithm cuts each `b`-bit string into `c`
+//! segments of `b/c` bits. There are `c` groups of reducers; the Group-`i`
+//! reducer for a string is obtained by deleting segment `i`. Strings at
+//! distance 1 disagree in exactly one segment `i` and therefore meet at
+//! their common Group-`i` reducer. Reducer size is `q = 2^{b/c}` and the
+//! replication rate is exactly `c = b / log₂q` — *on* the Theorem 3.2
+//! hyperbola (the dots of Figure 1).
+//!
+//! For distance `d ≤ k`, deleting every `d`-subset of `k` segments covers
+//! all pairs at distance ≤ `d` with replication `C(k,d)` (§3.6).
+
+use crate::model::{MappingSchema, ReducerId};
+use crate::problems::hamming::problem::HammingProblem;
+use crate::recipe::binomial;
+
+/// The `q = 2` extreme (§3.3): one reducer per potential output pair; each
+/// string goes to the `b` reducers of the pairs it belongs to, so `r = b`,
+/// matching the lower bound `b / log₂2`.
+#[derive(Debug, Clone, Copy)]
+pub struct PairsSchema {
+    /// Bit-string length.
+    pub b: u32,
+}
+
+impl MappingSchema<HammingProblem> for PairsSchema {
+    fn assign(&self, input: &u64) -> Vec<ReducerId> {
+        let w = *input;
+        (0..self.b)
+            .map(|i| {
+                let partner = w ^ (1u64 << i);
+                let low = w.min(partner);
+                low * self.b as u64 + i as u64
+            })
+            .collect()
+    }
+
+    fn max_inputs_per_reducer(&self) -> u64 {
+        2
+    }
+
+    fn name(&self) -> String {
+        format!("pairs(b={})", self.b)
+    }
+}
+
+/// Deletes segment `seg` (of width `width` bits) from `w`.
+fn remove_segment(w: u64, seg: u32, width: u32) -> u64 {
+    let lo_bits = seg * width;
+    let low = w & ((1u64 << lo_bits) - 1);
+    let high = w >> (lo_bits + width);
+    low | (high << lo_bits)
+}
+
+/// Deletes several segments (indices sorted ascending) of equal `width`.
+fn remove_segments(w: u64, segs: &[u32], width: u32) -> u64 {
+    // Delete from the highest segment down so lower indices stay valid.
+    let mut out = w;
+    for &s in segs.iter().rev() {
+        out = remove_segment(out, s, width);
+    }
+    out
+}
+
+/// The Splitting algorithm (§3.3) with `c` segments: `q = 2^{b/c}`,
+/// `r = c`, exactly matching Theorem 3.2.
+#[derive(Debug, Clone, Copy)]
+pub struct SplittingSchema {
+    /// Bit-string length.
+    pub b: u32,
+    /// Number of segments (must divide `b`).
+    pub c: u32,
+}
+
+impl SplittingSchema {
+    /// Creates the schema.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= c <= b` and `c` divides `b`.
+    pub fn new(b: u32, c: u32) -> Self {
+        assert!(c >= 1 && c <= b, "c={c} must be in 1..={b}");
+        assert_eq!(b % c, 0, "c={c} must divide b={b}");
+        SplittingSchema { b, c }
+    }
+
+    /// Reducer size `q = 2^{b/c}`.
+    pub fn q(&self) -> u64 {
+        1u64 << (self.b / self.c)
+    }
+
+    /// Replication rate `r = c` (matches `b / log₂q` exactly).
+    pub fn replication(&self) -> u64 {
+        self.c as u64
+    }
+}
+
+impl MappingSchema<HammingProblem> for SplittingSchema {
+    fn assign(&self, input: &u64) -> Vec<ReducerId> {
+        let width = self.b / self.c;
+        let residual_bits = self.b - width;
+        (0..self.c)
+            .map(|i| {
+                let key = remove_segment(*input, i, width);
+                (i as u64) << residual_bits | key
+            })
+            .collect()
+    }
+
+    fn max_inputs_per_reducer(&self) -> u64 {
+        self.q()
+    }
+
+    fn name(&self) -> String {
+        format!("splitting(b={}, c={})", self.b, self.c)
+    }
+}
+
+/// The distance-`d` generalisation (§3.6): split into `k` segments and
+/// create one reducer group per `d`-subset of segments to delete. Two
+/// strings at distance ≤ `d` disagree in at most `d` segments, so some
+/// deletion subset hides all their differences. Replication is `C(k,d)`,
+/// reducer size `2^{b·d/k}`.
+#[derive(Debug, Clone)]
+pub struct DistanceDSplittingSchema {
+    /// Bit-string length.
+    pub b: u32,
+    /// Number of segments (must divide `b`).
+    pub k: u32,
+    /// Distance bound (number of segments deleted per reducer group).
+    pub d: u32,
+    combos: Vec<Vec<u32>>,
+}
+
+impl DistanceDSplittingSchema {
+    /// Creates the schema.
+    ///
+    /// # Panics
+    /// Panics unless `k` divides `b` and `1 <= d <= k`.
+    pub fn new(b: u32, k: u32, d: u32) -> Self {
+        assert!(k >= 1 && k <= b, "k={k} must be in 1..={b}");
+        assert_eq!(b % k, 0, "k={k} must divide b={b}");
+        assert!(d >= 1 && d <= k, "d={d} must be in 1..={k}");
+        DistanceDSplittingSchema {
+            b,
+            k,
+            d,
+            combos: combinations(k, d),
+        }
+    }
+
+    /// Reducer size `q = 2^{b·d/k}` (the deleted bits are free).
+    pub fn q(&self) -> u64 {
+        1u64 << (self.b / self.k * self.d)
+    }
+
+    /// Replication rate `r = C(k,d)` (§3.6's `k^d/d!` approximation is the
+    /// large-`k` asymptote of this).
+    pub fn replication(&self) -> u64 {
+        binomial(self.k as u64, self.d as u64)
+    }
+}
+
+/// All `d`-subsets of `0..k` in lexicographic order.
+fn combinations(k: u32, d: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<u32> = (0..d).collect();
+    loop {
+        out.push(cur.clone());
+        // Advance.
+        let mut i = d as i64 - 1;
+        while i >= 0 && cur[i as usize] == k - d + i as u32 {
+            i -= 1;
+        }
+        if i < 0 {
+            return out;
+        }
+        let i = i as usize;
+        cur[i] += 1;
+        for j in (i + 1)..d as usize {
+            cur[j] = cur[j - 1] + 1;
+        }
+    }
+}
+
+impl MappingSchema<HammingProblem> for DistanceDSplittingSchema {
+    fn assign(&self, input: &u64) -> Vec<ReducerId> {
+        let width = self.b / self.k;
+        let residual_bits = self.b - width * self.d;
+        self.combos
+            .iter()
+            .enumerate()
+            .map(|(ci, segs)| {
+                let key = remove_segments(*input, segs, width);
+                (ci as u64) << residual_bits | key
+            })
+            .collect()
+    }
+
+    fn max_inputs_per_reducer(&self) -> u64 {
+        self.q()
+    }
+
+    fn name(&self) -> String {
+        format!("splitting-d(b={}, k={}, d={})", self.b, self.k, self.d)
+    }
+}
+
+/// Running distance-`d` splitting on *instance* data (a fuzzy join, \[3\]):
+/// each reducer compares its strings pairwise and emits pairs at Hamming
+/// distance `1..=d`. A pair differing in segment set `D` (`|D| ≤ d`)
+/// appears in every reducer group whose deletion set contains `D`; only
+/// the lexicographically first such group emits it, so output is
+/// duplicate-free.
+impl mr_sim::schema::SchemaJob<u64, (u64, u64)> for DistanceDSplittingSchema {
+    fn assign(&self, input: &u64) -> Vec<crate::model::ReducerId> {
+        MappingSchema::assign(self, input)
+    }
+
+    fn reduce(
+        &self,
+        reducer: crate::model::ReducerId,
+        inputs: &[u64],
+        emit: &mut dyn FnMut((u64, u64)),
+    ) {
+        let width = self.b / self.k;
+        let residual_bits = self.b - width * self.d;
+        let combo_index = (reducer >> residual_bits) as usize;
+        let combo = &self.combos[combo_index];
+        let seg_mask = |seg: u32| ((1u64 << width) - 1) << (seg * width);
+        for i in 0..inputs.len() {
+            for j in (i + 1)..inputs.len() {
+                let (u, v) = (inputs[i].min(inputs[j]), inputs[i].max(inputs[j]));
+                if u == v {
+                    continue;
+                }
+                let dist = (u ^ v).count_ones();
+                if dist == 0 || dist > self.d {
+                    continue;
+                }
+                // Differing segments.
+                let differing: Vec<u32> = (0..self.k)
+                    .filter(|&s| (u ^ v) & seg_mask(s) != 0)
+                    .collect();
+                // Owning combo: `differing` padded with the smallest
+                // segments not already present, then sorted.
+                let mut owner = differing.clone();
+                for s in 0..self.k {
+                    if owner.len() == self.d as usize {
+                        break;
+                    }
+                    if !differing.contains(&s) {
+                        owner.push(s);
+                    }
+                }
+                owner.sort_unstable();
+                if &owner == combo {
+                    emit((u, v));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_schema;
+    use crate::problems::hamming::problem::{hamming_distance, theorem32_lower_bound};
+
+    #[test]
+    fn remove_segment_bit_surgery() {
+        // w = 0b110_010_101, segments of width 3 (b=9).
+        let w = 0b110_010_101u64;
+        assert_eq!(remove_segment(w, 0, 3), 0b110_010);
+        assert_eq!(remove_segment(w, 1, 3), 0b110_101);
+        assert_eq!(remove_segment(w, 2, 3), 0b010_101);
+    }
+
+    #[test]
+    fn remove_multiple_segments() {
+        let w = 0b11_10_01_00u64; // b=8, width 2
+        assert_eq!(remove_segments(w, &[0, 3], 2), 0b10_01);
+        assert_eq!(remove_segments(w, &[1, 2], 2), 0b11_00);
+    }
+
+    #[test]
+    fn pairs_schema_is_valid_and_matches_bound() {
+        let b = 6;
+        let p = HammingProblem::distance_one(b);
+        let s = PairsSchema { b };
+        let report = validate_schema(&p, &s);
+        assert!(report.is_valid(), "{report:?}");
+        assert_eq!(report.max_load, 2);
+        // r = b exactly = lower bound at q = 2.
+        assert!((report.replication_rate - b as f64).abs() < 1e-9);
+        assert!(
+            (report.replication_rate - theorem32_lower_bound(b, 2.0)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn splitting_schema_valid_for_all_divisors() {
+        let b = 8;
+        let p = HammingProblem::distance_one(b);
+        for c in [1u32, 2, 4, 8] {
+            let s = SplittingSchema::new(b, c);
+            let report = validate_schema(&p, &s);
+            assert!(report.is_valid(), "c={c}: {report:?}");
+            // Replication is exactly c — exactly on the hyperbola.
+            assert!(
+                (report.replication_rate - c as f64).abs() < 1e-9,
+                "c={c}: r={}",
+                report.replication_rate
+            );
+            // Reducer load is exactly 2^{b/c} for every reducer.
+            assert_eq!(report.max_load, s.q());
+            let bound = theorem32_lower_bound(b, s.q() as f64);
+            assert!(
+                (report.replication_rate - bound).abs() < 1e-9,
+                "c={c}: r={} vs bound {bound}",
+                report.replication_rate
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_c1_is_single_reducer() {
+        let s = SplittingSchema::new(6, 1);
+        let p = HammingProblem::distance_one(6);
+        let report = validate_schema(&p, &s);
+        assert!(report.is_valid());
+        assert_eq!(report.num_reducers, 1);
+        assert!((report.replication_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn splitting_rejects_non_divisor() {
+        SplittingSchema::new(8, 3);
+    }
+
+    #[test]
+    fn combinations_enumeration() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(4, 2)[0], vec![0, 1]);
+        assert_eq!(combinations(4, 2)[5], vec![2, 3]);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn distance_d_splitting_covers_distance_2() {
+        let b = 8;
+        let p = HammingProblem::new(b, 2);
+        let s = DistanceDSplittingSchema::new(b, 4, 2);
+        let report = validate_schema(&p, &s);
+        assert!(report.is_valid(), "{report:?}");
+        // r = C(4,2) = 6 exactly.
+        assert!((report.replication_rate - 6.0).abs() < 1e-9);
+        assert_eq!(report.max_load, s.q()); // 2^{8/4*2} = 16
+    }
+
+    #[test]
+    fn distance_d_splitting_also_covers_smaller_distances() {
+        // Deleting d segments hides up to d differing bits, so the schema
+        // covers distance-1 pairs too.
+        let b = 8;
+        let p1 = HammingProblem::distance_one(b);
+        let s = DistanceDSplittingSchema::new(b, 4, 2);
+        let report = validate_schema(&p1, &s);
+        assert_eq!(report.uncovered_outputs, 0);
+    }
+
+    #[test]
+    fn distance_d_reduces_to_plain_splitting_when_d_is_1() {
+        let b = 8;
+        let p = HammingProblem::distance_one(b);
+        let plain = validate_schema(&p, &SplittingSchema::new(b, 4));
+        let viad = validate_schema(&p, &DistanceDSplittingSchema::new(b, 4, 1));
+        assert_eq!(plain.replication_rate, viad.replication_rate);
+        assert_eq!(plain.max_load, viad.max_load);
+        assert_eq!(plain.num_reducers, viad.num_reducers);
+    }
+
+    #[test]
+    fn splitting_covers_the_cumulative_fuzzy_join_problem() {
+        // §3.6 / [3]: deleting d segments covers ALL pairs at distance
+        // <= d, i.e. the within-distance problem.
+        let p = HammingProblem::within_distance(8, 2);
+        let s = DistanceDSplittingSchema::new(8, 4, 2);
+        let report = validate_schema(&p, &s);
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn fuzzy_join_on_instance_data_matches_serial_scan() {
+        use mr_sim::{run_schema, EngineConfig};
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        // A random subset of 12-bit strings; find all pairs at distance
+        // <= 2 via the distributed schema and a serial all-pairs scan.
+        let b = 12u32;
+        let d = 2u32;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut strings: Vec<u64> = (0..500).map(|_| rng.random_range(0..(1u64 << b))).collect();
+        strings.sort_unstable();
+        strings.dedup();
+
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for i in 0..strings.len() {
+            for j in (i + 1)..strings.len() {
+                let dist = hamming_distance(strings[i], strings[j]);
+                if dist >= 1 && dist <= d {
+                    expected.push((strings[i], strings[j]));
+                }
+            }
+        }
+        expected.sort_unstable();
+
+        let schema = DistanceDSplittingSchema::new(b, 4, d);
+        for cfg in [EngineConfig::sequential(), EngineConfig::parallel(4)] {
+            let (mut found, metrics) = run_schema(&strings, &schema, &cfg).unwrap();
+            found.sort_unstable();
+            assert_eq!(found, expected);
+            // Replication is exactly C(k,d) = 6 per input.
+            assert!((metrics.replication_rate() - 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_3_coverage() {
+        let b = 6;
+        let p = HammingProblem::new(b, 3);
+        let s = DistanceDSplittingSchema::new(b, 3, 3);
+        // Deleting all 3 segments leaves one reducer per combo — i.e. one
+        // reducer total per group, covering everything.
+        let report = validate_schema(&p, &s);
+        assert!(report.is_valid(), "{report:?}");
+        assert!((report.replication_rate - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Two-round join-then-aggregate pipelines (§7.1's suggested direction).
+//!
+//! The paper closes by asking whether the §6.3 two-round analysis extends
+//! to "SQL statements that require two phases of map-reduce, e.g., joins
+//! followed by aggregations". This module implements the canonical
+//! instance — `SELECT A₀, COUNT(*) FROM (chain join) GROUP BY A₀` — in two
+//! ways:
+//!
+//! * **naive**: round 1 computes the full join (Shares), round 2 groups
+//!   the result rows by `A₀` and counts — round-2 communication is the
+//!   full join size;
+//! * **pushed**: round-1 reducers emit *partial counts* per `A₀` instead
+//!   of rows — round-2 communication is at most (#reducers × #distinct
+//!   A₀), independent of the join size.
+//!
+//! The partial-count trick is exactly the §6.3 mechanism (associative
+//! aggregation lets phase-1 reducers pre-combine), and the measured gap
+//! mirrors the matrix-multiplication result: push-down never loses and
+//! usually wins by the join's output blow-up factor.
+
+use super::query::Database;
+use super::shares::{SharesSchema, TaggedTuple};
+use crate::model::ReducerId;
+use mr_sim::schema::SchemaJob;
+use mr_sim::{run_schema, EngineConfig, EngineError, FnMapper, FnReducer, JobMetrics, RoundMetrics};
+use std::collections::BTreeMap;
+
+/// Group-by-count over the join's first variable, naive two-round plan.
+///
+/// Returns `(a₀ value, count)` rows sorted by value, plus per-round
+/// metrics (round 1 = join shuffle, round 2 = row shuffle).
+pub fn count_by_first_var_naive(
+    schema: &SharesSchema,
+    db: &Database,
+    config: &EngineConfig,
+) -> Result<(Vec<(u32, u64)>, JobMetrics), EngineError> {
+    let (rows, join_metrics) = schema.run(db, config)?;
+    let mapper = FnMapper(|row: &Vec<u32>, emit: &mut dyn FnMut(u32, u64)| emit(row[0], 1));
+    let reducer = FnReducer(|k: &u32, vs: &[u64], emit: &mut dyn FnMut((u32, u64))| {
+        emit((*k, vs.iter().sum()))
+    });
+    let (counts, agg_metrics) = mr_sim::run_round(&rows, &mapper, &reducer, config)?;
+    Ok((
+        counts,
+        JobMetrics {
+            rounds: vec![join_metrics, agg_metrics],
+        },
+    ))
+}
+
+/// A Shares schema whose reducers emit per-`A₀` partial counts instead of
+/// join rows.
+struct PartialCountSchema<'a>(&'a SharesSchema);
+
+impl SchemaJob<TaggedTuple, (u32, u64)> for PartialCountSchema<'_> {
+    fn assign(&self, input: &TaggedTuple) -> Vec<ReducerId> {
+        self.0.assign(input)
+    }
+
+    fn reduce(&self, reducer: ReducerId, inputs: &[TaggedTuple], emit: &mut dyn FnMut((u32, u64))) {
+        // Compute the local join, then fold it to per-A₀ counts before
+        // anything leaves the reducer.
+        let mut rows = Vec::new();
+        self.0.reduce(reducer, inputs, &mut |row| rows.push(row));
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for row in rows {
+            *counts.entry(row[0]).or_insert(0) += 1;
+        }
+        for (a0, c) in counts {
+            emit((a0, c));
+        }
+    }
+}
+
+/// Group-by-count with aggregation pushed into the join reducers.
+pub fn count_by_first_var_pushed(
+    schema: &SharesSchema,
+    db: &Database,
+    config: &EngineConfig,
+) -> Result<(Vec<(u32, u64)>, JobMetrics), EngineError> {
+    let inputs: Vec<TaggedTuple> = db
+        .tuples
+        .iter()
+        .enumerate()
+        .flat_map(|(a, ts)| ts.iter().map(move |t| (a as u32, t.clone())))
+        .collect();
+    let wrapper = PartialCountSchema(schema);
+    let (partials, join_metrics): (Vec<(u32, u64)>, RoundMetrics) =
+        run_schema(&inputs, &wrapper, config)?;
+
+    let mapper = FnMapper(|&(a0, c): &(u32, u64), emit: &mut dyn FnMut(u32, u64)| emit(a0, c));
+    let reducer = FnReducer(|k: &u32, vs: &[u64], emit: &mut dyn FnMut((u32, u64))| {
+        emit((*k, vs.iter().sum()))
+    });
+    let (counts, agg_metrics) = mr_sim::run_round(&partials, &mapper, &reducer, config)?;
+    Ok((
+        counts,
+        JobMetrics {
+            rounds: vec![join_metrics, agg_metrics],
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::join::query::Query;
+
+    fn setup() -> (SharesSchema, Database) {
+        let query = Query::chain(3);
+        let db = Database::random(&query, 16, 200, 5);
+        let schema = SharesSchema::new(query, vec![1, 2, 2, 1]);
+        (schema, db)
+    }
+
+    /// Ground truth from the serial join.
+    fn serial_counts(schema: &SharesSchema, db: &Database) -> Vec<(u32, u64)> {
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for row in db.join(&schema.query) {
+            *counts.entry(row[0]).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    #[test]
+    fn both_plans_compute_the_same_counts() {
+        let (schema, db) = setup();
+        let expected = serial_counts(&schema, &db);
+        let cfg = EngineConfig::sequential();
+        let (naive, _) = count_by_first_var_naive(&schema, &db, &cfg).unwrap();
+        let (pushed, _) = count_by_first_var_pushed(&schema, &db, &cfg).unwrap();
+        assert_eq!(naive, expected);
+        assert_eq!(pushed, expected);
+    }
+
+    #[test]
+    fn push_down_never_communicates_more() {
+        let (schema, db) = setup();
+        let cfg = EngineConfig::sequential();
+        let (_, naive) = count_by_first_var_naive(&schema, &db, &cfg).unwrap();
+        let (_, pushed) = count_by_first_var_pushed(&schema, &db, &cfg).unwrap();
+        // Round 1 (join shuffle) is identical; round 2 differs.
+        assert_eq!(naive.rounds[0].kv_pairs, pushed.rounds[0].kv_pairs);
+        assert!(
+            pushed.rounds[1].kv_pairs <= naive.rounds[1].kv_pairs,
+            "pushed {} > naive {}",
+            pushed.rounds[1].kv_pairs,
+            naive.rounds[1].kv_pairs
+        );
+        assert!(pushed.total_communication() <= naive.total_communication());
+    }
+
+    #[test]
+    fn push_down_wins_by_the_output_blowup() {
+        // On the complete instance the join output is n^m — far larger
+        // than the domain — so push-down should save orders of magnitude.
+        let query = Query::chain(2);
+        let db = Database::complete(&query, 8); // join = 8³ = 512 rows
+        let schema = SharesSchema::new(query, vec![1, 4, 1]);
+        let cfg = EngineConfig::sequential();
+        let (_, naive) = count_by_first_var_naive(&schema, &db, &cfg).unwrap();
+        let (_, pushed) = count_by_first_var_pushed(&schema, &db, &cfg).unwrap();
+        assert_eq!(naive.rounds[1].kv_pairs, 512);
+        // Pushed round 2: at most reducers × distinct A0 = 4 × 8.
+        assert!(pushed.rounds[1].kv_pairs <= 32);
+        assert!(pushed.total_communication() < naive.total_communication());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (schema, db) = setup();
+        let (a, ma) =
+            count_by_first_var_pushed(&schema, &db, &EngineConfig::sequential()).unwrap();
+        let (b, mb) = count_by_first_var_pushed(&schema, &db, &EngineConfig::parallel(4)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ma, mb);
+    }
+}

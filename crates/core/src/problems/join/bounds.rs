@@ -1,0 +1,107 @@
+//! Closed-form multiway-join bounds (§5.5.1, §5.5.2).
+
+/// §5.5.1: the general lower bound `r ≥ n^{m−2} / q^{ρ−1}` for a join
+/// over `m` variables with fractional-edge-cover value `ρ` on a domain of
+/// `n` values.
+pub fn multiway_lower_bound(n: f64, m_vars: usize, rho: f64, q: f64) -> f64 {
+    n.powi(m_vars as i32 - 2) / q.powf(rho - 1.0)
+}
+
+/// §5.5.2: the chain-join lower bound for odd `N`,
+/// `r ≥ (n/√q)^{N−1}` (with `m = N+1`, `ρ = (N+1)/2`).
+pub fn chain_lower_bound(n: f64, num_relations: usize, q: f64) -> f64 {
+    (n / q.sqrt()).powi(num_relations as i32 - 1)
+}
+
+/// §5.5.2: the matching chain-join upper bound from \[1\],
+/// `r = (n/√q)^{N−1}`.
+pub fn chain_upper_bound(n: f64, num_relations: usize, q: f64) -> f64 {
+    chain_lower_bound(n, num_relations, q)
+}
+
+/// §5.5.2: star-join replication of the Shares algorithm with `p`
+/// reducers, fact size `f`, `N` dimension tables of size `d0` each:
+/// `r = (f + N·d0·p^{(N−1)/N}) / (f + N·d0)`.
+pub fn star_replication(f: f64, d0: f64, num_dims: usize, p: f64) -> f64 {
+    let n = num_dims as f64;
+    (f + n * d0 * p.powf((n - 1.0) / n)) / (f + n * d0)
+}
+
+/// §5.5.2: the star-join lower bound
+/// `r ≥ N·d0·(N·d0/q)^{N−1} / (f + N·d0)`.
+pub fn star_lower_bound(f: f64, d0: f64, num_dims: usize, q: f64) -> f64 {
+    let n = num_dims as f64;
+    n * d0 * (n * d0 / q).powf(n - 1.0) / (f + n * d0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::join::query::Query;
+
+    #[test]
+    fn multiway_reduces_to_chain_form_for_odd_chains() {
+        // Chain N=3: m = 4 vars, ρ = 2 → n^2/q = (n/√q)^2. N=5: m=6,
+        // ρ=3 → n^4/q^2 = (n/√q)^4.
+        for n_rels in [3usize, 5] {
+            let q = Query::chain(n_rels);
+            let rho = q.rho();
+            let n = 100.0;
+            for budget in [100.0, 400.0] {
+                let general = multiway_lower_bound(n, n_rels + 1, rho, budget);
+                let chain = chain_lower_bound(n, n_rels, budget);
+                assert!(
+                    (general - chain).abs() / chain < 1e-9,
+                    "N={n_rels} q={budget}: {general} vs {chain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_bound_decreases_in_q() {
+        let n = 50.0;
+        let mut prev = f64::INFINITY;
+        for q in [25.0, 100.0, 400.0, 2500.0] {
+            let b = chain_lower_bound(n, 5, q);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn star_replication_monotone_in_p() {
+        let (f, d0) = (1_000_000.0, 1_000.0);
+        let mut prev = 0.0;
+        for p in [8.0, 64.0, 512.0] {
+            let r = star_replication(f, d0, 3, p);
+            assert!(r > prev);
+            prev = r;
+        }
+        // With p = 1 the replication is exactly 1.
+        assert!((star_replication(f, d0, 3, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_lower_bound_below_replication() {
+        // The §5.5.2 analysis shows the achieved r differs from the lower
+        // bound by ~e(1-e)/e^N — a constant. Check bound ≤ achieved at a
+        // consistent (p, q) pairing: q ≈ (f + N·d0·p^{(N-1)/N})/p.
+        let (f, d0, n) = (1_000_000.0, 1_000.0, 3usize);
+        for p in [64.0, 512.0] {
+            let r = star_replication(f, d0, n, p);
+            let q = r * (f + n as f64 * d0) / p;
+            let lb = star_lower_bound(f, d0, n, q);
+            assert!(
+                lb <= r * 1.05,
+                "p={p}: lower bound {lb} exceeds achieved {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_chain_n1_bound_is_one() {
+        // N=1: a single relation; bound (n/√q)^0 = 1.
+        assert_eq!(chain_lower_bound(100.0, 1, 10.0), 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Multiway joins (§5.5).
+//!
+//! A multiway join of binary (or higher-arity) relations is viewed as
+//! finding labeled sample graphs in a labeled data graph. §5.5.1 derives
+//! the lower bound `r ≥ n^{m−2}/q^{ρ−1}` from the AGM bound
+//! `g(q) = q^ρ`, where `ρ` is the optimal fractional edge cover of the
+//! query hypergraph (computed here with `mr-lp`). §5.5.2 shows the Shares
+//! algorithm of Afrati–Ullman \[1\] matches the bound for chain joins and
+//! analyses star joins.
+//!
+//! * [`query`] — conjunctive queries, databases, and the serial join
+//!   baseline;
+//! * [`shares`] — the Shares mapping schema, share optimisation, and
+//!   predicted communication;
+//! * [`bounds`] — the §5.5.1/§5.5.2 closed forms for chains and stars;
+//! * [`aggregate`] — two-round join-then-aggregate pipelines with and
+//!   without partial-aggregation push-down (§7.1's open direction).
+
+pub mod aggregate;
+pub mod bounds;
+pub mod query;
+pub mod shares;
+
+pub use bounds::{chain_lower_bound, chain_upper_bound, multiway_lower_bound, star_lower_bound, star_replication};
+pub use aggregate::{count_by_first_var_naive, count_by_first_var_pushed};
+pub use query::{Database, Query};
+pub use shares::{optimize_shares, predicted_communication, SharesSchema};

@@ -1,0 +1,305 @@
+//! Conjunctive queries, databases, and the serial join baseline.
+
+use mr_lp::{fractional_edge_cover, Hypergraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A conjunctive query (natural multiway join): `num_vars` variables and
+/// one atom per relation, each atom listing the variables it covers in
+/// positional order.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Number of join variables (the paper's `m`).
+    pub num_vars: usize,
+    /// Variable indices of each relational atom (the paper's `s` atoms).
+    pub atoms: Vec<Vec<usize>>,
+}
+
+impl Query {
+    /// Creates a query, checking every atom references valid variables.
+    ///
+    /// # Panics
+    /// Panics on empty atoms, out-of-range variables, or repeated
+    /// variables within an atom.
+    pub fn new(num_vars: usize, atoms: Vec<Vec<usize>>) -> Self {
+        for a in &atoms {
+            assert!(!a.is_empty(), "atoms must be non-empty");
+            let distinct: BTreeSet<_> = a.iter().collect();
+            assert_eq!(distinct.len(), a.len(), "repeated variable in atom {a:?}");
+            for &v in a {
+                assert!(v < num_vars, "variable {v} out of range");
+            }
+        }
+        Query { num_vars, atoms }
+    }
+
+    /// The chain join `R_1(A_0,A_1) ⋈ R_2(A_1,A_2) ⋈ … ⋈ R_N(A_{N−1},A_N)`
+    /// (§5.5.2).
+    pub fn chain(num_relations: usize) -> Self {
+        assert!(num_relations >= 1);
+        Query::new(
+            num_relations + 1,
+            (0..num_relations).map(|i| vec![i, i + 1]).collect(),
+        )
+    }
+
+    /// The star join (§5.5.2): a fact table over attributes `A_0..A_{N−1}`
+    /// joined with `N` dimension tables `D_i(A_i, B_i)`, each with one
+    /// private attribute.
+    pub fn star(num_dims: usize) -> Self {
+        assert!(num_dims >= 1);
+        let mut atoms = vec![(0..num_dims).collect::<Vec<_>>()];
+        for i in 0..num_dims {
+            atoms.push(vec![i, num_dims + i]);
+        }
+        Query::new(2 * num_dims, atoms)
+    }
+
+    /// The cycle query `R_1(A_0,A_1) ⋈ … ⋈ R_k(A_{k−1},A_0)`.
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3);
+        Query::new(k, (0..k).map(|i| vec![i, (i + 1) % k]).collect())
+    }
+
+    /// The query hypergraph `G(q)` of §5.5.1.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.num_vars, self.atoms.clone())
+    }
+
+    /// The parameter `ρ`: the optimal fractional edge cover value,
+    /// computed by LP (§5.5.1, after \[6\]).
+    ///
+    /// # Panics
+    /// Panics if some variable appears in no atom (the cover LP is then
+    /// infeasible, which `Query::new` should have prevented in practice).
+    pub fn rho(&self) -> f64 {
+        fractional_edge_cover(&self.hypergraph())
+            .expect("every variable appears in some atom")
+            .0
+    }
+
+    /// Arity of atom `i`.
+    pub fn arity(&self, atom: usize) -> usize {
+        self.atoms[atom].len()
+    }
+}
+
+/// A database instance: one tuple list per atom. Tuple values are indexed
+/// positionally, matching the atom's variable list.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// `tuples[a]` = the tuples of atom `a`'s relation.
+    pub tuples: Vec<Vec<Vec<u32>>>,
+}
+
+impl Database {
+    /// The *complete* instance over a domain of `n` values: every possible
+    /// tuple in every relation — the instance the lower-bound analysis
+    /// assumes (§2.3). Relation `a` gets `n^arity(a)` tuples.
+    pub fn complete(query: &Query, n: u32) -> Self {
+        let tuples = query
+            .atoms
+            .iter()
+            .map(|atom| {
+                let arity = atom.len();
+                let count = (n as u64).pow(arity as u32);
+                (0..count)
+                    .map(|code| {
+                        let mut t = vec![0u32; arity];
+                        let mut rest = code;
+                        for slot in t.iter_mut().rev() {
+                            *slot = (rest % n as u64) as u32;
+                            rest /= n as u64;
+                        }
+                        t
+                    })
+                    .collect()
+            })
+            .collect();
+        Database { tuples }
+    }
+
+    /// A random instance: `per_relation` distinct tuples per relation over
+    /// domain `0..n`, seeded.
+    pub fn random(query: &Query, n: u32, per_relation: usize, seed: u64) -> Self {
+        Self::random_with_sizes(query, n, &vec![per_relation; query.atoms.len()], seed)
+    }
+
+    /// A random instance with a distinct size per relation (e.g. a large
+    /// fact table and small dimension tables, §5.5.2).
+    ///
+    /// # Panics
+    /// Panics if `sizes.len()` differs from the atom count or a size
+    /// exceeds the relation's tuple universe `n^arity`.
+    pub fn random_with_sizes(query: &Query, n: u32, sizes: &[usize], seed: u64) -> Self {
+        assert_eq!(sizes.len(), query.atoms.len(), "one size per relation");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tuples = query
+            .atoms
+            .iter()
+            .zip(sizes)
+            .map(|(atom, &per_relation)| {
+                let arity = atom.len();
+                let universe = (n as u64).pow(arity as u32);
+                assert!(
+                    per_relation as u64 <= universe,
+                    "cannot draw {per_relation} distinct tuples from {universe}"
+                );
+                let mut chosen: BTreeSet<Vec<u32>> = BTreeSet::new();
+                while chosen.len() < per_relation {
+                    let t: Vec<u32> = (0..arity).map(|_| rng.random_range(0..n)).collect();
+                    chosen.insert(t);
+                }
+                chosen.into_iter().collect()
+            })
+            .collect();
+        Database { tuples }
+    }
+
+    /// Total number of tuples (the instance's `|I|`).
+    pub fn num_tuples(&self) -> u64 {
+        self.tuples.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// Serial join baseline: backtracking over atoms, returning all
+    /// variable assignments satisfying every atom. Result rows are sorted.
+    pub fn join(&self, query: &Query) -> Vec<Vec<u32>> {
+        let mut results = Vec::new();
+        let mut assignment: Vec<Option<u32>> = vec![None; query.num_vars];
+        self.join_rec(query, 0, &mut assignment, &mut results);
+        results.sort_unstable();
+        results
+    }
+
+    fn join_rec(
+        &self,
+        query: &Query,
+        atom: usize,
+        assignment: &mut Vec<Option<u32>>,
+        results: &mut Vec<Vec<u32>>,
+    ) {
+        if atom == query.atoms.len() {
+            results.push(
+                assignment
+                    .iter()
+                    .map(|v| v.expect("all variables bound after all atoms"))
+                    .collect(),
+            );
+            return;
+        }
+        let vars = &query.atoms[atom];
+        'tuples: for t in &self.tuples[atom] {
+            // Check consistency and record new bindings.
+            let mut newly_bound = Vec::new();
+            for (pos, &var) in vars.iter().enumerate() {
+                match assignment[var] {
+                    Some(bound) if bound != t[pos] => {
+                        for &v in &newly_bound {
+                            assignment[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment[var] = Some(t[pos]);
+                        newly_bound.push(var);
+                    }
+                }
+            }
+            self.join_rec(query, atom + 1, assignment, results);
+            for &v in &newly_bound {
+                assignment[v] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_query_shape() {
+        let q = Query::chain(3);
+        assert_eq!(q.num_vars, 4);
+        assert_eq!(q.atoms, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn star_query_shape() {
+        let q = Query::star(3);
+        assert_eq!(q.num_vars, 6);
+        assert_eq!(q.atoms[0], vec![0, 1, 2]); // fact
+        assert_eq!(q.atoms[1], vec![0, 3]);
+        assert_eq!(q.atoms[3], vec![2, 5]);
+    }
+
+    #[test]
+    fn rho_values_match_theory() {
+        // Chain of N: ρ = ceil((N+1)/2); cycle k: ρ = k/2; star N: ρ = N.
+        assert!((Query::chain(3).rho() - 2.0).abs() < 1e-6);
+        assert!((Query::chain(5).rho() - 3.0).abs() < 1e-6);
+        assert!((Query::cycle(3).rho() - 1.5).abs() < 1e-6);
+        assert!((Query::star(3).rho() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complete_database_sizes() {
+        let q = Query::chain(2);
+        let db = Database::complete(&q, 3);
+        assert_eq!(db.tuples[0].len(), 9);
+        assert_eq!(db.tuples[1].len(), 9);
+        assert_eq!(db.num_tuples(), 18);
+    }
+
+    #[test]
+    fn complete_database_join_is_full_cross() {
+        // On the complete instance every assignment joins: n^m results.
+        let q = Query::chain(2);
+        let db = Database::complete(&q, 3);
+        assert_eq!(db.join(&q).len(), 27);
+    }
+
+    #[test]
+    fn join_on_instance_matches_hand_computation() {
+        // R(A,B) = {(0,1),(1,2)}, S(B,C) = {(1,5),(2,6),(3,7)}:
+        // join = {(0,1,5),(1,2,6)}.
+        let q = Query::chain(2);
+        let db = Database {
+            tuples: vec![
+                vec![vec![0, 1], vec![1, 2]],
+                vec![vec![1, 5], vec![2, 6], vec![3, 7]],
+            ],
+        };
+        assert_eq!(db.join(&q), vec![vec![0, 1, 5], vec![1, 2, 6]]);
+    }
+
+    #[test]
+    fn triangle_join_counts_directed_triangles() {
+        // Cycle query over the same relation contents: R=S=T={(0,1),(1,2),(2,0)}
+        // has exactly the 3 rotations of the one directed triangle.
+        let q = Query::cycle(3);
+        let edges = vec![vec![0u32, 1], vec![1, 2], vec![2, 0]];
+        let db = Database {
+            tuples: vec![edges.clone(), edges.clone(), edges],
+        };
+        let result = db.join(&q);
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn random_database_is_deterministic() {
+        let q = Query::chain(3);
+        let a = Database::random(&q, 10, 20, 99);
+        let b = Database::random(&q, 10, 20, 99);
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.num_tuples(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated variable")]
+    fn rejects_repeated_variable() {
+        Query::new(2, vec![vec![0, 0]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Matrix multiplication (§6).
+//!
+//! Multiplying `n×n` matrices `R` and `S` has `|I| = 2n²` inputs and
+//! `|O| = n²` outputs, each output depending on `2n` inputs (a row of `R`
+//! and a column of `S`). §6.1 shows a reducer's covered outputs form a
+//! *rectangle* maximised by a square, giving `g(q) = q²/(4n²)` and the
+//! lower bound `r ≥ 2n²/q`; §6.2 matches it by square tiling; §6.3 shows
+//! a **two-phase** method with total communication `4n³/√q` (optimal
+//! first-phase blocks have aspect ratio 2:1 — `s = √q`, `t = √q/2`),
+//! beating the one-phase `4n⁴/q` whenever `q < n²`.
+//!
+//! * [`matrix`] — dense matrices and the serial product baseline;
+//! * [`problem`] — the model instance, bounds, and the one-phase schema;
+//! * [`two_phase`] — the two-round job and its communication accounting;
+//! * [`rectangular`] — the `m×n · n×p` generalisation (extension beyond
+//!   the paper's square case).
+
+pub mod matrix;
+pub mod problem;
+pub mod rectangular;
+pub mod two_phase;
+
+pub use matrix::Matrix;
+pub use problem::{
+    lower_bound_r, one_phase_communication, MatEntry, MatMulProblem, OnePhaseSchema,
+};
+pub use rectangular::{rect_lower_bound, RectMatMulProblem, RectOnePhaseSchema};
+pub use two_phase::{two_phase_communication, TwoPhaseMatMul};

@@ -1,0 +1,45 @@
+//! One module per problem family analysed in the paper.
+//!
+//! | Module | Paper section | Problem |
+//! |---|---|---|
+//! | [`hamming`] | §3 | bit strings at Hamming distance `d` |
+//! | [`triangle`] | §4 | triangles in a data graph |
+//! | [`sample_graph`] | §5.1–5.3 | Alon-class sample graphs |
+//! | [`two_path`] | §5.4 | paths of length two (non-Alon) |
+//! | [`join`] | §5.5 | multiway joins (chains, stars, Shares) |
+//! | [`matmul`] | §6 | one- and two-phase matrix multiplication |
+//! | [`examples`] | §2.1 | model warm-ups: natural join, word count, grouping |
+
+pub mod examples;
+pub mod hamming;
+pub mod join;
+pub mod matmul;
+pub mod sample_graph;
+pub mod triangle;
+pub mod two_path;
+
+/// A schema usable with any problem: send every input to one reducer
+/// (§2.2's trivial extreme, `q = |I|`, `r = 1`).
+pub struct SingleReducer {
+    q: u64,
+}
+
+impl SingleReducer {
+    /// Builds the single-reducer schema for a problem with `num_inputs`
+    /// potential inputs.
+    pub fn new(num_inputs: u64) -> Self {
+        SingleReducer { q: num_inputs }
+    }
+}
+
+impl<P: crate::model::Problem> crate::model::MappingSchema<P> for SingleReducer {
+    fn assign(&self, _input: &P::Input) -> Vec<crate::model::ReducerId> {
+        vec![0]
+    }
+    fn max_inputs_per_reducer(&self) -> u64 {
+        self.q
+    }
+    fn name(&self) -> String {
+        "single-reducer".into()
+    }
+}

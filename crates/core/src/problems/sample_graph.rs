@@ -1,0 +1,446 @@
+//! Finding instances of a fixed sample graph (§5.1–§5.3).
+//!
+//! The sample graph `S` (with `s` nodes) is fixed; the data graph is the
+//! input. For sample graphs in the **Alon class** (§5.1 — decomposable
+//! into single edges and odd Hamiltonian cycles), Alon's theorem bounds the
+//! instances in an `m`-edge graph by `O(m^{s/2})`, so `g(q) = q^{s/2}` and
+//! the recipe gives `r = Ω((n/√q)^{s−2})` (§5.2), or
+//! `Ω((√(m/q))^{s−2})` in terms of edges (§5.3).
+//!
+//! The matching algorithm generalises the triangle node-partition schema:
+//! nodes hashed into `k` groups, one reducer per unordered group multiset
+//! of size `s`, each edge sent to every multiset containing both endpoint
+//! groups.
+
+use crate::model::{MappingSchema, Problem, ReducerId};
+use crate::recipe::LowerBoundRecipe;
+use mr_graph::alon::is_alon_class;
+use mr_graph::graph::{Edge, Graph};
+use mr_graph::subgraph;
+use mr_sim::schema::SchemaJob;
+
+/// The problem of finding all instances of `pattern` in a data graph on
+/// `n` nodes (all `(n 2)` edges potential).
+///
+/// An output is an instance: a set of data edges forming the pattern,
+/// canonically represented by the sorted list of those edges.
+#[derive(Debug, Clone)]
+pub struct SampleGraphProblem {
+    /// The sample graph being searched for.
+    pub pattern: Graph,
+    /// Number of data-graph nodes.
+    pub n: u32,
+}
+
+impl SampleGraphProblem {
+    /// Creates the problem.
+    ///
+    /// # Panics
+    /// Panics if the pattern is trivial (fewer than 2 nodes) or larger than
+    /// the data graph.
+    pub fn new(pattern: Graph, n: u32) -> Self {
+        assert!(pattern.num_nodes() >= 2, "pattern must have at least 2 nodes");
+        assert!(
+            pattern.num_nodes() <= n as usize,
+            "pattern larger than the data graph"
+        );
+        SampleGraphProblem { pattern, n }
+    }
+
+    /// Number of pattern nodes (`s`).
+    pub fn s(&self) -> usize {
+        self.pattern.num_nodes()
+    }
+
+    /// True if the pattern is in the Alon class, making the §5.2 bound
+    /// applicable.
+    pub fn pattern_is_alon(&self) -> bool {
+        is_alon_class(&self.pattern)
+    }
+
+    /// `|I| = (n 2)`.
+    pub fn closed_form_inputs(&self) -> u64 {
+        let n = self.n as u64;
+        n * (n - 1) / 2
+    }
+
+    /// The §5.2 recipe: `g(q) = q^{s/2}`, `|O| = Θ(n^s)` (we use the exact
+    /// instance count on the complete graph).
+    pub fn recipe(&self) -> LowerBoundRecipe {
+        let s = self.s() as f64;
+        let outputs = subgraph::instances(&self.pattern, &Graph::complete(self.n as usize));
+        LowerBoundRecipe::new(
+            move |q| q.powf(s / 2.0),
+            self.closed_form_inputs() as f64,
+            outputs as f64,
+        )
+    }
+}
+
+/// §5.2: lower bound in nodes, `r = Ω((n/√q)^{s−2})`.
+pub fn lower_bound_nodes(n: u32, s: usize, q: f64) -> f64 {
+    (n as f64 / q.sqrt()).powi(s as i32 - 2)
+}
+
+/// §5.3: lower bound in edges, `r = Ω((√(m/q))^{s−2})`.
+pub fn lower_bound_edges(m: u64, s: usize, q: f64) -> f64 {
+    (m as f64 / q).sqrt().powi(s as i32 - 2)
+}
+
+impl Problem for SampleGraphProblem {
+    type Input = (u32, u32);
+    type Output = Vec<(u32, u32)>;
+
+    fn inputs(&self) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        for u in 0..self.n {
+            for w in (u + 1)..self.n {
+                v.push((u, w));
+            }
+        }
+        v
+    }
+
+    fn outputs(&self) -> Vec<Vec<(u32, u32)>> {
+        // Enumerate instances of the pattern in the complete graph via the
+        // serial baseline, emitting each instance's edge set.
+        enumerate_instances(&self.pattern, &Graph::complete(self.n as usize))
+    }
+
+    fn inputs_of(&self, output: &Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        output.clone()
+    }
+}
+
+/// Enumerates instances of `pattern` in `g` as canonical (sorted,
+/// deduplicated) edge lists.
+pub fn enumerate_instances(pattern: &Graph, g: &Graph) -> Vec<Vec<(u32, u32)>> {
+    let s = pattern.num_nodes();
+    let mut out: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut assignment: Vec<Option<u32>> = vec![None; s];
+    let mut used = vec![false; g.num_nodes()];
+    fn recurse(
+        pattern: &Graph,
+        g: &Graph,
+        pos: usize,
+        assignment: &mut Vec<Option<u32>>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<(u32, u32)>>,
+    ) {
+        if pos == pattern.num_nodes() {
+            let mut edges: Vec<(u32, u32)> = pattern
+                .edges()
+                .iter()
+                .map(|e| {
+                    let a = assignment[e.u as usize].expect("assigned");
+                    let b = assignment[e.v as usize].expect("assigned");
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            edges.sort_unstable();
+            out.push(edges);
+            return;
+        }
+        'cand: for c in 0..g.num_nodes() as u32 {
+            if used[c as usize] {
+                continue;
+            }
+            for &p in pattern.neighbors(pos as u32) {
+                if (p as usize) < pos {
+                    let img = assignment[p as usize].expect("assigned earlier");
+                    if !g.has_edge(img, c) {
+                        continue 'cand;
+                    }
+                }
+            }
+            assignment[pos] = Some(c);
+            used[c as usize] = true;
+            recurse(pattern, g, pos + 1, assignment, used, out);
+            used[c as usize] = false;
+            assignment[pos] = None;
+        }
+    }
+    recurse(pattern, g, 0, &mut assignment, &mut used, &mut out);
+    // The backtracking enumerates injective homomorphisms; collapse the
+    // |Aut(pattern)| copies of each instance.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The generalised node-partition schema: reducers are unordered multisets
+/// of `s` groups out of `k`; an edge goes to every multiset containing
+/// both endpoint groups.
+#[derive(Debug, Clone)]
+pub struct MultisetPartitionSchema {
+    /// Number of data nodes.
+    pub n: u32,
+    /// Number of node groups.
+    pub k: u32,
+    /// Pattern size `s` (multiset arity).
+    pub s: usize,
+    pattern: Graph,
+}
+
+impl MultisetPartitionSchema {
+    /// Creates the schema for a given pattern.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the pattern has fewer than 2 nodes.
+    pub fn new(pattern: Graph, n: u32, k: u32) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(pattern.num_nodes() >= 2, "pattern too small");
+        MultisetPartitionSchema {
+            n,
+            k,
+            s: pattern.num_nodes(),
+            pattern,
+        }
+    }
+
+    /// Group of a node.
+    pub fn group(&self, u: u32) -> u32 {
+        u % self.k
+    }
+
+    /// Encodes a sorted multiset of groups as a reducer id (base-`k`
+    /// digits).
+    fn encode(&self, sorted: &[u32]) -> ReducerId {
+        sorted
+            .iter()
+            .fold(0u64, |acc, &g| acc * self.k as u64 + g as u64)
+    }
+
+    /// Decodes a reducer id to its sorted group multiset.
+    pub fn decode(&self, id: ReducerId) -> Vec<u32> {
+        let k = self.k as u64;
+        let mut digits = vec![0u32; self.s];
+        let mut rest = id;
+        for slot in digits.iter_mut().rev() {
+            *slot = (rest % k) as u32;
+            rest /= k;
+        }
+        digits
+    }
+
+    /// All sorted multisets of size `s-2` over `0..k` (the "other groups"
+    /// an edge is combined with).
+    fn fill_multisets(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut cur = Vec::new();
+        fn rec(k: u32, remaining: usize, start: u32, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if remaining == 0 {
+                out.push(cur.clone());
+                return;
+            }
+            for g in start..k {
+                cur.push(g);
+                rec(k, remaining - 1, g, cur, out);
+                cur.pop();
+            }
+        }
+        rec(self.k, self.s - 2, 0, &mut cur, &mut out);
+        out
+    }
+
+    fn edge_reducers(&self, u: u32, v: u32) -> Vec<ReducerId> {
+        let (gu, gv) = (self.group(u), self.group(v));
+        let mut ids: Vec<ReducerId> = self
+            .fill_multisets()
+            .iter()
+            .map(|fill| {
+                let mut ms = fill.clone();
+                ms.push(gu);
+                ms.push(gv);
+                ms.sort_unstable();
+                self.encode(&ms)
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The idealised replication rate: an edge with distinct endpoint
+    /// groups joins `C(k+s-3, s-2)` multisets — `Θ(k^{s−2}/(s−2)!)`.
+    pub fn approx_replication(&self) -> f64 {
+        // Multisets of size s-2 over k symbols.
+        let (k, s) = (self.k as u64, self.s as u64);
+        crate::recipe::binomial(k + s - 3, s - 2) as f64
+    }
+}
+
+impl MappingSchema<SampleGraphProblem> for MultisetPartitionSchema {
+    fn assign(&self, input: &(u32, u32)) -> Vec<ReducerId> {
+        self.edge_reducers(input.0, input.1)
+    }
+
+    fn max_inputs_per_reducer(&self) -> u64 {
+        // A reducer holds all edges whose endpoint groups fall inside its
+        // multiset: at most C(s·⌈n/k⌉, 2).
+        let span = self.s as u64 * self.n.div_ceil(self.k) as u64;
+        span * (span - 1) / 2
+    }
+
+    fn name(&self) -> String {
+        format!("multiset-partition(n={}, k={}, s={})", self.n, self.k, self.s)
+    }
+}
+
+/// Running the schema on a real data graph: each reducer enumerates the
+/// pattern instances among its local edges and emits those it owns (the
+/// instance's sorted group multiset equals the reducer's).
+impl SchemaJob<Edge, Vec<(u32, u32)>> for MultisetPartitionSchema {
+    fn assign(&self, input: &Edge) -> Vec<ReducerId> {
+        self.edge_reducers(input.u, input.v)
+    }
+
+    fn reduce(&self, reducer: ReducerId, inputs: &[Edge], emit: &mut dyn FnMut(Vec<(u32, u32)>)) {
+        // Build a local graph on the original node ids.
+        let mut local = Graph::new(self.n as usize);
+        for e in inputs {
+            local.add_edge(e.u, e.v);
+        }
+        local.finish();
+        for inst in enumerate_instances(&self.pattern, &local) {
+            // Owning reducer: the sorted multiset of the instance's node
+            // groups.
+            let mut nodes: Vec<u32> = inst.iter().flat_map(|&(a, b)| [a, b]).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let mut gs: Vec<u32> = nodes.iter().map(|&u| self.group(u)).collect();
+            gs.sort_unstable();
+            if self.encode(&gs) == reducer {
+                emit(inst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate_schema;
+    use mr_graph::{gen, patterns};
+    use mr_sim::{run_schema, EngineConfig};
+
+    #[test]
+    fn problem_counts_for_triangle_pattern() {
+        let p = SampleGraphProblem::new(patterns::triangle(), 6);
+        assert_eq!(p.num_inputs(), 15);
+        assert_eq!(p.num_outputs(), 20); // C(6,3)
+        assert!(p.pattern_is_alon());
+    }
+
+    #[test]
+    fn instances_have_correct_edge_counts() {
+        let p = SampleGraphProblem::new(patterns::cycle(4), 6);
+        for inst in p.outputs() {
+            assert_eq!(inst.len(), 4, "C4 instance must have 4 edges");
+        }
+        // 3·C(6,4) distinct 4-cycles.
+        assert_eq!(p.num_outputs(), 45);
+    }
+
+    #[test]
+    fn two_path_pattern_is_not_alon() {
+        let p = SampleGraphProblem::new(patterns::two_path(), 5);
+        assert!(!p.pattern_is_alon());
+    }
+
+    #[test]
+    fn schema_valid_for_c4_and_k4() {
+        for pattern in [patterns::cycle(4), patterns::clique(4)] {
+            let n = 8;
+            let problem = SampleGraphProblem::new(pattern.clone(), n);
+            for k in [1u32, 2, 3] {
+                let s = MultisetPartitionSchema::new(pattern.clone(), n, k);
+                let report = validate_schema(&problem, &s);
+                assert!(report.is_valid(), "k={k}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schema_reduces_to_triangle_schema_for_k3_pattern() {
+        let n = 10;
+        let problem = SampleGraphProblem::new(patterns::triangle(), n);
+        let s = MultisetPartitionSchema::new(patterns::triangle(), n, 3);
+        let report = validate_schema(&problem, &s);
+        assert!(report.is_valid());
+        // Triangle: s=2+1, fill multisets of size 1 → ≤ k reducers/edge.
+        assert!(report.replication_rate <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn replication_grows_like_k_to_s_minus_2() {
+        let n = 24;
+        let pattern = patterns::cycle(4); // s = 4
+        let problem = SampleGraphProblem::new(pattern.clone(), n);
+        let mut prev = 0.0;
+        for k in [2u32, 3, 4] {
+            let s = MultisetPartitionSchema::new(pattern.clone(), n, k);
+            let report = validate_schema(&problem, &s);
+            assert!(report.is_valid(), "k={k}");
+            assert!(report.replication_rate > prev, "k={k} should increase r");
+            prev = report.replication_rate;
+            // Within a constant of C(k+1, 2) (multisets of size 2 over k).
+            let ideal = s.approx_replication();
+            assert!(
+                report.replication_rate <= ideal + 1e-9,
+                "k={k}: r={} ideal={ideal}",
+                report.replication_rate
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_finds_all_c4_instances() {
+        let g = gen::gnm(20, 60, 5);
+        let pattern = patterns::cycle(4);
+        let schema = MultisetPartitionSchema::new(pattern.clone(), 20, 3);
+        let (mut found, _) = run_schema(g.edges(), &schema, &EngineConfig::sequential()).unwrap();
+        found.sort_unstable();
+        found.dedup();
+        let expected = enumerate_instances(&pattern, &g);
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn no_duplicate_emissions() {
+        let g = gen::gnm(16, 50, 9);
+        let pattern = patterns::triangle();
+        let schema = MultisetPartitionSchema::new(pattern.clone(), 16, 4);
+        let (found, _) = run_schema(g.edges(), &schema, &EngineConfig::sequential()).unwrap();
+        let mut sorted = found.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(found.len(), sorted.len(), "duplicate instances emitted");
+    }
+
+    #[test]
+    fn lower_bound_formulas() {
+        // s = 3 reduces to the triangle bound shape n/√q.
+        assert!((lower_bound_nodes(100, 3, 25.0) - 20.0).abs() < 1e-9);
+        // s = 4, edges form: (√(m/q))².
+        assert!((lower_bound_edges(1000, 4, 10.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recipe_bound_matches_formula_shape() {
+        let n = 12;
+        let p = SampleGraphProblem::new(patterns::triangle(), n);
+        let recipe = p.recipe();
+        // For triangles the generic q^{s/2} recipe must be within a
+        // constant of the §4.1 bound n/√(2q).
+        for q in [6.0, 15.0, 30.0] {
+            let generic = recipe.replication_lower_bound(q);
+            let specific = crate::problems::triangle::lower_bound_r(n, q);
+            let ratio = generic / specific;
+            assert!(
+                (0.1..=2.0).contains(&ratio),
+                "q={q}: generic {generic} vs specific {specific}"
+            );
+        }
+    }
+}

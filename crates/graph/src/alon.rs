@@ -1,0 +1,302 @@
+//! Membership test for the *Alon class* of sample graphs (§5.1).
+//!
+//! A sample graph is in the Alon class when its node set can be partitioned
+//! into disjoint subsets such that the subgraph induced by each subset
+//! either (1) is a single edge between two nodes, or (2) contains an
+//! odd-length Hamiltonian cycle. For graphs in this class, Alon's theorem
+//! bounds the number of instances in an `m`-edge data graph by `O(m^{s/2})`,
+//! which is the `g(q) = q^{s/2}` the paper's lower-bound recipe uses (§5.2).
+//!
+//! Sample graphs are tiny (≤ ~16 nodes), so exact bitmask search is
+//! appropriate: we enumerate submask partitions with memoisation, checking
+//! Hamiltonicity by bitmask DP.
+
+use crate::graph::Graph;
+use std::collections::HashMap;
+
+/// Checks whether the subgraph of `g` induced by the nodes in `mask` has a
+/// Hamiltonian cycle (visiting every node of `mask` exactly once).
+///
+/// Runs the Held–Karp reachability DP; fine for ≤ 20 nodes.
+fn induced_has_hamiltonian_cycle(g: &Graph, mask: u32) -> bool {
+    let nodes: Vec<u32> = (0..g.num_nodes() as u32)
+        .filter(|&v| mask & (1 << v) != 0)
+        .collect();
+    let k = nodes.len();
+    if k < 3 {
+        return false;
+    }
+    let idx_of: HashMap<u32, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // adjacency among local indices
+    let mut adj = vec![0u32; k];
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && g.has_edge(nodes[i], nodes[j]) {
+                adj[i] |= 1 << j;
+            }
+        }
+    }
+    let _ = idx_of;
+    // dp[visited][last] = reachable from node 0, starting at local node 0.
+    let full = (1u32 << k) - 1;
+    let mut dp = vec![vec![false; k]; 1 << k];
+    dp[1][0] = true;
+    for visited in 1u32..=full {
+        if visited & 1 == 0 {
+            continue; // paths must start at node 0
+        }
+        for last in 0..k {
+            if !dp[visited as usize][last] {
+                continue;
+            }
+            let mut nexts = adj[last] & !visited;
+            while nexts != 0 {
+                let nxt = nexts.trailing_zeros() as usize;
+                nexts &= nexts - 1;
+                dp[(visited | (1 << nxt)) as usize][nxt] = true;
+            }
+        }
+    }
+    (0..k).any(|last| dp[full as usize][last] && adj[last] & 1 != 0)
+}
+
+/// Describes one block of an Alon-class decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// Two nodes joined by an edge.
+    SingleEdge(u32, u32),
+    /// A node subset of odd size whose induced subgraph has a Hamiltonian
+    /// cycle (nodes listed in increasing order).
+    OddHamiltonian(Vec<u32>),
+}
+
+impl Block {
+    /// The nodes covered by this block.
+    pub fn nodes(&self) -> Vec<u32> {
+        match self {
+            Block::SingleEdge(a, b) => vec![*a, *b],
+            Block::OddHamiltonian(v) => v.clone(),
+        }
+    }
+}
+
+/// Returns an Alon-class decomposition of `g` if one exists: a partition of
+/// all nodes into [`Block`]s. Returns `None` when `g` is not in the class
+/// (e.g. the even-length path of §5.4).
+///
+/// # Panics
+/// Panics if `g` has more than 20 nodes (sample graphs are small by
+/// definition; the exact search is exponential).
+pub fn alon_decomposition(g: &Graph) -> Option<Vec<Block>> {
+    let n = g.num_nodes();
+    assert!(n <= 20, "Alon-class search capped at 20 nodes");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+
+    // Precompute, for every submask, whether it qualifies as a block.
+    // Qualifying blocks: size 2 with the edge present, or odd size >= 3
+    // with an induced Hamiltonian cycle.
+    let mut memo: HashMap<u32, Option<Vec<Block>>> = HashMap::new();
+
+    fn solve(
+        g: &Graph,
+        mask: u32,
+        memo: &mut HashMap<u32, Option<Vec<Block>>>,
+    ) -> Option<Vec<Block>> {
+        if mask == 0 {
+            return Some(Vec::new());
+        }
+        if let Some(cached) = memo.get(&mask) {
+            return cached.clone();
+        }
+        let lowest = mask.trailing_zeros();
+        let rest = mask & !(1 << lowest);
+
+        // Case 1: pair the lowest node with another adjacent node.
+        let mut candidates = rest;
+        while candidates != 0 {
+            let other = candidates.trailing_zeros();
+            candidates &= candidates - 1;
+            if g.has_edge(lowest, other) {
+                let remaining = mask & !(1 << lowest) & !(1 << other);
+                if let Some(mut blocks) = solve(g, remaining, memo) {
+                    blocks.push(Block::SingleEdge(lowest, other));
+                    memo.insert(mask, Some(blocks.clone()));
+                    return Some(blocks);
+                }
+            }
+        }
+
+        // Case 2: an odd-size (>= 3) submask containing the lowest node
+        // whose induced subgraph is Hamiltonian.
+        // Enumerate submasks of `rest` and add the lowest bit.
+        let mut sub = rest;
+        loop {
+            let block_mask = sub | (1 << lowest);
+            let size = block_mask.count_ones();
+            if size >= 3 && size % 2 == 1 && induced_has_hamiltonian_cycle(g, block_mask) {
+                let remaining = mask & !block_mask;
+                if let Some(mut blocks) = solve(g, remaining, memo) {
+                    let nodes: Vec<u32> = (0..32).filter(|&v| block_mask & (1 << v) != 0).collect();
+                    blocks.push(Block::OddHamiltonian(nodes));
+                    memo.insert(mask, Some(blocks.clone()));
+                    return Some(blocks);
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+
+        memo.insert(mask, None);
+        None
+    }
+
+    solve(g, full, &mut memo)
+}
+
+/// True iff `g` is in the Alon class (§5.1).
+pub fn is_alon_class(g: &Graph) -> bool {
+    alon_decomposition(g).is_some()
+}
+
+/// Validates that `blocks` really is an Alon decomposition of `g`:
+/// the blocks partition the node set and each block qualifies.
+pub fn verify_decomposition(g: &Graph, blocks: &[Block]) -> bool {
+    let mut covered = vec![false; g.num_nodes()];
+    for b in blocks {
+        match b {
+            Block::SingleEdge(a, x) => {
+                if !g.has_edge(*a, *x) {
+                    return false;
+                }
+                for v in [*a, *x] {
+                    if covered[v as usize] {
+                        return false;
+                    }
+                    covered[v as usize] = true;
+                }
+            }
+            Block::OddHamiltonian(nodes) => {
+                if nodes.len() < 3 || nodes.len() % 2 == 0 {
+                    return false;
+                }
+                let mask: u32 = nodes.iter().map(|&v| 1 << v).fold(0, |a, b| a | b);
+                if !induced_has_hamiltonian_cycle(g, mask) {
+                    return false;
+                }
+                for &v in nodes {
+                    if covered[v as usize] {
+                        return false;
+                    }
+                    covered[v as usize] = true;
+                }
+            }
+        }
+    }
+    covered.iter().all(|&c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn triangle_is_alon() {
+        // The triangle itself is an odd Hamiltonian cycle.
+        let t = patterns::triangle();
+        let d = alon_decomposition(&t).expect("triangle is in the Alon class");
+        assert!(verify_decomposition(&t, &d));
+    }
+
+    #[test]
+    fn every_cycle_is_alon() {
+        for k in 3..=9 {
+            let c = patterns::cycle(k);
+            let d = alon_decomposition(&c)
+                .unwrap_or_else(|| panic!("C_{k} must be in the Alon class"));
+            assert!(verify_decomposition(&c, &d), "bad decomposition for C_{k}");
+        }
+    }
+
+    #[test]
+    fn cliques_are_alon() {
+        for k in 2..=7 {
+            let g = patterns::clique(k);
+            assert!(is_alon_class(&g), "K_{k} must be in the Alon class");
+        }
+    }
+
+    #[test]
+    fn perfect_matchings_are_alon() {
+        for k in 1..=5 {
+            assert!(is_alon_class(&patterns::matching(k)));
+        }
+    }
+
+    #[test]
+    fn odd_paths_are_alon_even_paths_are_not() {
+        // §5.1: odd-length paths decompose into alternating edges;
+        // even-length paths (odd node count, no odd cycle) are not Alon.
+        for e in [1usize, 3, 5, 7] {
+            assert!(is_alon_class(&patterns::path(e)), "path with {e} edges");
+        }
+        for e in [2usize, 4, 6] {
+            assert!(!is_alon_class(&patterns::path(e)), "path with {e} edges");
+        }
+    }
+
+    #[test]
+    fn two_path_is_the_canonical_non_alon_graph() {
+        assert!(!is_alon_class(&patterns::two_path()));
+    }
+
+    #[test]
+    fn stars_with_many_leaves_are_not_alon() {
+        // K_{1,k} for k >= 2 has no perfect matching and no cycles.
+        assert!(is_alon_class(&patterns::star(1))); // single edge
+        for k in 2..=5 {
+            assert!(!is_alon_class(&patterns::star(k)), "star K_1_{k}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_is_not_alon() {
+        let g = Graph::new(1);
+        assert!(!is_alon_class(&g));
+        assert!(is_alon_class(&Graph::new(0))); // vacuous
+    }
+
+    #[test]
+    fn hamiltonian_cycle_detector() {
+        let c5 = patterns::cycle(5);
+        assert!(induced_has_hamiltonian_cycle(&c5, 0b11111));
+        let p4 = patterns::path(3); // 4 nodes, no cycle at all
+        assert!(!induced_has_hamiltonian_cycle(&p4, 0b1111));
+        // K_4 minus one edge still has a Hamiltonian cycle.
+        let mut g = Graph::complete(4);
+        g = {
+            let edges: Vec<(u32, u32)> = g
+                .edges()
+                .iter()
+                .filter(|e| !(e.u == 0 && e.v == 1))
+                .map(|e| (e.u, e.v))
+                .collect();
+            Graph::from_edges(4, edges)
+        };
+        assert!(induced_has_hamiltonian_cycle(&g, 0b1111));
+    }
+
+    #[test]
+    fn decomposition_blocks_partition_nodes() {
+        let c6 = patterns::cycle(6);
+        let d = alon_decomposition(&c6).expect("C_6 is Alon (perfect matching)");
+        let mut all: Vec<u32> = d.iter().flat_map(|b| b.nodes()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Seeded random graph generators.
+//!
+//! The paper's sparse-graph analysis (§4.2, §5.3) assumes the data graph is
+//! `m` edges chosen uniformly at random from the `n(n-1)/2` possible edges —
+//! exactly the Erdős–Rényi `G(n,m)` model implemented here. The power-law
+//! generator exercises the skewed-data caveat of §1.4 (nodes whose degree
+//! exceeds the reducer-size budget `q`).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges uniform over all `(n 2)` pairs.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n * (n - 1) / 2;
+    assert!(
+        m <= possible,
+        "m={m} exceeds the {possible} possible edges on {n} nodes"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // For dense requests, sample by shuffling the full edge universe;
+    // for sparse ones, rejection-sample pairs.
+    if m * 3 >= possible {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(possible);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                all.push((u, v));
+            }
+        }
+        // Partial Fisher-Yates: choose the first m slots.
+        for i in 0..m {
+            let j = rng.random_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        Graph::from_edges(n, all)
+    } else {
+        let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+        while chosen.len() < m {
+            let a = rng.random_range(0..n as u32);
+            let b = rng.random_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            let e = if a < b { (a, b) } else { (b, a) };
+            chosen.insert(e);
+        }
+        Graph::from_edges(n, chosen)
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`: each possible edge present independently with
+/// probability `p`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p={p} must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.random::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g.finish();
+    g
+}
+
+/// A random bipartite graph: parts `0..left` and `left..left+right`, with
+/// `m` distinct cross edges.
+///
+/// # Panics
+/// Panics if `m > left * right`.
+pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> Graph {
+    assert!(
+        m <= left * right,
+        "m={m} exceeds the {} possible cross edges",
+        left * right
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = left + right;
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let a = rng.random_range(0..left as u32);
+        let b = left as u32 + rng.random_range(0..right as u32);
+        chosen.insert((a, b));
+    }
+    Graph::from_edges(n, chosen)
+}
+
+/// Chung–Lu power-law graph: node `i` gets expected weight proportional to
+/// `(i+1)^(-1/(gamma-1))`, and each pair `{u,v}` is an edge with probability
+/// `min(1, w_u w_v / Σw)`.
+///
+/// Produces the heavy-tailed degree sequences that break the uniform-load
+/// assumption in the paper's model (§1.4): hub nodes have degree far above
+/// the reducer budget `q`, which the skew experiment measures.
+///
+/// # Panics
+/// Panics if `gamma <= 1`.
+pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "gamma={gamma} must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = w.iter().sum();
+    // Scale so that the expected total degree is n * avg_degree.
+    let scale = (n as f64 * avg_degree / sum).sqrt();
+    for x in &mut w {
+        *x *= scale;
+    }
+    let total: f64 = w.iter().sum();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (w[u] * w[v] / total).min(1.0);
+            if rng.random::<f64>() < p {
+                g.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    g.finish();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        for &(n, m) in &[(10, 0), (10, 13), (10, 45), (50, 200)] {
+            let g = gnm(n, m, 42);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm(30, 100, 7);
+        let b = gnm(30, 100, 7);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm(30, 100, 8);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnm_dense_path_equals_complete() {
+        let g = gnm(8, 28, 1);
+        assert_eq!(g.num_edges(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_oversized_m() {
+        gnm(5, 11, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(12, 0.0, 3).num_edges(), 0);
+        assert_eq!(gnp(12, 1.0, 3).num_edges(), 66);
+    }
+
+    #[test]
+    fn gnp_density_roughly_matches_p() {
+        let g = gnp(100, 0.3, 9);
+        let possible = 100 * 99 / 2;
+        let density = g.num_edges() as f64 / possible as f64;
+        assert!((density - 0.3).abs() < 0.05, "density {density} too far from 0.3");
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_part_edges() {
+        let g = bipartite(6, 8, 20, 11);
+        assert_eq!(g.num_edges(), 20);
+        for e in g.edges() {
+            assert!(e.u < 6 && e.v >= 6, "edge {e} crosses within a part");
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = power_law(200, 2.2, 4.0, 5);
+        let max = g.max_degree() as f64;
+        let avg = 2.0 * g.num_edges() as f64 / 200.0;
+        assert!(
+            max > 3.0 * avg,
+            "expected a hub: max degree {max} vs average {avg}"
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Undirected simple graph with sorted adjacency lists.
+//!
+//! Nodes are dense `u32` identifiers in `0..n`. Edges are stored both as a
+//! canonical edge list (`u < v`) and as per-node sorted adjacency vectors, so
+//! that edge membership tests are `O(log deg)` and neighbourhood
+//! intersections (the inner loop of triangle enumeration) are linear merges.
+
+use std::fmt;
+
+/// An undirected edge in canonical form (`u < v`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+}
+
+impl Edge {
+    /// Creates a canonical edge from any ordering of the two endpoints.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (self-loops are not representable in a simple
+    /// graph).
+    pub fn new(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "self-loops are not allowed in a simple graph");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Returns the endpoint that is not `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: u32) -> u32 {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// Returns true if `x` is one of the two endpoints.
+    pub fn contains(&self, x: u32) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.u, self.v)
+    }
+}
+
+/// An undirected simple graph on nodes `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<u32>>,
+    /// True while `adj` lists are sorted and deduplicated.
+    sorted: bool,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            sorted: true,
+        }
+    }
+
+    /// Builds a graph from an iterator of `(u, v)` pairs.
+    ///
+    /// Duplicate edges (in either orientation) are collapsed.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n` or a pair is a self-loop.
+    pub fn from_edges<I>(n: usize, it: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut g = Graph::new(n);
+        for (a, b) in it {
+            g.add_edge(a, b);
+        }
+        g.finish();
+        g
+    }
+
+    /// The complete graph `K_n`: all `n(n-1)/2` possible edges.
+    ///
+    /// This is the "all inputs present" instance the paper's lower-bound
+    /// analysis assumes (§2.3).
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g.finish();
+        g
+    }
+
+    /// Adds edge `{a, b}`. Duplicates are removed by the next [`finish`].
+    ///
+    /// [`finish`]: Graph::finish
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge ({a},{b}) out of range for n={}",
+            self.n
+        );
+        let e = Edge::new(a, b);
+        self.edges.push(e);
+        self.adj[e.u as usize].push(e.v);
+        self.adj[e.v as usize].push(e.u);
+        self.sorted = false;
+    }
+
+    /// Sorts adjacency lists and deduplicates parallel edges. Called
+    /// automatically by the `from_*` constructors; call it manually after a
+    /// sequence of [`add_edge`](Graph::add_edge) calls.
+    pub fn finish(&mut self) {
+        if self.sorted {
+            return;
+        }
+        for l in &mut self.adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.sorted = true;
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (deduplicated) edges.
+    ///
+    /// # Panics
+    /// Panics if edges were added since the last [`finish`](Graph::finish).
+    pub fn num_edges(&self) -> usize {
+        self.assert_finished();
+        self.edges.len()
+    }
+
+    /// The canonical edge list, sorted.
+    pub fn edges(&self) -> &[Edge] {
+        self.assert_finished();
+        &self.edges
+    }
+
+    /// Sorted neighbours of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        self.assert_finished();
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.assert_finished();
+        self.adj[u as usize].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Edge membership test in `O(log deg)`.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.assert_finished();
+        if a == b {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (s, t) = if self.adj[a as usize].len() <= self.adj[b as usize].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[s as usize].binary_search(&t).is_ok()
+    }
+
+    /// The subgraph induced by `nodes`, with nodes relabelled to
+    /// `0..nodes.len()` in the given order.
+    pub fn induced(&self, nodes: &[u32]) -> Graph {
+        self.assert_finished();
+        let mut g = Graph::new(nodes.len());
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate().skip(i + 1) {
+                if self.has_edge(a, b) {
+                    g.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        g.finish();
+        g
+    }
+
+    /// True if every node can reach every other node (vacuously true for
+    /// graphs with fewer than two nodes).
+    pub fn is_connected(&self) -> bool {
+        self.assert_finished();
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    fn assert_finished(&self) {
+        assert!(
+            self.sorted,
+            "Graph::finish() must be called after add_edge() before queries"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalizes() {
+        assert_eq!(Edge::new(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::new(2, 5).u, 2);
+        assert_eq!(Edge::new(2, 5).v, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        Edge::new(3, 3);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(1, 4);
+        assert_eq!(e.other(1), 4);
+        assert_eq!(e.other(4), 1);
+        assert!(e.contains(1) && e.contains(4) && !e.contains(2));
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert!(g.is_connected());
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(g.has_edge(u, v), u != v);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        // Path 0-1-2-3 plus chord 0-2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let sub = g.induced(&[0, 1, 2]);
+        assert_eq!(sub.num_edges(), 3); // triangle
+        let sub2 = g.induced(&[0, 3]);
+        assert_eq!(sub2.num_edges(), 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let g2 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(g2.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(5);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_connected());
+    }
+}

@@ -1,0 +1,132 @@
+//! Data graphs with labeled edges.
+//!
+//! §5.5 views a multiway join of binary relations as searching for sample
+//! graphs in a data graph whose edges carry *labels* (the relation names).
+//! [`LabeledGraph`] is that view: a multigraph where each edge is a
+//! `(u, v, label)` triple and parallel edges with different labels may
+//! coexist.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// A labeled edge: endpoints are *ordered* (relations are over ordered
+/// attribute pairs), and `label` identifies the relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabeledEdge {
+    /// Source node (first attribute value).
+    pub u: u32,
+    /// Target node (second attribute value).
+    pub v: u32,
+    /// Relation identifier.
+    pub label: u32,
+}
+
+/// A directed multigraph with labeled edges over nodes `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledGraph {
+    n: usize,
+    edges: Vec<LabeledEdge>,
+}
+
+impl LabeledGraph {
+    /// Creates an empty labeled graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LabeledGraph { n, edges: Vec::new() }
+    }
+
+    /// Adds edge `(u, v)` with `label`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32, label: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        self.edges.push(LabeledEdge { u, v, label });
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[LabeledEdge] {
+        &self.edges
+    }
+
+    /// Edges carrying a particular label (one relation's tuples).
+    pub fn edges_with_label(&self, label: u32) -> impl Iterator<Item = &LabeledEdge> {
+        self.edges.iter().filter(move |e| e.label == label)
+    }
+
+    /// Generates a random database for an `N`-relation query over a domain
+    /// of `n` values: each relation gets `tuples_per_rel` distinct random
+    /// ordered pairs.
+    pub fn random_database(
+        n: usize,
+        num_relations: usize,
+        tuples_per_rel: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            tuples_per_rel <= n * n,
+            "cannot place {tuples_per_rel} distinct pairs in a {n}x{n} domain"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = LabeledGraph::new(n);
+        for label in 0..num_relations as u32 {
+            let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(tuples_per_rel);
+            while chosen.len() < tuples_per_rel {
+                let a = rng.random_range(0..n as u32);
+                let b = rng.random_range(0..n as u32);
+                chosen.insert((a, b));
+            }
+            // Sort for determinism: HashSet iteration order varies between
+            // instances even with identical contents.
+            let mut tuples: Vec<(u32, u32)> = chosen.into_iter().collect();
+            tuples.sort_unstable();
+            for (a, b) in tuples {
+                g.add_edge(a, b, label);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_separate_relations() {
+        let mut g = LabeledGraph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(0, 1, 1); // parallel edge, different relation
+        g.add_edge(2, 3, 0);
+        assert_eq!(g.edges().len(), 3);
+        assert_eq!(g.edges_with_label(0).count(), 2);
+        assert_eq!(g.edges_with_label(1).count(), 1);
+    }
+
+    #[test]
+    fn random_database_sizes() {
+        let g = LabeledGraph::random_database(10, 3, 25, 9);
+        for label in 0..3 {
+            assert_eq!(g.edges_with_label(label).count(), 25);
+        }
+        // Determinism.
+        let g2 = LabeledGraph::random_database(10, 3, 25, 9);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = LabeledGraph::new(2);
+        g.add_edge(0, 5, 0);
+    }
+}

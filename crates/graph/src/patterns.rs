@@ -1,0 +1,95 @@
+//! Constructors for the small *sample graphs* the paper searches for in a
+//! larger data graph (§4, §5): triangles, longer cycles, cliques, paths,
+//! stars, and perfect matchings.
+
+use crate::graph::Graph;
+
+/// The triangle `K_3` (§4, Example 2.2).
+pub fn triangle() -> Graph {
+    clique(3)
+}
+
+/// The cycle `C_k` on `k >= 3` nodes. Every cycle is in the Alon class
+/// (§5.1).
+///
+/// # Panics
+/// Panics if `k < 3`.
+pub fn cycle(k: usize) -> Graph {
+    assert!(k >= 3, "a cycle needs at least 3 nodes");
+    Graph::from_edges(
+        k,
+        (0..k).map(|i| (i as u32, ((i + 1) % k) as u32)),
+    )
+}
+
+/// The complete graph `K_k`. Every complete graph is in the Alon class
+/// (§5.1).
+pub fn clique(k: usize) -> Graph {
+    Graph::complete(k)
+}
+
+/// The path with `e` edges (so `e + 1` nodes). Odd-length paths are in the
+/// Alon class; even-length paths (like the 2-path of §5.4) are not.
+pub fn path(e: usize) -> Graph {
+    Graph::from_edges(e + 1, (0..e).map(|i| (i as u32, (i + 1) as u32)))
+}
+
+/// The 2-path (path with two edges), the simplest non-Alon sample graph
+/// (§5.4).
+pub fn two_path() -> Graph {
+    path(2)
+}
+
+/// The star `K_{1,k}`: a centre node 0 connected to `k` leaves.
+pub fn star(k: usize) -> Graph {
+    Graph::from_edges(k + 1, (1..=k).map(|i| (0u32, i as u32)))
+}
+
+/// A perfect matching on `2k` nodes: edges `(0,1), (2,3), ...`. Graphs with
+/// a perfect matching are in the Alon class (§5.1).
+pub fn matching(k: usize) -> Graph {
+    Graph::from_edges(2 * k, (0..k).map(|i| ((2 * i) as u32, (2 * i + 1) as u32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_k3() {
+        let t = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let c = cycle(5);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.num_edges(), 5);
+        for u in 0..5u32 {
+            assert_eq!(c.degree(u), 2);
+        }
+        assert!(c.is_connected());
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path(2);
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.num_edges(), 2);
+        assert_eq!(p.degree(1), 2);
+        let s = star(4);
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(1), 1);
+    }
+
+    #[test]
+    fn matching_is_disjoint_edges() {
+        let m = matching(3);
+        assert_eq!(m.num_nodes(), 6);
+        assert_eq!(m.num_edges(), 3);
+        assert_eq!(m.max_degree(), 1);
+    }
+}

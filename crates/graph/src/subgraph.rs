@@ -1,0 +1,284 @@
+//! Serial subgraph-enumeration baselines.
+//!
+//! These exact, single-machine algorithms define *ground truth* for the
+//! distributed mapping schemas in `mr-core`: a schema is correct iff the set
+//! of outputs produced across all reducers equals the set enumerated here.
+//!
+//! * triangles — merge-intersection over adjacency lists,
+//! * 2-paths — per-middle-node pair enumeration (§5.4),
+//! * general sample graphs — backtracking subgraph-isomorphism counting,
+//!   with automorphism correction so each *instance* (node set + edge
+//!   mapping) is counted once, matching the paper's notion of an output.
+
+use crate::graph::Graph;
+
+/// Enumerates all triangles `{u, v, w}` with `u < v < w`.
+pub fn triangles(g: &Graph) -> Vec<[u32; 3]> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        let (u, v) = (e.u, e.v);
+        // Intersect neighbour lists, keeping only w > v to canonicalise.
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        out.push([u, v, nu[i]]);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of triangles, without materialising them.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for e in g.edges() {
+        let (u, v) = (e.u, e.v);
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Enumerates all 2-paths `v - u - w` as `(middle, end1, end2)` with
+/// `end1 < end2` (§5.4: a set of three nodes forms up to three distinct
+/// 2-paths, one per choice of middle node).
+pub fn two_paths(g: &Graph) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    for u in 0..g.num_nodes() as u32 {
+        let nb = g.neighbors(u);
+        for i in 0..nb.len() {
+            for j in (i + 1)..nb.len() {
+                out.push((u, nb[i], nb[j]));
+            }
+        }
+    }
+    out
+}
+
+/// Number of 2-paths: `Σ_u C(deg(u), 2)`.
+pub fn two_path_count(g: &Graph) -> u64 {
+    (0..g.num_nodes() as u32)
+        .map(|u| {
+            let d = g.degree(u) as u64;
+            // C(d, 2), zero for isolated and degree-1 nodes.
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Counts the number of *injective homomorphisms* from `pattern` into `g`:
+/// injective node maps under which every pattern edge lands on a data edge.
+/// (The data graph may have extra edges among the mapped nodes; instances
+/// are not required to be induced, matching the paper's outputs.)
+pub fn injective_homomorphisms(pattern: &Graph, g: &Graph) -> u64 {
+    let s = pattern.num_nodes();
+    if s == 0 {
+        return 1;
+    }
+    if s > g.num_nodes() {
+        return 0;
+    }
+    // Order pattern nodes so each (after the first) connects backwards when
+    // possible; plain 0..s order is fine for the small patterns we use.
+    let mut assignment: Vec<Option<u32>> = vec![None; s];
+    let mut used = vec![false; g.num_nodes()];
+    fn recurse(
+        pattern: &Graph,
+        g: &Graph,
+        pos: usize,
+        assignment: &mut Vec<Option<u32>>,
+        used: &mut Vec<bool>,
+    ) -> u64 {
+        if pos == pattern.num_nodes() {
+            return 1;
+        }
+        let mut total = 0;
+        // Candidate set: if some earlier neighbour is assigned, restrict to
+        // its data-graph neighbours; otherwise all unused nodes.
+        let anchor = pattern.neighbors(pos as u32).iter().find_map(|&p| {
+            if (p as usize) < pos {
+                assignment[p as usize]
+            } else {
+                None
+            }
+        });
+        let candidates: Vec<u32> = match anchor {
+            Some(a) => g.neighbors(a).to_vec(),
+            None => (0..g.num_nodes() as u32).collect(),
+        };
+        'cand: for c in candidates {
+            if used[c as usize] {
+                continue;
+            }
+            for &p in pattern.neighbors(pos as u32) {
+                if (p as usize) < pos {
+                    let img = assignment[p as usize].expect("earlier node assigned");
+                    if !g.has_edge(img, c) {
+                        continue 'cand;
+                    }
+                }
+            }
+            assignment[pos] = Some(c);
+            used[c as usize] = true;
+            total += recurse(pattern, g, pos + 1, assignment, used);
+            used[c as usize] = false;
+            assignment[pos] = None;
+        }
+        total
+    }
+    recurse(pattern, g, 0, &mut assignment, &mut used)
+}
+
+/// Number of automorphisms of a small pattern graph (brute force over all
+/// permutations; patterns in this codebase have at most ~8 nodes).
+///
+/// # Panics
+/// Panics if the pattern has more than 10 nodes (10! permutations is the
+/// sanity cap for brute force).
+pub fn automorphisms(pattern: &Graph) -> u64 {
+    let s = pattern.num_nodes();
+    assert!(s <= 10, "automorphism brute force capped at 10 nodes");
+    let mut perm: Vec<u32> = (0..s as u32).collect();
+    let mut count = 0u64;
+    // Heap's algorithm over all permutations.
+    fn is_automorphism(pattern: &Graph, perm: &[u32]) -> bool {
+        pattern
+            .edges()
+            .iter()
+            .all(|e| pattern.has_edge(perm[e.u as usize], perm[e.v as usize]))
+    }
+    fn heap(pattern: &Graph, k: usize, perm: &mut Vec<u32>, count: &mut u64) {
+        if k == 1 {
+            if is_automorphism(pattern, perm) {
+                *count += 1;
+            }
+            return;
+        }
+        for i in 0..k {
+            heap(pattern, k - 1, perm, count);
+            if k.is_multiple_of(2) {
+                perm.swap(i, k - 1);
+            } else {
+                perm.swap(0, k - 1);
+            }
+        }
+    }
+    heap(pattern, s, &mut perm, &mut count);
+    count
+}
+
+/// Counts *instances* of `pattern` in `g`: injective homomorphisms divided
+/// by the pattern's automorphism count. This matches the paper's outputs —
+/// e.g. each triangle `{u,v,w}` counts once, not 6 times.
+pub fn instances(pattern: &Graph, g: &Graph) -> u64 {
+    let homs = injective_homomorphisms(pattern, g);
+    let auts = automorphisms(pattern);
+    debug_assert_eq!(homs % auts, 0, "homomorphism count must divide evenly");
+    homs / auts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::patterns;
+
+    /// `K_n` has `C(n,3)` triangles.
+    #[test]
+    fn triangles_in_complete_graph() {
+        let g = Graph::complete(7);
+        assert_eq!(triangle_count(&g), 35);
+        assert_eq!(triangles(&g).len(), 35);
+    }
+
+    #[test]
+    fn triangles_canonical_and_distinct() {
+        let g = gen::gnm(20, 100, 3);
+        let ts = triangles(&g);
+        let mut seen = std::collections::HashSet::new();
+        for t in &ts {
+            assert!(t[0] < t[1] && t[1] < t[2], "triple {t:?} not canonical");
+            assert!(g.has_edge(t[0], t[1]) && g.has_edge(t[1], t[2]) && g.has_edge(t[0], t[2]));
+            assert!(seen.insert(*t), "duplicate triangle {t:?}");
+        }
+    }
+
+    #[test]
+    fn no_triangles_in_bipartite() {
+        let g = gen::bipartite(10, 10, 50, 1);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    /// `K_n` has `3·C(n,3)` 2-paths (§5.4.1: each node triple yields 3).
+    #[test]
+    fn two_paths_in_complete_graph() {
+        let g = Graph::complete(6);
+        assert_eq!(two_path_count(&g), 3 * 20);
+        assert_eq!(two_paths(&g).len(), 60);
+    }
+
+    #[test]
+    fn two_path_count_matches_enumeration() {
+        let g = gen::gnm(25, 80, 17);
+        assert_eq!(two_path_count(&g), two_paths(&g).len() as u64);
+    }
+
+    #[test]
+    fn automorphism_counts() {
+        assert_eq!(automorphisms(&patterns::triangle()), 6);
+        assert_eq!(automorphisms(&patterns::cycle(4)), 8);
+        assert_eq!(automorphisms(&patterns::cycle(5)), 10);
+        assert_eq!(automorphisms(&patterns::clique(4)), 24);
+        assert_eq!(automorphisms(&patterns::two_path()), 2);
+        assert_eq!(automorphisms(&patterns::star(3)), 6);
+    }
+
+    #[test]
+    fn instances_agree_with_specialised_counters() {
+        let g = gen::gnm(15, 60, 23);
+        assert_eq!(instances(&patterns::triangle(), &g), triangle_count(&g));
+        assert_eq!(instances(&patterns::two_path(), &g), two_path_count(&g));
+    }
+
+    /// `C(n,4) * 3` four-cycles in `K_n` (3 distinct 4-cycles per node set).
+    #[test]
+    fn four_cycles_in_complete_graph() {
+        let g = Graph::complete(6);
+        let c4 = patterns::cycle(4);
+        assert_eq!(instances(&c4, &g), 15 * 3);
+    }
+
+    #[test]
+    fn cliques_in_complete_graph() {
+        let g = Graph::complete(7);
+        assert_eq!(instances(&patterns::clique(4), &g), 35); // C(7,4)
+    }
+
+    #[test]
+    fn pattern_larger_than_graph_has_no_instances() {
+        let g = Graph::complete(3);
+        assert_eq!(instances(&patterns::clique(5), &g), 0);
+    }
+}

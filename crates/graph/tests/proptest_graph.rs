@@ -1,0 +1,102 @@
+//! Property tests for the graph substrate.
+
+use mr_graph::alon::{alon_decomposition, verify_decomposition};
+use mr_graph::{gen, patterns, subgraph, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// G(n,m) always delivers exactly m edges, within range, canonical.
+    #[test]
+    fn gnm_shape(n in 4usize..60, density in 0.0f64..1.0, seed in 0u64..10_000) {
+        let possible = n * (n - 1) / 2;
+        let m = (possible as f64 * density) as usize;
+        let g = gen::gnm(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        for e in g.edges() {
+            prop_assert!(e.u < e.v);
+            prop_assert!((e.v as usize) < n);
+        }
+    }
+
+    /// Triangle counting agrees with the generic pattern counter on
+    /// arbitrary graphs.
+    #[test]
+    fn triangle_count_agrees_with_instances(
+        n in 4usize..20,
+        density in 0.0f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let possible = n * (n - 1) / 2;
+        let m = (possible as f64 * density) as usize;
+        let g = gen::gnm(n, m, seed);
+        prop_assert_eq!(
+            subgraph::triangle_count(&g),
+            subgraph::instances(&patterns::triangle(), &g)
+        );
+        prop_assert_eq!(subgraph::triangles(&g).len() as u64, subgraph::triangle_count(&g));
+    }
+
+    /// 2-path counting: formula Σ C(deg,2) equals enumeration length.
+    #[test]
+    fn two_path_formula(n in 4usize..25, density in 0.0f64..0.9, seed in 0u64..10_000) {
+        let possible = n * (n - 1) / 2;
+        let m = (possible as f64 * density) as usize;
+        let g = gen::gnm(n, m, seed);
+        prop_assert_eq!(subgraph::two_path_count(&g), subgraph::two_paths(&g).len() as u64);
+    }
+
+    /// Any decomposition the Alon search returns verifies.
+    #[test]
+    fn alon_decompositions_verify(n in 2usize..9, density in 0.2f64..1.0, seed in 0u64..10_000) {
+        let possible = n * (n - 1) / 2;
+        let m = ((possible as f64 * density) as usize).max(1).min(possible);
+        let g = gen::gnm(n, m, seed);
+        if let Some(blocks) = alon_decomposition(&g) {
+            prop_assert!(verify_decomposition(&g, &blocks));
+            // Blocks partition the node set.
+            let mut nodes: Vec<u32> = blocks.iter().flat_map(|b| b.nodes()).collect();
+            nodes.sort_unstable();
+            let expected: Vec<u32> = (0..n as u32).collect();
+            prop_assert_eq!(nodes, expected);
+        }
+    }
+
+    /// Induced subgraphs never have more edges than the parent graph and
+    /// preserve adjacency.
+    #[test]
+    fn induced_subgraph_adjacency(n in 3usize..15, seed in 0u64..10_000) {
+        let possible = n * (n - 1) / 2;
+        let g = gen::gnm(n, possible / 2, seed);
+        let take = n / 2 + 1;
+        let nodes: Vec<u32> = (0..take as u32).collect();
+        let sub = g.induced(&nodes);
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        for i in 0..take as u32 {
+            for j in (i + 1)..take as u32 {
+                prop_assert_eq!(sub.has_edge(i, j), g.has_edge(nodes[i as usize], nodes[j as usize]));
+            }
+        }
+    }
+
+    /// Graph invariants: handshake lemma and degree bounds.
+    #[test]
+    fn handshake_lemma(n in 2usize..50, density in 0.0f64..1.0, seed in 0u64..10_000) {
+        let possible = n * (n - 1) / 2;
+        let m = (possible as f64 * density) as usize;
+        let g = gen::gnm(n, m, seed);
+        let degree_sum: usize = (0..n as u32).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * m);
+        prop_assert!(g.max_degree() < n);
+    }
+}
+
+/// Non-proptest regression: the Alon search result is stable for the
+/// paper's named examples regardless of node ordering.
+#[test]
+fn alon_membership_is_order_independent() {
+    // Relabel C_5's nodes and check membership is unchanged.
+    let relabeled = Graph::from_edges(5, [(3u32, 1u32), (1, 4), (4, 0), (0, 2), (2, 3)]);
+    assert!(mr_graph::alon::is_alon_class(&relabeled));
+}

@@ -1,0 +1,310 @@
+//! Hypergraphs, fractional edge covers, and the AGM output bound.
+//!
+//! A multiway join `R_1 ⋈ … ⋈ R_s` over variables `A_1 … A_m` corresponds to
+//! a hypergraph `G(q)` whose vertices are the variables and whose edges are
+//! the relation schemas (§5.5). The **optimal fractional edge cover**
+//! assigns a weight `x_e ≥ 0` to every edge so that each vertex is covered
+//! with total weight ≥ 1, minimising `Σ x_e`; its value is the paper's
+//! parameter `ρ`, and Atserias–Grohe–Marx show the join output is at most
+//! `Π_e |R_e|^{x_e}`.
+
+use crate::simplex::{ConstraintOp, LinearProgram, LpError};
+
+/// A hypergraph over vertices `0..num_vertices`; each edge is the set of
+/// vertices (query variables) of one relation schema.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        Hypergraph {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a hypergraph from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge mentions an out-of-range vertex or is empty.
+    pub fn from_edges(num_vertices: usize, edges: Vec<Vec<usize>>) -> Self {
+        let mut h = Hypergraph::new(num_vertices);
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// Adds one hyperedge.
+    ///
+    /// # Panics
+    /// Panics if the edge is empty or mentions an out-of-range vertex.
+    pub fn add_edge(&mut self, mut vertices: Vec<usize>) -> &mut Self {
+        assert!(!vertices.is_empty(), "hyperedges must be non-empty");
+        vertices.sort_unstable();
+        vertices.dedup();
+        for &v in &vertices {
+            assert!(
+                v < self.num_vertices,
+                "vertex {v} out of range (num_vertices={})",
+                self.num_vertices
+            );
+        }
+        self.edges.push(vertices);
+        self
+    }
+
+    /// Number of vertices (query variables, the paper's `m`).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges (relational atoms, the paper's `s`).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The vertex sets of the edges.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// The **chain-join** hypergraph: `N` binary edges
+    /// `{0,1}, {1,2}, …, {N-1,N}` over `N+1` vertices (§5.5.2).
+    pub fn chain(num_relations: usize) -> Self {
+        Hypergraph::from_edges(
+            num_relations + 1,
+            (0..num_relations).map(|i| vec![i, i + 1]).collect(),
+        )
+    }
+
+    /// The **cycle** hypergraph: `k` binary edges around `k` vertices
+    /// (the triangle is `cycle(3)`).
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3, "a cycle needs at least 3 vertices");
+        Hypergraph::from_edges(k, (0..k).map(|i| vec![i, (i + 1) % k]).collect())
+    }
+
+    /// The **clique** hypergraph: all `(k 2)` binary edges on `k` vertices.
+    pub fn clique(k: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push(vec![i, j]);
+            }
+        }
+        Hypergraph::from_edges(k, edges)
+    }
+
+    /// The **star-join** hypergraph (§5.5.2): a fact edge over all
+    /// `N` dimension-shared attributes plus, per dimension table `i`, an
+    /// edge over its shared attribute and `m1` private attributes.
+    ///
+    /// Vertex layout: `0..n_dims` are the fact-shared attributes;
+    /// `n_dims + i*m1 ..` are dimension `i`'s private attributes.
+    pub fn star(n_dims: usize, m1: usize) -> Self {
+        let num_vertices = n_dims + n_dims * m1;
+        let mut h = Hypergraph::new(num_vertices);
+        h.add_edge((0..n_dims).collect()); // fact table
+        for i in 0..n_dims {
+            let mut e = vec![i];
+            for j in 0..m1 {
+                e.push(n_dims + i * m1 + j);
+            }
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// Builds the fractional edge cover LP:
+    /// `min Σ_e x_e` s.t. `Σ_{e ∋ v} x_e ≥ 1` for every vertex `v`, `x ≥ 0`.
+    pub fn edge_cover_lp(&self) -> LinearProgram {
+        let ne = self.edges.len();
+        let mut lp = LinearProgram::minimize(ne, vec![1.0; ne]);
+        for v in 0..self.num_vertices {
+            let coeffs: Vec<f64> = self
+                .edges
+                .iter()
+                .map(|e| if e.binary_search(&v).is_ok() { 1.0 } else { 0.0 })
+                .collect();
+            lp.constrain(coeffs, ConstraintOp::Ge, 1.0);
+        }
+        lp
+    }
+}
+
+/// The optimal fractional edge cover: returns `(ρ, x)` where `ρ = Σ x_e` is
+/// minimal. Fails with [`LpError::Infeasible`] when some vertex belongs to
+/// no edge.
+pub fn fractional_edge_cover(h: &Hypergraph) -> Result<(f64, Vec<f64>), LpError> {
+    let sol = h.edge_cover_lp().solve()?;
+    Ok((sol.value, sol.x))
+}
+
+/// The Atserias–Grohe–Marx bound on the join output size:
+/// `|O| ≤ Π_e |R_e|^{x_e}` for any feasible fractional edge cover `x`.
+///
+/// # Panics
+/// Panics if `sizes.len()` differs from the number of edges in `h`, or the
+/// cover vector length mismatches.
+pub fn agm_bound(h: &Hypergraph, sizes: &[f64], cover: &[f64]) -> f64 {
+    assert_eq!(sizes.len(), h.num_edges(), "one size per relation");
+    assert_eq!(cover.len(), h.num_edges(), "one weight per relation");
+    sizes
+        .iter()
+        .zip(cover)
+        .map(|(&s, &x)| s.powf(x))
+        .product()
+}
+
+/// `g(q) = q^ρ`: the paper's upper bound on the number of join outputs a
+/// reducer with `q` inputs can cover (§5.5.1), obtained by applying the AGM
+/// bound with every relation of size `q`.
+pub fn g_of_q(rho: f64, q: f64) -> f64 {
+    q.powf(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rho(h: &Hypergraph) -> f64 {
+        fractional_edge_cover(h).expect("cover exists").0
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn triangle_rho_is_three_halves() {
+        // Each edge gets weight 1/2; AGM gives the m^{3/2} triangle bound.
+        assert_close(rho(&Hypergraph::cycle(3)), 1.5);
+    }
+
+    #[test]
+    fn cycle_rho_is_half_length() {
+        for k in 3..=8 {
+            assert_close(rho(&Hypergraph::cycle(k)), k as f64 / 2.0);
+        }
+    }
+
+    #[test]
+    fn clique_rho_is_half_vertices() {
+        for k in 2..=6 {
+            assert_close(rho(&Hypergraph::clique(k)), k as f64 / 2.0);
+        }
+    }
+
+    #[test]
+    fn chain_rho_is_ceil_half_vertices() {
+        // Path with N edges over N+1 vertices: ρ = ceil((N+1)/2).
+        // For odd N this is the paper's (N+1)/2 (§5.5.2).
+        for n in 1..=8usize {
+            let expected = (n + 2) / 2; // ceil((n+1)/2)
+            assert_close(rho(&Hypergraph::chain(n)), expected as f64);
+        }
+    }
+
+    #[test]
+    fn star_join_rho() {
+        // Fact edge covers all shared attributes, but each dimension's
+        // private attributes force its own edge to weight 1: ρ = N when
+        // dimensions have private attributes (m1 >= 1). The fact edge is
+        // then already covered by the dimension weights... but shared
+        // attributes are covered by dimension edges too, so ρ = N exactly.
+        for n_dims in 2..=4 {
+            assert_close(rho(&Hypergraph::star(n_dims, 1)), n_dims as f64);
+        }
+        // With no private attributes the fact edge alone covers everything.
+        assert_close(rho(&Hypergraph::star(3, 0)), 1.0);
+    }
+
+    #[test]
+    fn single_edge_rho_is_one() {
+        let h = Hypergraph::from_edges(2, vec![vec![0, 1]]);
+        assert_close(rho(&h), 1.0);
+    }
+
+    #[test]
+    fn isolated_vertex_is_infeasible() {
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1]]);
+        assert_eq!(
+            fractional_edge_cover(&h).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn agm_bound_triangle() {
+        // Triangle with all relations of size m: bound = m^{3/2}.
+        let h = Hypergraph::cycle(3);
+        let (_, x) = fractional_edge_cover(&h).unwrap();
+        let m = 10_000.0f64;
+        assert_close(agm_bound(&h, &[m, m, m], &x), m.powf(1.5));
+    }
+
+    #[test]
+    fn agm_bound_uneven_sizes() {
+        // Two-relation join R(A,B) ⋈ S(B,C): cover weights are 1 and 1, so
+        // bound is |R|·|S|, the trivial cross-product bound.
+        let h = Hypergraph::from_edges(3, vec![vec![0, 1], vec![1, 2]]);
+        let (r, x) = fractional_edge_cover(&h).unwrap();
+        assert_close(r, 2.0);
+        assert_close(agm_bound(&h, &[100.0, 50.0], &x), 5_000.0);
+    }
+
+    #[test]
+    fn g_of_q_matches_power() {
+        assert_close(g_of_q(1.5, 100.0), 1_000.0);
+        assert_close(g_of_q(2.0, 32.0), 1_024.0);
+    }
+
+    #[test]
+    fn duplicate_vertices_in_edge_are_deduped() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(vec![0, 0, 1, 1]);
+        assert_eq!(h.edges()[0], vec![0, 1]);
+        assert_close(rho(&h), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_edge_rejected() {
+        Hypergraph::new(1).add_edge(vec![]);
+    }
+
+    /// Property: the LP cover is feasible and no worse than any greedy
+    /// integral cover.
+    #[test]
+    fn cover_feasibility_and_optimality_samples() {
+        let cases = vec![
+            Hypergraph::chain(4),
+            Hypergraph::cycle(5),
+            Hypergraph::clique(5),
+            Hypergraph::star(3, 2),
+            Hypergraph::from_edges(4, vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]]),
+        ];
+        for h in cases {
+            let (r, x) = fractional_edge_cover(&h).unwrap();
+            // Feasibility.
+            for v in 0..h.num_vertices() {
+                let covered: f64 = h
+                    .edges()
+                    .iter()
+                    .zip(&x)
+                    .filter(|(e, _)| e.contains(&v))
+                    .map(|(_, &xi)| xi)
+                    .sum();
+                assert!(covered >= 1.0 - 1e-6, "vertex {v} uncovered");
+            }
+            // All-ones is feasible, so ρ ≤ number of edges.
+            assert!(r <= h.num_edges() as f64 + 1e-6);
+            assert!(r >= 1.0 - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min cᵀx` subject to a list of linear constraints
+//! (`aᵀx ≤ b`, `aᵀx ≥ b`, or `aᵀx = b`) and `x ≥ 0`.
+//!
+//! The implementation is a textbook tableau method:
+//!
+//! 1. every constraint is converted to an equality by adding a slack
+//!    (`≤`) or subtracting a surplus (`≥`) variable, with rows negated so
+//!    all right-hand sides are non-negative;
+//! 2. phase 1 minimises the sum of artificial variables to find a basic
+//!    feasible solution (infeasible if the optimum is positive);
+//! 3. phase 2 minimises the real objective, with artificial variables
+//!    barred from re-entering the basis.
+//!
+//! Pivoting uses **Bland's rule** (smallest eligible index) in both the
+//! entering and leaving choices, which guarantees termination. The LPs in
+//! this workspace are tiny (edge-cover programs of a handful of variables),
+//! so the `O(m·n)` per-iteration dense pricing is irrelevant to performance.
+
+/// Numerical tolerance for feasibility/optimality tests.
+const EPS: f64 = 1e-9;
+
+/// The sense of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx ≥ b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+/// One linear constraint `coeffs · x <op> rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficient per structural variable (must match
+    /// [`LinearProgram::num_vars`]).
+    pub coeffs: Vec<f64>,
+    /// Constraint sense.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `min objective · x` s.t. `constraints`, `x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Number of structural (decision) variables.
+    pub num_vars: usize,
+    /// Objective coefficients (length `num_vars`).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub value: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl LinearProgram {
+    /// Creates an LP with `num_vars` variables and the given minimisation
+    /// objective.
+    ///
+    /// # Panics
+    /// Panics if `objective.len() != num_vars`.
+    pub fn minimize(num_vars: usize, objective: Vec<f64>) -> Self {
+        assert_eq!(objective.len(), num_vars, "objective length mismatch");
+        LinearProgram {
+            num_vars,
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint length mismatch");
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        self
+    }
+
+    /// Solves the program with two-phase primal simplex.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Internal simplex tableau in canonical form: every basic variable's
+/// column is a unit vector.
+struct Tableau {
+    /// `rows x cols` coefficient matrix; the last column is the RHS.
+    t: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Index of the first artificial variable (columns `>= art_start` and
+    /// `< num_cols` are artificial).
+    art_start: usize,
+    /// Number of variable columns (excluding RHS).
+    num_cols: usize,
+    /// Number of structural variables.
+    n: usize,
+    /// Original objective, padded with zeros over slack/artificial columns.
+    cost: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+        // Count slack/surplus columns (one per Le/Ge row).
+        let num_slack = lp
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        // One artificial per row is sufficient (some could be elided for Le
+        // rows with non-negative rhs, but uniformity keeps the code simple).
+        let num_art = m;
+        let num_cols = n + num_slack + num_art;
+        let art_start = n + num_slack;
+
+        let mut t = vec![vec![0.0; num_cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            // Normalise row so rhs >= 0.
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                t[i][j] = sign * a;
+            }
+            t[i][num_cols] = sign * c.rhs;
+            let effective_op = match (c.op, flip) {
+                (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+                (op, false) => op,
+                (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Ge, true) => ConstraintOp::Le,
+            };
+            match effective_op {
+                ConstraintOp::Le => {
+                    t[i][slack_idx] = 1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    t[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            // Artificial variable, basic in this row.
+            t[i][art_start + i] = 1.0;
+            basis[i] = art_start + i;
+        }
+
+        let mut cost = vec![0.0; num_cols];
+        cost[..n].copy_from_slice(&lp.objective);
+
+        Tableau {
+            t,
+            basis,
+            art_start,
+            num_cols,
+            n,
+            cost,
+        }
+    }
+
+    /// Reduced cost of column `j` under cost vector `c`:
+    /// `r_j = c_j − Σ_i c_{basis[i]} · T[i][j]`.
+    fn reduced_cost(&self, c: &[f64], j: usize) -> f64 {
+        let mut r = c[j];
+        for (i, row) in self.t.iter().enumerate() {
+            let cb = c[self.basis[i]];
+            if cb != 0.0 {
+                r -= cb * row[j];
+            }
+        }
+        r
+    }
+
+    /// Runs simplex to optimality for cost vector `c`.
+    /// `allow` filters which columns may enter the basis.
+    fn optimize(&mut self, c: &[f64], allow: impl Fn(usize) -> bool) -> Result<(), LpError> {
+        loop {
+            // Bland: entering column = smallest index with negative reduced
+            // cost.
+            let entering = (0..self.num_cols)
+                .filter(|&j| allow(j))
+                .find(|&j| self.reduced_cost(c, j) < -EPS);
+            let Some(e) = entering else {
+                return Ok(()); // optimal
+            };
+            // Ratio test, Bland tie-break on basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.t.len() {
+                let a = self.t[i][e];
+                if a > EPS {
+                    let ratio = self.t[i][self.num_cols] / a;
+                    let better = match leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((l, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(l, e);
+        }
+    }
+
+    /// Pivots on `(row, col)`: normalises the pivot row and eliminates the
+    /// column from every other row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.t[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot element too small");
+        for v in &mut self.t[row] {
+            *v /= piv;
+        }
+        let pivot_row = self.t[row].clone();
+        for (i, r) in self.t.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor != 0.0 {
+                for (v, &p) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn solve(mut self) -> Result<LpSolution, LpError> {
+        // Phase 1: minimise the sum of artificials.
+        let mut phase1_cost = vec![0.0; self.num_cols];
+        phase1_cost[self.art_start..].fill(1.0);
+        self.optimize(&phase1_cost, |_| true)?;
+        let phase1_value: f64 = (0..self.t.len())
+            .map(|i| {
+                if self.basis[i] >= self.art_start {
+                    self.t[i][self.num_cols]
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if phase1_value > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any basic artificials (at zero level) out of the basis.
+        for i in 0..self.t.len() {
+            if self.basis[i] >= self.art_start {
+                if let Some(j) = (0..self.art_start).find(|&j| self.t[i][j].abs() > EPS) {
+                    self.pivot(i, j);
+                }
+                // Otherwise the row is redundant (all-zero over real
+                // columns); the artificial stays basic at value 0, which is
+                // harmless for phase 2.
+            }
+        }
+        // Phase 2: minimise the true objective; artificials may not enter.
+        let art_start = self.art_start;
+        let cost = self.cost.clone();
+        self.optimize(&cost, |j| j < art_start)?;
+
+        let mut x = vec![0.0; self.n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n {
+                x[b] = self.t[i][self.num_cols];
+            }
+        }
+        let value = x
+            .iter()
+            .zip(&self.cost[..self.n])
+            .map(|(xi, ci)| xi * ci)
+            .sum();
+        Ok(LpSolution { x, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_one_var() {
+        // min x s.t. x >= 3
+        let mut lp = LinearProgram::minimize(1, vec![1.0]);
+        lp.constrain(vec![1.0], ConstraintOp::Ge, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 3.0);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn two_var_diet_style() {
+        // min 2x + 3y s.t. x + y >= 4, x + 3y >= 6
+        let mut lp = LinearProgram::minimize(2, vec![2.0, 3.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Ge, 4.0);
+        lp.constrain(vec![1.0, 3.0], ConstraintOp::Ge, 6.0);
+        let s = lp.solve().unwrap();
+        // Optimal at intersection x=3, y=1: value 9.
+        assert_close(s.value, 9.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn maximization_via_negation() {
+        // max x + y s.t. x <= 2, y <= 3, x + y <= 4
+        // == min -(x + y); optimum 4.
+        let mut lp = LinearProgram::minimize(2, vec![-1.0, -1.0]);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 2.0);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Le, 3.0);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Le, 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, -4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 5, x <= 3  →  x=3, y=2, value 7.
+        let mut lp = LinearProgram::minimize(2, vec![1.0, 2.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Eq, 5.0);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 7.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 5 and x <= 2 cannot hold.
+        let mut lp = LinearProgram::minimize(1, vec![1.0]);
+        lp.constrain(vec![1.0], ConstraintOp::Ge, 5.0);
+        lp.constrain(vec![1.0], ConstraintOp::Le, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 0 (implicit): unbounded below.
+        let mut lp = LinearProgram::minimize(1, vec![-1.0]);
+        lp.constrain(vec![1.0], ConstraintOp::Ge, 0.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // min x s.t. -x <= -2  (i.e. x >= 2)
+        let mut lp = LinearProgram::minimize(1, vec![1.0]);
+        lp.constrain(vec![-1.0], ConstraintOp::Le, -2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 2.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let mut lp = LinearProgram::minimize(3, vec![-0.75, 150.0, -0.02]);
+        lp.constrain(vec![0.25, -60.0, -0.04], ConstraintOp::Le, 0.0);
+        lp.constrain(vec![0.5, -90.0, -0.02], ConstraintOp::Le, 0.0);
+        lp.constrain(vec![0.0, 0.0, 1.0], ConstraintOp::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(s.value.is_finite());
+    }
+
+    #[test]
+    fn fractional_vertex_solution() {
+        // Triangle edge cover: min x1+x2+x3 with each pair summing >= 1.
+        // Optimum is x = (1/2, 1/2, 1/2), value 3/2 — a fractional vertex.
+        let mut lp = LinearProgram::minimize(3, vec![1.0, 1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0, 0.0], ConstraintOp::Ge, 1.0);
+        lp.constrain(vec![1.0, 0.0, 1.0], ConstraintOp::Ge, 1.0);
+        lp.constrain(vec![0.0, 1.0, 1.0], ConstraintOp::Ge, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 1.5);
+        for xi in &s.x {
+            assert_close(*xi, 0.5);
+        }
+    }
+
+    #[test]
+    fn zero_constraint_lp() {
+        // No constraints: min of a non-negative objective is 0 at origin.
+        let lp = LinearProgram::minimize(2, vec![3.0, 5.0]);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the simplex solver.
+//!
+//! The solver has no external reference implementation in this workspace,
+//! so the properties checked are intrinsic:
+//!
+//! * returned solutions are primal-feasible,
+//! * the optimum never exceeds the objective at independently constructed
+//!   feasible points,
+//! * scaling the objective scales the optimum,
+//! * edge-cover LPs are never unbounded and always within `[1, #edges]`.
+
+use mr_lp::{fractional_edge_cover, ConstraintOp, Hypergraph, LinearProgram};
+use proptest::prelude::*;
+
+/// Generates a random covering-style LP: `min c·x` s.t. `A x ≥ b` with
+/// non-negative `A`, positive row sums, and positive `b` — always feasible
+/// (scale x up) and bounded (c ≥ 0).
+fn covering_lp() -> impl Strategy<Value = LinearProgram> {
+    (2usize..5, 2usize..5).prop_flat_map(|(nvars, nrows)| {
+        let c = proptest::collection::vec(0.1f64..5.0, nvars);
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(0.0f64..3.0, nvars),
+            nrows,
+        );
+        let b = proptest::collection::vec(0.5f64..4.0, nrows);
+        (c, rows, b).prop_filter_map("rows must have a positive entry", |(c, rows, b)| {
+            if rows.iter().any(|r| r.iter().all(|&a| a < 0.2)) {
+                return None;
+            }
+            let mut lp = LinearProgram::minimize(c.len(), c);
+            for (row, rhs) in rows.into_iter().zip(b) {
+                lp.constrain(row, ConstraintOp::Ge, rhs);
+            }
+            Some(lp)
+        })
+    })
+}
+
+fn is_feasible(lp: &LinearProgram, x: &[f64]) -> bool {
+    lp.constraints.iter().all(|c| {
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, xi)| a * xi).sum();
+        match c.op {
+            ConstraintOp::Ge => lhs >= c.rhs - 1e-6,
+            ConstraintOp::Le => lhs <= c.rhs + 1e-6,
+            ConstraintOp::Eq => (lhs - c.rhs).abs() < 1e-6,
+        }
+    }) && x.iter().all(|&xi| xi >= -1e-9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solutions_are_feasible_and_optimal_vs_candidates(lp in covering_lp()) {
+        let sol = lp.solve().expect("covering LPs are feasible and bounded");
+        prop_assert!(is_feasible(&lp, &sol.x), "infeasible solution {:?}", sol.x);
+
+        // Candidate feasible point: set every variable to the max ratio
+        // rhs / row-sum over the rows, times the variable count — a crude
+        // uniform cover. Check the optimum is no worse.
+        let nvars = lp.num_vars;
+        let worst_ratio = lp
+            .constraints
+            .iter()
+            .map(|c| {
+                let s: f64 = c.coeffs.iter().sum();
+                c.rhs / s.max(1e-9)
+            })
+            .fold(0.0f64, f64::max);
+        let uniform = vec![worst_ratio * nvars as f64; nvars];
+        if is_feasible(&lp, &uniform) {
+            let uniform_cost: f64 = lp
+                .objective
+                .iter()
+                .zip(&uniform)
+                .map(|(c, x)| c * x)
+                .sum();
+            prop_assert!(
+                sol.value <= uniform_cost + 1e-6,
+                "optimum {} worse than uniform cover {}",
+                sol.value,
+                uniform_cost
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(lp in covering_lp(), scale in 0.5f64..4.0) {
+        let base = lp.solve().unwrap();
+        let mut scaled = lp.clone();
+        for c in &mut scaled.objective {
+            *c *= scale;
+        }
+        let sol = scaled.solve().unwrap();
+        prop_assert!(
+            (sol.value - scale * base.value).abs() <= 1e-5 * (1.0 + base.value.abs()),
+            "scaled optimum {} vs {}·{}",
+            sol.value,
+            scale,
+            base.value
+        );
+    }
+
+    #[test]
+    fn random_edge_covers_are_sane(
+        num_vertices in 2usize..7,
+        arity_seed in 0u64..500,
+    ) {
+        // Random hypergraph guaranteed to cover all vertices: a loop of
+        // binary edges plus pseudo-random extra hyperedges.
+        let mut edges: Vec<Vec<usize>> =
+            (0..num_vertices).map(|i| vec![i, (i + 1) % num_vertices]).collect();
+        let mut state = arity_seed;
+        for _ in 0..(arity_seed % 4) {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let a = (state as usize) % num_vertices;
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let b = (state as usize) % num_vertices;
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let c = (state as usize) % num_vertices;
+            let mut e = vec![a, b, c];
+            e.sort_unstable();
+            e.dedup();
+            edges.push(e);
+        }
+        let h = Hypergraph::from_edges(num_vertices, edges);
+        let (rho, x) = fractional_edge_cover(&h).unwrap();
+        prop_assert!(rho >= 1.0 - 1e-6);
+        prop_assert!(rho <= h.num_edges() as f64 + 1e-6);
+        prop_assert!(x.iter().all(|&w| (-1e-9..=1.0 + 1e-6).contains(&w)),
+            "cover weights outside [0,1]: {x:?} (weights above 1 are never optimal)");
+    }
+}

@@ -1,0 +1,373 @@
+//! Single-round map-reduce execution.
+//!
+//! [`run_round`] executes map → shuffle → reduce over an input slice and
+//! returns the outputs together with exact [`RoundMetrics`]. Execution is
+//! deterministic regardless of worker count: mapper emissions are gathered
+//! in input order, the shuffle groups values per key preserving that order,
+//! keys are processed in ascending order, and outputs are concatenated in
+//! key order.
+//!
+//! The engine enforces the paper's central constraint when asked: if
+//! [`EngineConfig::max_reducer_inputs`] (the paper's `q`) is set and any
+//! reducer receives more values, the round fails with
+//! [`EngineError::ReducerOverflow`] instead of silently running an
+//! over-budget reducer.
+
+use crate::mapper::{Mapper, Reducer};
+use crate::metrics::{LoadStats, RoundMetrics};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// Engine configuration for one round.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads. `1` runs fully sequentially on the calling
+    /// thread; larger values shard the map and reduce phases with
+    /// `crossbeam` scoped threads. Results are identical either way.
+    pub workers: usize,
+    /// The paper's reducer-size bound `q`: if set, a reducer receiving more
+    /// than this many values aborts the round.
+    pub max_reducer_inputs: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            max_reducer_inputs: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sequential execution, no reducer-size enforcement.
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel execution with `workers` threads.
+    pub fn parallel(workers: usize) -> Self {
+        EngineConfig {
+            workers: workers.max(1),
+            max_reducer_inputs: None,
+        }
+    }
+
+    /// Sets the reducer-size bound `q`.
+    pub fn with_max_reducer_inputs(mut self, q: u64) -> Self {
+        self.max_reducer_inputs = Some(q);
+        self
+    }
+}
+
+/// Failure modes of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A reducer exceeded the configured input budget `q`.
+    ReducerOverflow {
+        /// `Debug` rendering of the offending reduce-key.
+        key: String,
+        /// Number of values that arrived at the key.
+        load: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ReducerOverflow { key, load, limit } => write!(
+                f,
+                "reducer {key} received {load} inputs, exceeding the budget q={limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Executes one map-reduce round.
+///
+/// Returns the reduce outputs (in ascending key order, emission order
+/// within a key) and the round's metrics.
+pub fn run_round<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    let pairs = map_phase(inputs, mapper, config);
+    let kv_pairs = pairs.len() as u64;
+    let groups = shuffle(pairs);
+
+    // Enforce the reducer-size budget before reducing.
+    if let Some(q) = config.max_reducer_inputs {
+        for (k, vs) in &groups {
+            if vs.len() as u64 > q {
+                return Err(EngineError::ReducerOverflow {
+                    key: format!("{k:?}"),
+                    load: vs.len() as u64,
+                    limit: q,
+                });
+            }
+        }
+    }
+
+    let loads: Vec<u64> = groups.values().map(|v| v.len() as u64).collect();
+    let reducers = groups.len() as u64;
+    let outputs = reduce_phase(groups, reducer, config);
+
+    let metrics = RoundMetrics {
+        inputs: inputs.len() as u64,
+        kv_pairs,
+        reducers,
+        outputs: outputs.len() as u64,
+        load: LoadStats::from_loads(loads.clone()),
+        loads: {
+            let mut l = loads;
+            l.sort_unstable();
+            l
+        },
+    };
+    Ok((outputs, metrics))
+}
+
+/// Runs the map phase, returning all emissions in input order.
+fn map_phase<I, K, V>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    config: &EngineConfig,
+) -> Vec<(K, V)>
+where
+    I: Sync,
+    K: Send + Sync,
+    V: Send + Sync,
+{
+    if config.workers <= 1 || inputs.len() < 2 {
+        let mut pairs = Vec::new();
+        for input in inputs {
+            mapper.map(input, &mut |k, v| pairs.push((k, v)));
+        }
+        return pairs;
+    }
+    let workers = config.workers.min(inputs.len());
+    let chunk = inputs.len().div_ceil(workers);
+    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+    let mut results: Vec<Vec<(K, V)>> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move |_| {
+                    let mut pairs = Vec::new();
+                    for input in c {
+                        mapper.map(input, &mut |k, v| pairs.push((k, v)));
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("map worker panicked"));
+        }
+    })
+    .expect("map scope panicked");
+    // Concatenate in chunk order == input order.
+    results.into_iter().flatten().collect()
+}
+
+/// Groups emissions by key, preserving emission order within each key.
+fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    groups
+}
+
+/// Runs the reduce phase over the grouped values, concatenating outputs in
+/// ascending key order.
+fn reduce_phase<K, V, O>(
+    groups: BTreeMap<K, Vec<V>>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Vec<O>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    if config.workers <= 1 || groups.len() < 2 {
+        let mut outputs = Vec::new();
+        for (k, vs) in &groups {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o));
+        }
+        return outputs;
+    }
+    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    let workers = config.workers.min(entries.len());
+    let chunk = entries.len().div_ceil(workers);
+    let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
+    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move |_| {
+                    let mut outputs = Vec::new();
+                    for (k, vs) in c {
+                        reducer.reduce(k, vs, &mut |o| outputs.push(o));
+                    }
+                    outputs
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("reduce worker panicked"));
+        }
+    })
+    .expect("reduce scope panicked");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{FnMapper, FnReducer};
+
+    /// Word count, the canonical example (Example 2.5).
+    fn wordcount(
+        docs: &[&str],
+        config: &EngineConfig,
+    ) -> (Vec<(String, u64)>, RoundMetrics) {
+        let mapper = FnMapper(|doc: &&str, emit: &mut dyn FnMut(String, u64)| {
+            for w in doc.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        });
+        let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+            emit((k.clone(), vs.iter().sum()))
+        });
+        run_round(docs, &mapper, &reducer, config).expect("no q bound set")
+    }
+
+    #[test]
+    fn wordcount_sequential() {
+        let docs = ["a b a", "b c", "a"];
+        let (out, m) = wordcount(&docs, &EngineConfig::sequential());
+        assert_eq!(
+            out,
+            vec![
+                ("a".into(), 3),
+                ("b".into(), 2),
+                ("c".into(), 1)
+            ]
+        );
+        assert_eq!(m.inputs, 3);
+        assert_eq!(m.kv_pairs, 6); // six word occurrences
+        assert_eq!(m.reducers, 3);
+        assert_eq!(m.outputs, 3);
+        assert_eq!(m.load.max, 3);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let docs: Vec<String> = (0..100)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 13))
+            .collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let seq = wordcount(&doc_refs, &EngineConfig::sequential());
+        for workers in [2, 3, 8] {
+            let par = wordcount(&doc_refs, &EngineConfig::parallel(workers));
+            assert_eq!(seq.0, par.0, "outputs differ at {workers} workers");
+            assert_eq!(seq.1, par.1, "metrics differ at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn reducer_overflow_detected() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 2, *x));
+        let reducer = FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| {
+            emit(vs.len() as u32)
+        });
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(4);
+        let err = run_round(&inputs, &mapper, &reducer, &cfg).unwrap_err();
+        match err {
+            EngineError::ReducerOverflow { load, limit, .. } => {
+                assert_eq!(load, 5);
+                assert_eq!(limit, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exactly_met_is_ok() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 2, *x));
+        let reducer = FnReducer(|_: &u32, _: &[u32], _: &mut dyn FnMut(u32)| {});
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(5);
+        assert!(run_round(&inputs, &mapper, &reducer, &cfg).is_ok());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_round() {
+        let inputs: Vec<u32> = vec![];
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x, *x));
+        let reducer = FnReducer(|_: &u32, _: &[u32], emit: &mut dyn FnMut(u32)| emit(0));
+        let (out, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.inputs, 0);
+        assert_eq!(m.kv_pairs, 0);
+        assert_eq!(m.reducers, 0);
+    }
+
+    #[test]
+    fn values_preserve_emission_order_within_key() {
+        // All inputs go to one key; values must arrive in input order.
+        let inputs: Vec<u32> = (0..50).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *x));
+        let reducer = FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(Vec<u32>)| {
+            emit(vs.to_vec())
+        });
+        for cfg in [EngineConfig::sequential(), EngineConfig::parallel(4)] {
+            let (out, _) = run_round(&inputs, &mapper, &reducer, &cfg).unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0], inputs);
+        }
+    }
+
+    #[test]
+    fn mapper_emitting_nothing_is_fine() {
+        let inputs = vec![1u32, 2, 3];
+        let mapper = FnMapper(|_: &u32, _: &mut dyn FnMut(u32, u32)| {});
+        let reducer = FnReducer(|_: &u32, _: &[u32], emit: &mut dyn FnMut(u32)| emit(1));
+        let (out, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.inputs, 3);
+        assert_eq!(m.kv_pairs, 0);
+        assert!((m.replication_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_rate_counts_duplicates() {
+        // Each input sent to 3 reducers: r = 3 exactly.
+        let inputs: Vec<u32> = (0..20).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+            for t in 0..3 {
+                emit((*x + t) % 5, *x);
+            }
+        });
+        let reducer = FnReducer(|_: &u32, _: &[u32], _: &mut dyn FnMut(u32)| {});
+        let (_, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert!((m.replication_rate() - 3.0).abs() < 1e-12);
+        assert_eq!(m.reducers, 5);
+    }
+}

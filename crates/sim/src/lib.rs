@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! An instrumented, in-process MapReduce engine.
+//!
+//! The paper (Afrati et al., VLDB 2013) reasons about three quantities of a
+//! single-round map-reduce computation:
+//!
+//! * the **replication rate** `r` — average number of key-value pairs the
+//!   mappers create per input (§1.1, §2.2),
+//! * the **reducer size** `q` — the maximum number of inputs any one
+//!   reducer receives,
+//! * the **communication cost** — total key-value pairs crossing the
+//!   map→reduce shuffle (summed over rounds for multi-round jobs, §6.3).
+//!
+//! All three are *counting* properties of the dataflow, so a real cluster
+//! is unnecessary: this engine executes map, shuffle, and reduce in
+//! process — sequentially or across threads with bit-identical results —
+//! and counts the quantities exactly.
+//!
+//! Modules:
+//! * [`mapper`] — the `Mapper` and
+//!   `Reducer` traits (and closure adapters),
+//! * [`engine`] — single-round execution with an enforcable reducer-size
+//!   budget,
+//! * [`combiner`] — optional map-side combining with pre-/post-combine
+//!   communication accounting,
+//! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
+//!   feeds round *i+1*'s map),
+//! * [`metrics`] — per-round and per-job measurements,
+//! * [`schema`] — running an abstract *mapping schema* (assignment of
+//!   inputs to reducers) as a map-reduce job.
+
+pub mod combiner;
+pub mod engine;
+pub mod job;
+pub mod mapper;
+pub mod metrics;
+pub mod schema;
+
+pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};
+pub use engine::{run_round, EngineConfig, EngineError};
+pub use job::Job;
+pub use mapper::{FnMapper, FnReducer, Mapper, Reducer};
+pub use metrics::{JobMetrics, LoadStats, RoundMetrics};
+pub use schema::{run_schema, SchemaJob};

@@ -1,0 +1,80 @@
+//! The `Mapper` and `Reducer` traits.
+//!
+//! A map-reduce round is specified by a [`Mapper`] that turns each input
+//! into key-value pairs independently of all other inputs (§2.3: "a map
+//! function turns input objects into key-value pairs independently, without
+//! knowing what else is in the input") and a [`Reducer`] applied once per
+//! distinct key to the full list of values shuffled to that key.
+//!
+//! Both traits take `&self` and must be [`Sync`] so the engine can share
+//! them across worker threads. [`FnMapper`] / [`FnReducer`] adapt plain
+//! closures.
+
+/// Turns one input into zero or more key-value pairs.
+pub trait Mapper<I, K, V>: Sync {
+    /// Emits the key-value pairs for `input` through `emit`.
+    ///
+    /// Must be a pure function of `input`: the engine may invoke mappers
+    /// from multiple threads in any order.
+    fn map(&self, input: &I, emit: &mut dyn FnMut(K, V));
+}
+
+/// Processes one reduce-key and its associated list of values.
+///
+/// In the paper's terminology (§1.1) a *reducer* is the pair
+/// (reduce-key, value list); this trait is the reduce *function* applied to
+/// each such reducer.
+pub trait Reducer<K, V, O>: Sync {
+    /// Emits outputs for `key` given every value shuffled to it.
+    fn reduce(&self, key: &K, values: &[V], emit: &mut dyn FnMut(O));
+}
+
+/// Adapts a closure `Fn(&I, &mut dyn FnMut(K, V))` into a [`Mapper`].
+pub struct FnMapper<F>(pub F);
+
+impl<I, K, V, F> Mapper<I, K, V> for FnMapper<F>
+where
+    F: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+{
+    fn map(&self, input: &I, emit: &mut dyn FnMut(K, V)) {
+        (self.0)(input, emit)
+    }
+}
+
+/// Adapts a closure `Fn(&K, &[V], &mut dyn FnMut(O))` into a [`Reducer`].
+pub struct FnReducer<F>(pub F);
+
+impl<K, V, O, F> Reducer<K, V, O> for FnReducer<F>
+where
+    F: Fn(&K, &[V], &mut dyn FnMut(O)) + Sync,
+{
+    fn reduce(&self, key: &K, values: &[V], emit: &mut dyn FnMut(O)) {
+        (self.0)(key, values, emit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_mapper_adapts_closures() {
+        let m = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+            emit(*x % 3, *x);
+            emit(*x % 5, *x);
+        });
+        let mut pairs = Vec::new();
+        m.map(&7, &mut |k, v| pairs.push((k, v)));
+        assert_eq!(pairs, vec![(1, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn fn_reducer_adapts_closures() {
+        let r = FnReducer(|k: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| {
+            emit(*k + vs.iter().sum::<u32>())
+        });
+        let mut out = Vec::new();
+        r.reduce(&10, &[1, 2, 3], &mut |o| out.push(o));
+        assert_eq!(out, vec![16]);
+    }
+}

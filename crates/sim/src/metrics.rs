@@ -1,0 +1,196 @@
+//! Measurements collected by the engine.
+//!
+//! [`RoundMetrics`] captures one round's communication picture exactly:
+//! inputs, shuffled key-value pairs (the paper's communication cost),
+//! reducer count, per-reducer load statistics, and outputs.
+//! [`JobMetrics`] aggregates rounds; §6.3's two-phase matrix multiplication
+//! is compared to the one-phase method on
+//! [`total_communication`](JobMetrics::total_communication).
+
+/// Distribution statistics over per-reducer input counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadStats {
+    /// Smallest reducer input count (0 when there are no reducers).
+    pub min: u64,
+    /// Largest reducer input count — the *effective* `q` of the run.
+    pub max: u64,
+    /// Mean input count.
+    pub mean: f64,
+    /// Median input count.
+    pub p50: u64,
+    /// 95th-percentile input count.
+    pub p95: u64,
+    /// Sum of all input counts (= shuffled pairs).
+    pub total: u64,
+}
+
+impl LoadStats {
+    /// Computes statistics from raw per-reducer loads.
+    pub fn from_loads(mut loads: Vec<u64>) -> Self {
+        if loads.is_empty() {
+            return LoadStats::default();
+        }
+        loads.sort_unstable();
+        let total: u64 = loads.iter().sum();
+        let n = loads.len();
+        let pct = |p: f64| -> u64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            loads[idx.min(n - 1)]
+        };
+        LoadStats {
+            min: loads[0],
+            max: loads[n - 1],
+            mean: total as f64 / n as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            total,
+        }
+    }
+
+    /// Load skew: `max / mean` (1.0 for perfectly balanced loads, 0 when
+    /// empty).
+    pub fn skew(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+/// Exact measurements of one map-reduce round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundMetrics {
+    /// Number of map inputs.
+    pub inputs: u64,
+    /// Key-value pairs crossing the shuffle — the round's communication
+    /// cost in the paper's unit (§2.3).
+    pub kv_pairs: u64,
+    /// Number of distinct reduce-keys (reducers in the paper's sense).
+    pub reducers: u64,
+    /// Number of outputs emitted by the reduce phase.
+    pub outputs: u64,
+    /// Per-reducer load distribution (summary statistics).
+    pub load: LoadStats,
+    /// Raw per-reducer input counts, sorted ascending. Retained so cost
+    /// models can be evaluated exactly after the run.
+    pub loads: Vec<u64>,
+}
+
+impl RoundMetrics {
+    /// Replication rate `r = (shuffled pairs) / (inputs)` (§2.2). Returns
+    /// `NaN` for an empty input set.
+    pub fn replication_rate(&self) -> f64 {
+        self.kv_pairs as f64 / self.inputs as f64
+    }
+
+    /// Total reducer computation cost under a per-reducer cost model
+    /// `f(q_i)` — e.g. `|q| (q*q) as f64` for the all-pairs comparison
+    /// model of Example 1.1. The total is `Σ_i f(q_i)` over all reducers.
+    pub fn compute_cost(&self, f: impl Fn(u64) -> f64) -> f64 {
+        self.loads.iter().map(|&q| f(q)).sum()
+    }
+}
+
+/// Metrics for a (possibly multi-round) job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobMetrics {
+    /// Per-round measurements, in execution order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl JobMetrics {
+    /// Total communication across all rounds: the sum of shuffled key-value
+    /// pairs. This is the quantity §6.3 compares between the one- and
+    /// two-phase matrix-multiplication methods.
+    pub fn total_communication(&self) -> u64 {
+        self.rounds.iter().map(|r| r.kv_pairs).sum()
+    }
+
+    /// The largest reducer load over all rounds (the job's effective `q`).
+    pub fn max_reducer_load(&self) -> u64 {
+        self.rounds.iter().map(|r| r.load.max).max().unwrap_or(0)
+    }
+
+    /// Replication rate of the first round (the paper's `r` for one-round
+    /// jobs).
+    pub fn first_round_replication(&self) -> f64 {
+        self.rounds
+            .first()
+            .map(RoundMetrics::replication_rate)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_stats_basic() {
+        let s = LoadStats::from_loads(vec![4, 1, 3, 2]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.total, 10);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Nearest-rank on an even count rounds up: index round(1.5) = 2.
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn load_stats_empty() {
+        let s = LoadStats::from_loads(vec![]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn load_stats_uniform_has_skew_one() {
+        let s = LoadStats::from_loads(vec![5; 20]);
+        assert!((s.skew() - 1.0).abs() < 1e-12);
+        assert_eq!(s.p95, 5);
+    }
+
+    #[test]
+    fn replication_rate() {
+        let m = RoundMetrics {
+            inputs: 100,
+            kv_pairs: 250,
+            ..Default::default()
+        };
+        assert!((m.replication_rate() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_cost_quadratic_model() {
+        let m = RoundMetrics {
+            loads: vec![2, 3],
+            ..Default::default()
+        };
+        // Example 1.1: all-pairs work is q^2 per reducer.
+        assert!((m.compute_cost(|q| (q * q) as f64) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_totals() {
+        let j = JobMetrics {
+            rounds: vec![
+                RoundMetrics {
+                    inputs: 10,
+                    kv_pairs: 30,
+                    load: LoadStats::from_loads(vec![10, 20]),
+                    ..Default::default()
+                },
+                RoundMetrics {
+                    inputs: 5,
+                    kv_pairs: 5,
+                    load: LoadStats::from_loads(vec![3]),
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(j.total_communication(), 35);
+        assert_eq!(j.max_reducer_load(), 20);
+        assert!((j.first_round_replication() - 3.0).abs() < 1e-12);
+    }
+}

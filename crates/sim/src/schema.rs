@@ -1,0 +1,127 @@
+//! Executing an abstract *mapping schema* as a map-reduce job.
+//!
+//! §2.2 defines a mapping schema as an assignment of inputs to reducers
+//! subject to the reducer-size bound `q` and the coverage condition. A
+//! schema says nothing about what the reducers compute; [`SchemaJob`]
+//! supplies the missing pieces — the assignment function and the reduce
+//! logic — and [`run_schema`] executes them on the engine, so that the
+//! *measured* replication rate and maximum reducer load of any schema can
+//! be compared with the paper's bounds.
+
+use crate::engine::{run_round, EngineConfig, EngineError};
+use crate::mapper::{FnMapper, FnReducer};
+use crate::metrics::RoundMetrics;
+
+/// Identifier of a reducer in a mapping schema.
+pub type ReducerId = u64;
+
+/// A mapping schema plus reduce logic for a concrete problem.
+pub trait SchemaJob<I, O>: Sync {
+    /// The reducers that input `i` must be sent to (§2.2's assignment).
+    /// An input may be assigned to several reducers; each assignment
+    /// contributes one key-value pair of communication.
+    fn assign(&self, input: &I) -> Vec<ReducerId>;
+
+    /// Computes the outputs a reducer is responsible for, given every
+    /// input assigned to it. `reducer` is the id from [`assign`], and
+    /// `inputs` arrive in input order.
+    ///
+    /// Implementations must respect the *covering* discipline: when an
+    /// output is covered by multiple reducers, only one should emit it
+    /// (e.g. the one given by a tie-breaking rule, as in §5.4.2).
+    ///
+    /// [`assign`]: SchemaJob::assign
+    fn reduce(&self, reducer: ReducerId, inputs: &[I], emit: &mut dyn FnMut(O));
+}
+
+/// Executes a [`SchemaJob`] on the engine.
+///
+/// Returns the outputs plus the round metrics; the metrics'
+/// [`replication_rate`](RoundMetrics::replication_rate) is exactly the
+/// schema's `Σ qᵢ / |I|` from §2.2 evaluated on the given instance.
+pub fn run_schema<I, O, S>(
+    inputs: &[I],
+    schema: &S,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Clone + Send + Sync,
+    O: Send,
+    S: SchemaJob<I, O>,
+{
+    let mapper = FnMapper(|input: &I, emit: &mut dyn FnMut(ReducerId, I)| {
+        for r in schema.assign(input) {
+            emit(r, input.clone());
+        }
+    });
+    let reducer = FnReducer(|rid: &ReducerId, vs: &[I], emit: &mut dyn FnMut(O)| {
+        schema.reduce(*rid, vs, emit)
+    });
+    run_round(inputs, &mapper, &reducer, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy all-pairs similarity schema: inputs are small integers, each
+    /// goes to reducer `x / 2`, and reducers emit every pair they hold.
+    struct PairUp;
+
+    impl SchemaJob<u32, (u32, u32)> for PairUp {
+        fn assign(&self, input: &u32) -> Vec<ReducerId> {
+            vec![(*input / 2) as ReducerId]
+        }
+        fn reduce(&self, _r: ReducerId, inputs: &[u32], emit: &mut dyn FnMut((u32, u32))) {
+            for i in 0..inputs.len() {
+                for j in (i + 1)..inputs.len() {
+                    emit((inputs[i], inputs[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schema_runs_and_measures() {
+        let inputs: Vec<u32> = (0..8).collect();
+        let (out, m) = run_schema(&inputs, &PairUp, &EngineConfig::sequential()).unwrap();
+        assert_eq!(out, vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+        assert_eq!(m.reducers, 4);
+        assert!((m.replication_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(m.load.max, 2);
+    }
+
+    /// Replicating schema: every input goes to `c` reducers.
+    struct Replicate(u64);
+
+    impl SchemaJob<u32, u32> for Replicate {
+        fn assign(&self, input: &u32) -> Vec<ReducerId> {
+            (0..self.0).map(|g| g * 100 + (*input as u64 % 10)).collect()
+        }
+        fn reduce(&self, _r: ReducerId, _inputs: &[u32], _emit: &mut dyn FnMut(u32)) {}
+    }
+
+    #[test]
+    fn replication_rate_equals_assignments_per_input() {
+        let inputs: Vec<u32> = (0..100).collect();
+        for c in [1u64, 2, 5] {
+            let (_, m) =
+                run_schema(&inputs, &Replicate(c), &EngineConfig::sequential()).unwrap();
+            assert!(
+                (m.replication_rate() - c as f64).abs() < 1e-12,
+                "c={c} gave r={}",
+                m.replication_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn schema_respects_q_budget() {
+        let inputs: Vec<u32> = (0..30).collect();
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
+        // PairUp sends 2 inputs per reducer: exactly at budget.
+        assert!(run_schema(&inputs, &PairUp, &cfg).is_ok());
+        let cfg1 = EngineConfig::sequential().with_max_reducer_inputs(1);
+        assert!(run_schema(&inputs, &PairUp, &cfg1).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the engine: determinism across worker counts,
+//! combiner transparency for associative-commutative folds, and pipeline
+//! metric identities.
+
+use mr_sim::{
+    run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer, Job,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A sum-combiner never changes the reduce output, for any input set
+    /// and worker count.
+    #[test]
+    fn combiner_is_transparent_for_sums(
+        inputs in proptest::collection::vec((0u32..40, 1u64..100), 0..400),
+        workers in 1usize..8,
+    ) {
+        let mapper = FnMapper(|&(k, v): &(u32, u64), emit: &mut dyn FnMut(u32, u64)| {
+            emit(k, v)
+        });
+        let reducer = FnReducer(|k: &u32, vs: &[u64], emit: &mut dyn FnMut((u32, u64))| {
+            emit((*k, vs.iter().sum()))
+        });
+        let combiner = FnCombiner(|_: &u32, acc: &mut u64, v: u64| *acc += v);
+        let cfg = EngineConfig::parallel(workers);
+        let (plain, pm) = run_round(&inputs, &mapper, &reducer, &cfg).unwrap();
+        let (combined, cm) = run_round_combined(&inputs, &mapper, &combiner, &reducer, &cfg).unwrap();
+        prop_assert_eq!(plain, combined);
+        // Pre-combine pairs equal the uncombined communication.
+        prop_assert_eq!(cm.pre_combine_pairs, pm.kv_pairs);
+        // Combining cannot increase wire traffic.
+        prop_assert!(cm.round.kv_pairs <= pm.kv_pairs);
+    }
+
+    /// Two-round pipelines are deterministic across worker counts and
+    /// their metrics satisfy the round-communication identity.
+    #[test]
+    fn pipelines_deterministic_and_metrics_consistent(
+        inputs in proptest::collection::vec(0u32..500, 1..300),
+        buckets in 1u32..12,
+        workers in 2usize..6,
+    ) {
+        let build = || -> Job<u32, (u32, u64)> {
+            let b = buckets;
+            Job::single(
+                FnMapper(move |x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(x % b, *x)),
+                FnReducer(|k: &u32, vs: &[u32], emit: &mut dyn FnMut((u32, u64))| {
+                    emit((*k, vs.iter().map(|&v| v as u64).sum()))
+                }),
+            )
+            .then(
+                FnMapper(|&(k, s): &(u32, u64), emit: &mut dyn FnMut(u32, u64)| {
+                    emit(k % 2, s)
+                }),
+                FnReducer(|k: &u32, vs: &[u64], emit: &mut dyn FnMut((u32, u64))| {
+                    emit((*k, vs.iter().sum()))
+                }),
+            )
+        };
+        let (o1, m1) = build().run(inputs.clone(), &EngineConfig::sequential()).unwrap();
+        let (o2, m2) = build().run(inputs.clone(), &EngineConfig::parallel(workers)).unwrap();
+        prop_assert_eq!(&o1, &o2);
+        prop_assert_eq!(&m1, &m2);
+        // Conservation: the grand sum survives both rounds.
+        let grand: u64 = inputs.iter().map(|&v| v as u64).sum();
+        let out_sum: u64 = o1.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(grand, out_sum);
+        // Identity: round-2 inputs equal round-1 outputs.
+        prop_assert_eq!(m1.rounds[0].outputs, m1.rounds[1].inputs);
+    }
+
+    /// The q budget is enforced exactly: runs succeed iff the true max
+    /// load fits.
+    #[test]
+    fn q_budget_is_exact(
+        inputs in proptest::collection::vec(0u32..50, 1..200),
+        buckets in 1u32..10,
+    ) {
+        let mapper = FnMapper(move |x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+            emit(x % buckets, *x)
+        });
+        let reducer = FnReducer(|_: &u32, _: &[u32], _: &mut dyn FnMut(u32)| {});
+        // First measure the true max load without a budget.
+        let (_, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        let max = m.load.max;
+        let at = EngineConfig::sequential().with_max_reducer_inputs(max);
+        prop_assert!(run_round(&inputs, &mapper, &reducer, &at).is_ok());
+        if max > 0 {
+            let below = EngineConfig::sequential().with_max_reducer_inputs(max - 1);
+            prop_assert!(run_round(&inputs, &mapper, &reducer, &below).is_err());
+        }
+    }
+}

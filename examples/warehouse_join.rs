@@ -1,0 +1,73 @@
+//! Star-schema warehouse join with the Shares algorithm (§5.5).
+//!
+//! ```sh
+//! cargo run --example warehouse_join
+//! ```
+//!
+//! Scenario: a sales fact table joined with three dimension tables
+//! (customer, product, store). The Shares algorithm distributes the join
+//! over a reducer grid; the share optimiser puts all parallelism on the
+//! fact-table attributes (dimension tuples are replicated, fact tuples are
+//! not), exactly as §5.5.2 prescribes. We verify the distributed join
+//! against the serial baseline and compare the measured replication rate
+//! with the closed-form star-join formula.
+
+use mapreduce_bounds::core::problems::join::{
+    optimize_shares, star_replication, Database, Query, SharesSchema,
+};
+use mapreduce_bounds::lp::fractional_edge_cover;
+use mapreduce_bounds::sim::EngineConfig;
+
+fn main() {
+    let num_dims = 3;
+    let query = Query::star(num_dims);
+    println!("Star join: fact(C,P,S) ⋈ customer(C,·) ⋈ product(P,·) ⋈ store(S,·)");
+    let (rho, _) = fractional_edge_cover(&query.hypergraph()).unwrap();
+    println!("Query hypergraph ρ (fractional edge cover) = {rho:.1}\n");
+
+    // A fact table much larger than the dimensions, as §5.5.2 assumes.
+    let domain = 24u32;
+    let (fact_size, dim_size) = (4000usize, 120usize);
+    let db = Database::random_with_sizes(
+        &query,
+        domain,
+        &[fact_size, dim_size, dim_size, dim_size],
+        99,
+    );
+    let serial = db.join(&query);
+    println!(
+        "fact: {fact_size} rows, dimensions: {dim_size} rows each -> {} join results\n",
+        serial.len()
+    );
+
+    println!(
+        "{:>6} {:>18} {:>12} {:>12} {:>14} {:>8}",
+        "p", "shares", "q (max)", "r (measured)", "r (formula)", "correct"
+    );
+    let sizes = vec![fact_size as u64, dim_size as u64, dim_size as u64, dim_size as u64];
+    for p in [8u64, 64, 512] {
+        let shares = optimize_shares(&query, &sizes, p);
+        let schema = SharesSchema::new(query.clone(), shares.clone());
+        let (mut got, metrics) = schema.run(&db, &EngineConfig::parallel(4)).unwrap();
+        got.sort_unstable();
+        let formula = star_replication(
+            fact_size as f64,
+            dim_size as f64,
+            num_dims,
+            p as f64,
+        );
+        println!(
+            "{:>6} {:>18} {:>12} {:>12.3} {:>14.3} {:>8}",
+            p,
+            format!("{shares:?}"),
+            metrics.load.max,
+            metrics.replication_rate(),
+            formula,
+            got == serial
+        );
+    }
+
+    println!("\nThe optimiser never shares the dimensions' private attributes,");
+    println!("fact tuples go to exactly one reducer, and replication grows as");
+    println!("p^((N-1)/N) — the §5.5.2 star-join analysis, measured.");
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # mapreduce-bounds
+//!
+//! A reproduction of Afrati, Das Sarma, Salihoglu & Ullman,
+//! *Upper and Lower Bounds on the Cost of a Map-Reduce Computation*
+//! (VLDB 2013, arXiv:1206.4377), as a Rust workspace.
+//!
+//! This facade crate re-exports the four member crates:
+//!
+//! * [`sim`] — an instrumented in-process MapReduce engine,
+//! * [`graph`] — graph data structures, generators, and serial baselines,
+//! * [`lp`] — simplex solver, fractional edge covers, the AGM bound,
+//! * [`core`] — the paper's model: problems, mapping schemas, and the
+//!   lower-bound recipe.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! table/figure reproduction index. The `repro` binary in `mr-bench`
+//! regenerates every table and figure.
+
+pub use mr_core as core;
+pub use mr_graph as graph;
+pub use mr_lp as lp;
+pub use mr_sim as sim;
