@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mr_core::problems::join::{optimize_shares, Database, Query, SharesSchema};
 use mr_core::problems::matmul::{Matrix, TwoPhaseMatMul};
-use mr_sim::{
-    run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer,
-};
+use mr_sim::{run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer};
 use std::hint::black_box;
 
 fn matmul_aspect_ratio(c: &mut Criterion) {
@@ -48,16 +46,20 @@ fn shares_optimized_vs_equal(c: &mut Criterion) {
     let optimized = optimize_shares(&query, &[300; 3], 16);
     let equal = vec![2u64, 2, 2, 2]; // same p = 16, spread naively
     for (name, shares) in [("optimized", optimized), ("equal", equal)] {
-        grp.bench_with_input(BenchmarkId::from_parameter(name), &shares, |bencher, shares| {
-            let schema = SharesSchema::new(query.clone(), shares.clone());
-            bencher.iter(|| {
-                schema
-                    .run(black_box(&db), &EngineConfig::sequential())
-                    .unwrap()
-                    .1
-                    .kv_pairs
-            })
-        });
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &shares,
+            |bencher, shares| {
+                let schema = SharesSchema::new(query.clone(), shares.clone());
+                bencher.iter(|| {
+                    schema
+                        .run(black_box(&db), &EngineConfig::sequential())
+                        .unwrap()
+                        .1
+                        .kv_pairs
+                })
+            },
+        );
     }
     grp.finish();
 }
@@ -71,19 +73,26 @@ fn combiner_on_off(c: &mut Criterion) {
             emit(w.to_string(), 1);
         }
     });
-    let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
-        emit((k.clone(), vs.iter().sum()))
-    });
+    let reducer = FnReducer(
+        |k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+            emit((k.clone(), vs.iter().sum()))
+        },
+    );
     let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
 
     let mut grp = c.benchmark_group("ablation_combiner");
     grp.sample_size(15);
     grp.bench_function("off", |bencher| {
         bencher.iter(|| {
-            run_round(black_box(&docs), &mapper, &reducer, &EngineConfig::parallel(4))
-                .unwrap()
-                .1
-                .kv_pairs
+            run_round(
+                black_box(&docs),
+                &mapper,
+                &reducer,
+                &EngineConfig::parallel(4),
+            )
+            .unwrap()
+            .1
+            .kv_pairs
         })
     });
     grp.bench_function("on", |bencher| {
@@ -104,5 +113,10 @@ fn combiner_on_off(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, matmul_aspect_ratio, shares_optimized_vs_equal, combiner_on_off);
+criterion_group!(
+    benches,
+    matmul_aspect_ratio,
+    shares_optimized_vs_equal,
+    combiner_on_off
+);
 criterion_main!(benches);

@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
             emit(w.to_string(), 1);
         }
     });
-    let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
-        emit((k.clone(), vs.iter().sum()))
-    });
+    let reducer = FnReducer(
+        |k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+            emit((k.clone(), vs.iter().sum()))
+        },
+    );
 
     let mut grp = c.benchmark_group("engine_wordcount");
     grp.sample_size(10);

@@ -10,16 +10,20 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
 
     for k in [2u32, 4] {
-        g.bench_with_input(BenchmarkId::new("assign_all_b16_2d", k), &k, |bencher, &k| {
-            let s = WeightSchema2D::new(16, k);
-            bencher.iter(|| {
-                let mut total = 0usize;
-                for w in 0..(1u64 << 16) {
-                    total += MappingSchema::assign(&s, black_box(&w)).len();
-                }
-                total
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("assign_all_b16_2d", k),
+            &k,
+            |bencher, &k| {
+                let s = WeightSchema2D::new(16, k);
+                bencher.iter(|| {
+                    let mut total = 0usize;
+                    for w in 0..(1u64 << 16) {
+                        total += MappingSchema::assign(&s, black_box(&w)).len();
+                    }
+                    total
+                })
+            },
+        );
     }
 
     g.bench_function("exact_accounting_b32", |bencher| {

@@ -21,7 +21,10 @@ fn bench(c: &mut Criterion) {
     for q in [256u64, 1024] {
         grp.bench_with_input(BenchmarkId::new("one_phase", q), &q, |bencher, &q| {
             let s = (q / (2 * n as u64)) as u32;
-            let s = (1..=s.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1);
+            let s = (1..=s.min(n))
+                .rev()
+                .find(|d| n.is_multiple_of(*d))
+                .unwrap_or(1);
             let schema = OnePhaseSchema::new(n, s);
             bencher.iter(|| {
                 run_one_phase(black_box(&a), &b, &schema, &EngineConfig::sequential()).unwrap()
@@ -30,7 +33,8 @@ fn bench(c: &mut Criterion) {
         grp.bench_with_input(BenchmarkId::new("two_phase", q), &q, |bencher, &q| {
             let alg = TwoPhaseMatMul::for_budget(n, q);
             bencher.iter(|| {
-                alg.run(black_box(&a), &b, &EngineConfig::sequential()).unwrap()
+                alg.run(black_box(&a), &b, &EngineConfig::sequential())
+                    .unwrap()
             })
         });
     }

@@ -20,7 +20,10 @@ pub fn report() -> String {
         let pts = as_cost_points(&frontier);
         let mut t = Table::new(&["cluster profile", "chosen q", "chosen r", "total cost"]);
         let profiles: Vec<(&str, CostModel)> = vec![
-            ("comm-heavy   (a=100, b=0.01)", CostModel::linear(100.0, 0.01)),
+            (
+                "comm-heavy   (a=100, b=0.01)",
+                CostModel::linear(100.0, 0.01),
+            ),
             ("balanced     (a=1,   b=1)", CostModel::linear(1.0, 1.0)),
             ("compute-heavy(a=0.01,b=10)", CostModel::linear(0.01, 10.0)),
             (
@@ -32,9 +35,17 @@ pub fn report() -> String {
             let (q, r, cost) = model.cheapest_point(&pts).expect("non-empty frontier");
             t.row(vec![pname.into(), fmt(q), fmt(r), fmt(cost)]);
         }
-        out.push_str(&format!("{name} frontier ({} Pareto points):\n", frontier.len()));
+        out.push_str(&format!(
+            "{name} frontier ({} Pareto points):\n",
+            frontier.len()
+        ));
         for p in &frontier {
-            out.push_str(&format!("  q={:<8} r={:<8} {}\n", p.q, fmt(p.r), p.algorithm));
+            out.push_str(&format!(
+                "  q={:<8} r={:<8} {}\n",
+                p.q,
+                fmt(p.r),
+                p.algorithm
+            ));
         }
         out.push('\n');
         out.push_str(&t.render());
@@ -71,6 +82,9 @@ mod tests {
         let r = report();
         assert!(r.contains("Hamming-1"));
         assert!(r.contains("MatMul"));
-        assert!(r.contains("weight-2d"), "weight points should be on the frontier");
+        assert!(
+            r.contains("weight-2d"),
+            "weight points should be on the frontier"
+        );
     }
 }

@@ -16,13 +16,19 @@ pub fn report() -> String {
     let pl = gen::power_law(n, 2.1, avg_deg, 42);
 
     let mut t = Table::new(&[
-        "graph", "edges", "k", "max load", "mean load", "skew (max/mean)",
+        "graph",
+        "edges",
+        "k",
+        "max load",
+        "mean load",
+        "skew (max/mean)",
     ]);
     for k in [3u32, 6, 10] {
         let schema = NodePartitionSchema::new(n as u32, k);
         for (name, g) in [("Erdos-Renyi", &er), ("power-law", &pl)] {
-            let (_, m) = run_schema::<_, [u32; 3], _>(g.edges(), &schema, &EngineConfig::parallel(4))
-                .expect("no budget");
+            let (_, m) =
+                run_schema::<_, [u32; 3], _>(g.edges(), &schema, &EngineConfig::parallel(4))
+                    .expect("no budget");
             t.row(vec![
                 name.into(),
                 g.num_edges().to_string(),

@@ -8,7 +8,14 @@ use mr_core::problems::hamming::{HammingProblem, WeightSchemaD};
 /// Renders the §3.5 sweep over `d` and `k`.
 pub fn report() -> String {
     let mut t = Table::new(&[
-        "b", "d", "k", "log2 q (exact)", "b - (d/2)log2 b", "r measured", "1 + d/k", "valid",
+        "b",
+        "d",
+        "k",
+        "log2 q (exact)",
+        "b - (d/2)log2 b",
+        "r measured",
+        "1 + d/k",
+        "valid",
     ]);
     for (b, d, k) in [
         (12u32, 2u32, 2u32),

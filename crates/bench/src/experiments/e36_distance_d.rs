@@ -11,7 +11,14 @@ use mr_core::problems::hamming::{
 /// Renders the §3.6 experiments.
 pub fn report() -> String {
     let mut t = Table::new(&[
-        "algorithm", "b", "d", "params", "q", "r measured", "r formula", "valid",
+        "algorithm",
+        "b",
+        "d",
+        "params",
+        "q",
+        "r measured",
+        "r formula",
+        "valid",
     ]);
 
     // Generalised splitting at several (k, d).

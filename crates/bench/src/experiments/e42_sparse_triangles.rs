@@ -42,7 +42,14 @@ pub fn measure(g: &Graph, k: u32) -> SparsePoint {
 pub fn report() -> String {
     let (n, m) = (200usize, 2000usize);
     let g = gen::gnm(n, m, 99);
-    let mut t = Table::new(&["k", "q measured", "r measured", "sqrt(m/q)", "ratio", "correct"]);
+    let mut t = Table::new(&[
+        "k",
+        "q measured",
+        "r measured",
+        "sqrt(m/q)",
+        "ratio",
+        "correct",
+    ]);
     for k in [2u32, 3, 4, 6, 8, 12] {
         let p = measure(&g, k);
         t.row(vec![

@@ -50,7 +50,14 @@ pub fn report() -> String {
     // §5.2/§5.3 measurements.
     let (n, m) = (40usize, 300usize);
     let g = gen::gnm(n, m, 11);
-    let mut t = Table::new(&["pattern", "k", "q", "r measured", "(sqrt(m/q))^(s-2)", "correct"]);
+    let mut t = Table::new(&[
+        "pattern",
+        "k",
+        "q",
+        "r measured",
+        "(sqrt(m/q))^(s-2)",
+        "correct",
+    ]);
     for (name, pattern) in [("C4", patterns::cycle(4)), ("K4", patterns::clique(4))] {
         for k in [2u32, 3, 4] {
             let (q, r, bound, correct) = measure(&pattern, &g, k);

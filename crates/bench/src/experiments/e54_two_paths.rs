@@ -4,9 +4,7 @@
 
 use crate::table::{fmt, Table};
 use mr_core::model::validate_schema;
-use mr_core::problems::two_path::{
-    lower_bound_r, BucketPairSchema, PerNodeSchema, TwoPathProblem,
-};
+use mr_core::problems::two_path::{lower_bound_r, BucketPairSchema, PerNodeSchema, TwoPathProblem};
 
 /// Renders the §5.4 sweep on the complete instance (exhaustive
 /// validation, exact replication rates).
@@ -14,7 +12,13 @@ pub fn report() -> String {
     let n = 60u32;
     let problem = TwoPathProblem::new(n);
     let mut t = Table::new(&[
-        "algorithm", "k", "q (max load)", "r measured", "max(1, 2n/q)", "ratio", "valid",
+        "algorithm",
+        "k",
+        "q (max load)",
+        "r measured",
+        "max(1, 2n/q)",
+        "ratio",
+        "valid",
     ]);
 
     // q = n point: per-node schema.

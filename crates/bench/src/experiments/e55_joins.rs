@@ -9,7 +9,12 @@ use mr_core::problems::join::{
 use mr_sim::EngineConfig;
 
 /// Measured chain-join point: `(p, shares, q, r, bound at q)`.
-pub fn chain_point(n_rels: usize, domain: u32, per_rel: usize, p: u64) -> (Vec<u64>, u64, f64, f64) {
+pub fn chain_point(
+    n_rels: usize,
+    domain: u32,
+    per_rel: usize,
+    p: u64,
+) -> (Vec<u64>, u64, f64, f64) {
     let query = Query::chain(n_rels);
     let db = Database::random(&query, domain, per_rel, 13);
     let shares = optimize_shares(&query, &vec![per_rel as u64; n_rels], p);
@@ -120,7 +125,11 @@ mod tests {
             let (_, m) = schema.run(&db, &EngineConfig::sequential()).unwrap();
             let formula = star_replication(fact as f64, dim as f64, 2, p as f64);
             let rel = (m.replication_rate() - formula).abs() / formula;
-            assert!(rel < 0.05, "p={p}: measured {} vs {formula}", m.replication_rate());
+            assert!(
+                rel < 0.05,
+                "p={p}: measured {} vs {formula}",
+                m.replication_rate()
+            );
         }
     }
 

@@ -11,7 +11,11 @@ use mr_sim::EngineConfig;
 /// Renders the comparison for growing join output sizes.
 pub fn report() -> String {
     let mut t = Table::new(&[
-        "instance", "join rows", "naive total comm", "pushed total comm", "saving",
+        "instance",
+        "join rows",
+        "naive total comm",
+        "pushed total comm",
+        "saving",
         "equal results",
     ]);
     let cases: Vec<(&str, Query, Database, Vec<u64>)> = vec![

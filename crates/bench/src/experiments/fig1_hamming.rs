@@ -29,7 +29,13 @@ pub fn series(b: u32) -> Vec<(u32, f64, f64, f64)> {
 /// Renders the figure as a table (each dot of Figure 1 as a row).
 pub fn report() -> String {
     let b = 12;
-    let mut t = Table::new(&["c", "log2 q", "hyperbola b/log2 q", "r measured", "on curve"]);
+    let mut t = Table::new(&[
+        "c",
+        "log2 q",
+        "hyperbola b/log2 q",
+        "r measured",
+        "on curve",
+    ]);
     for (c, log_q, bound, r) in series(b) {
         t.row(vec![
             c.to_string(),

@@ -23,9 +23,23 @@ pub fn point(b: u32, k: u32) -> (u32, u32, u64, f64, f64, f64) {
 /// exhaustively against the model.
 pub fn report() -> String {
     let mut t = Table::new(&[
-        "b", "k", "log2 q (exact)", "b - log2 b", "r exact", "1 + 2/k", "validated",
+        "b",
+        "k",
+        "log2 q (exact)",
+        "b - log2 b",
+        "r exact",
+        "1 + 2/k",
+        "validated",
     ]);
-    for (b, k) in [(12u32, 2u32), (12, 3), (16, 2), (16, 4), (24, 2), (24, 3), (32, 4)] {
+    for (b, k) in [
+        (12u32, 2u32),
+        (12, 3),
+        (16, 2),
+        (16, 4),
+        (24, 2),
+        (24, 3),
+        (32, 4),
+    ] {
         let (b, k, load, _aq, r_exact, r_approx) = point(b, k);
         // Exhaustive validation is feasible for b <= 16.
         let validated = if b <= 16 {

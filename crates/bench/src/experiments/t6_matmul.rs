@@ -15,14 +15,16 @@ pub fn measure(n: u32, q: u64, a: &Matrix, b: &Matrix) -> (u64, u64, bool) {
     let expected = a.multiply(b);
     let s = {
         let cap = (q / (2 * n as u64)).max(1) as u32;
-        (1..=cap.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+        (1..=cap.min(n))
+            .rev()
+            .find(|d| n.is_multiple_of(*d))
+            .unwrap_or(1)
     };
     let one = OnePhaseSchema::new(n, s);
     let (p1, m1) = run_one_phase(a, b, &one, &EngineConfig::parallel(4)).unwrap();
     let two = TwoPhaseMatMul::for_budget(n, q);
     let (p2, m2) = two.run(a, b, &EngineConfig::parallel(4)).unwrap();
-    let correct =
-        p1.max_abs_diff(&expected) < 1e-9 && p2.max_abs_diff(&expected) < 1e-9;
+    let correct = p1.max_abs_diff(&expected) < 1e-9 && p2.max_abs_diff(&expected) < 1e-9;
     (m1.kv_pairs, m2.total_communication(), correct)
 }
 
@@ -32,7 +34,13 @@ pub fn report() -> String {
     let a = Matrix::random(n as usize, 61);
     let b = Matrix::random(n as usize, 62);
     let mut t = Table::new(&[
-        "q", "1-phase (meas.)", "2-phase (meas.)", "1-phase 4n^4/q", "2-phase 4n^3/sqrt(q)", "winner", "correct",
+        "q",
+        "1-phase (meas.)",
+        "2-phase (meas.)",
+        "1-phase 4n^4/q",
+        "2-phase 4n^3/sqrt(q)",
+        "winner",
+        "correct",
     ]);
     for q in [128u64, 256, 512, 1024, 2048, 4096] {
         let (c1, c2, ok) = measure(n, q, &a, &b);

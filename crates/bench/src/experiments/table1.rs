@@ -44,7 +44,12 @@ pub fn report() -> String {
             "(q/2)log2 q".into(),
             "b/log2 q".into(),
             fmt(p.recipe().replication_lower_bound(q)),
-            if probe { "holds (b=4, all q)" } else { "VIOLATED" }.into(),
+            if probe {
+                "holds (b=4, all q)"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
         ]);
     }
 
@@ -54,12 +59,11 @@ pub fn report() -> String {
         let p = TriangleProblem::new(n);
         let q = 50.0;
         let small = TriangleProblem::new(5);
-        let probe = (3..=10usize)
-            .all(|qq| {
-                // discretisation-tolerant ceiling, cf. §4.1
-                let k = (2.0 * qq as f64).sqrt().ceil();
-                max_outputs_covered(&small, qq) as f64 <= k * (k - 1.0) * (k - 2.0) / 6.0 + 1.0
-            });
+        let probe = (3..=10usize).all(|qq| {
+            // discretisation-tolerant ceiling, cf. §4.1
+            let k = (2.0 * qq as f64).sqrt().ceil();
+            max_outputs_covered(&small, qq) as f64 <= k * (k - 1.0) * (k - 2.0) / 6.0 + 1.0
+        });
         let _ = g_triangles(q);
         t.row(vec![
             format!("Triangles (n={n})"),
@@ -68,7 +72,12 @@ pub fn report() -> String {
             "sqrt(2)/3 q^1.5".into(),
             "n/sqrt(2q)".into(),
             fmt(p.recipe().replication_lower_bound(q)),
-            if probe { "holds (n=5, q<=10)" } else { "VIOLATED" }.into(),
+            if probe {
+                "holds (n=5, q<=10)"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
         ]);
     }
 
@@ -78,9 +87,8 @@ pub fn report() -> String {
         let p = SampleGraphProblem::new(patterns::cycle(4), n);
         let q = 16.0;
         let small = SampleGraphProblem::new(patterns::cycle(4), 5);
-        let probe = (4..=10usize).all(|qq| {
-            max_outputs_covered(&small, qq) as f64 <= (qq as f64).powf(2.0) + 1e-9
-        });
+        let probe = (4..=10usize)
+            .all(|qq| max_outputs_covered(&small, qq) as f64 <= (qq as f64).powf(2.0) + 1e-9);
         t.row(vec![
             format!("C4 instances (n={n})"),
             p.num_inputs().to_string(),
@@ -88,7 +96,12 @@ pub fn report() -> String {
             "q^(s/2) = q^2".into(),
             "(n/sqrt(q))^(s-2)".into(),
             fmt(p.recipe().replication_lower_bound(q)),
-            if probe { "holds (n=5, q<=10)" } else { "VIOLATED" }.into(),
+            if probe {
+                "holds (n=5, q<=10)"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
         ]);
     }
 
@@ -100,9 +113,8 @@ pub fn report() -> String {
         let small = TwoPathProblem::new(6);
         // A star with q edges achieves C(q,2) exactly — possible only up
         // to q = n−1 = 5 (max degree).
-        let probe = (2..=5usize).all(|qq| {
-            max_outputs_covered(&small, qq) == (qq * (qq - 1) / 2) as u64
-        });
+        let probe =
+            (2..=5usize).all(|qq| max_outputs_covered(&small, qq) == (qq * (qq - 1) / 2) as u64);
         t.row(vec![
             format!("2-paths (n={n})"),
             p.num_inputs().to_string(),
@@ -110,7 +122,12 @@ pub fn report() -> String {
             "C(q,2)".into(),
             "2n/q".into(),
             fmt(p.recipe().clamped_lower_bound(q)),
-            if probe { "exact (n=6, q<=6)" } else { "VIOLATED" }.into(),
+            if probe {
+                "exact (n=6, q<=6)"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
         ]);
     }
 

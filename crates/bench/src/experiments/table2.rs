@@ -99,7 +99,10 @@ pub fn report() -> String {
             "Chain join N=3 / Shares (p=16)".into(),
             m.load.max.to_string(),
             fmt(m.replication_rate()),
-            format!("(n/sqrt(q))^2 = {}", fmt(chain_upper_bound(n_dom as f64, 3, q))),
+            format!(
+                "(n/sqrt(q))^2 = {}",
+                fmt(chain_upper_bound(n_dom as f64, 3, q))
+            ),
             "true".into(),
         ]);
     }

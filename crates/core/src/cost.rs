@@ -65,11 +65,7 @@ impl CostModel {
     ///
     /// # Panics
     /// Panics if the grid is empty.
-    pub fn minimize_over_curve(
-        &self,
-        f: impl Fn(f64) -> f64,
-        q_grid: &[f64],
-    ) -> (f64, f64) {
+    pub fn minimize_over_curve(&self, f: impl Fn(f64) -> f64, q_grid: &[f64]) -> (f64, f64) {
         assert!(!q_grid.is_empty(), "q grid must be non-empty");
         q_grid
             .iter()

@@ -151,9 +151,21 @@ mod tests {
     #[test]
     fn pareto_drops_dominated_points() {
         let pts = vec![
-            FrontierPoint { algorithm: "a".into(), q: 10, r: 5.0 },
-            FrontierPoint { algorithm: "b".into(), q: 20, r: 6.0 }, // dominated
-            FrontierPoint { algorithm: "c".into(), q: 30, r: 2.0 },
+            FrontierPoint {
+                algorithm: "a".into(),
+                q: 10,
+                r: 5.0,
+            },
+            FrontierPoint {
+                algorithm: "b".into(),
+                q: 20,
+                r: 6.0,
+            }, // dominated
+            FrontierPoint {
+                algorithm: "c".into(),
+                q: 30,
+                r: 2.0,
+            },
         ];
         let kept = pareto(pts);
         assert_eq!(kept.len(), 2);

@@ -269,7 +269,11 @@ mod tests {
 
     #[test]
     fn natural_join_counts() {
-        let p = NaturalJoinProblem { na: 3, nb: 4, nc: 5 };
+        let p = NaturalJoinProblem {
+            na: 3,
+            nb: 4,
+            nc: 5,
+        };
         assert_eq!(p.num_inputs(), 12 + 20);
         assert_eq!(p.num_outputs(), 60);
         assert_eq!(p.inputs().len() as u64, p.num_inputs());
@@ -278,7 +282,11 @@ mod tests {
 
     #[test]
     fn hash_join_has_replication_one() {
-        let p = NaturalJoinProblem { na: 3, nb: 4, nc: 5 };
+        let p = NaturalJoinProblem {
+            na: 3,
+            nb: 4,
+            nc: 5,
+        };
         let s = HashOnB { na: 3, nc: 5 };
         let report = validate_schema(&p, &s);
         assert!(report.is_valid(), "{report:?}");
@@ -320,7 +328,10 @@ mod tests {
         // Example 2.5's moral: viewed as occurrences, r ≡ 1 independent of
         // the reducer-size limit.
         for occ in [2u32, 8, 32] {
-            let p = WordCountProblem { words: 5, occurrences: occ };
+            let p = WordCountProblem {
+                words: 5,
+                occurrences: occ,
+            };
             let s = WordCountSchema { occurrences: occ };
             let report = validate_schema(&p, &s);
             assert!(report.is_valid());

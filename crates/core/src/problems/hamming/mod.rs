@@ -19,8 +19,6 @@ pub mod splitting;
 pub mod weight;
 
 pub use ball::Ball2Schema;
-pub use problem::{
-    hamming_distance, lemma31_g, theorem32_lower_bound, HammingProblem,
-};
+pub use problem::{hamming_distance, lemma31_g, theorem32_lower_bound, HammingProblem};
 pub use splitting::{DistanceDSplittingSchema, PairsSchema, SplittingSchema};
 pub use weight::{WeightSchema2D, WeightSchemaD};

@@ -40,7 +40,11 @@ impl HammingProblem {
     pub fn new(b: u32, d: u32) -> Self {
         assert!(b > 0 && b <= 26, "b={b} out of the supported range 1..=26");
         assert!(d > 0 && d <= b, "d={d} must be in 1..={b}");
-        HammingProblem { b, d, cumulative: false }
+        HammingProblem {
+            b,
+            d,
+            cumulative: false,
+        }
     }
 
     /// The fuzzy-join variant of \[3\]: all pairs at distance **at most**
@@ -64,8 +68,7 @@ impl HammingProblem {
     /// is the paper's `(b/2)·2^b` (Example 2.3). For the cumulative
     /// problem, the sum of those terms over `1..=d`.
     pub fn closed_form_outputs(&self) -> u64 {
-        let per_distance =
-            |dd: u64| (1u64 << self.b) * binomial(self.b as u64, dd) / 2;
+        let per_distance = |dd: u64| (1u64 << self.b) * binomial(self.b as u64, dd) / 2;
         if self.cumulative {
             (1..=self.d as u64).map(per_distance).sum()
         } else {
@@ -267,9 +270,7 @@ mod tests {
         let recipe = p.recipe();
         for log_q in [1u32, 2, 4, 8] {
             let q = (1u64 << log_q) as f64;
-            assert!(
-                (recipe.replication_lower_bound(q) - theorem32_lower_bound(8, q)).abs() < 1e-9
-            );
+            assert!((recipe.replication_lower_bound(q) - theorem32_lower_bound(8, q)).abs() < 1e-9);
         }
         assert!(recipe.g_over_q_monotone(&[2.0, 4.0, 8.0, 256.0]));
     }

@@ -295,9 +295,7 @@ mod tests {
         assert_eq!(report.max_load, 2);
         // r = b exactly = lower bound at q = 2.
         assert!((report.replication_rate - b as f64).abs() < 1e-9);
-        assert!(
-            (report.replication_rate - theorem32_lower_bound(b, 2.0)).abs() < 1e-9
-        );
+        assert!((report.replication_rate - theorem32_lower_bound(b, 2.0)).abs() < 1e-9);
     }
 
     #[test]

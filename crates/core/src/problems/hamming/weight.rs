@@ -85,8 +85,7 @@ impl WeightSchema2D {
         let mut max = 0u64;
         for i in 0..ng {
             for j in 0..ng {
-                let load =
-                    native[i] * native[j] + replica[i] * native[j] + native[i] * replica[j];
+                let load = native[i] * native[j] + replica[i] * native[j] + native[i] * replica[j];
                 max = max.max(load);
             }
         }
@@ -236,13 +235,9 @@ impl MappingSchema<HammingProblem> for WeightSchemaD {
         let weights: Vec<u32> = (0..self.d)
             .map(|t| ((*input >> (t * piece)) & mask).count_ones())
             .collect();
-        let groups: Vec<u32> = weights
-            .iter()
-            .map(|&w| group_of(w, self.k, ng))
-            .collect();
-        let encode = |gs: &[u32]| -> u64 {
-            gs.iter().fold(0u64, |acc, &g| acc * ng as u64 + g as u64)
-        };
+        let groups: Vec<u32> = weights.iter().map(|&w| group_of(w, self.k, ng)).collect();
+        let encode =
+            |gs: &[u32]| -> u64 { gs.iter().fold(0u64, |acc, &g| acc * ng as u64 + g as u64) };
         let mut rs = vec![encode(&groups)];
         // A pair at distance 1 differs in exactly one piece, so only
         // single-dimension neighbours are needed.

@@ -22,7 +22,9 @@ use super::query::Database;
 use super::shares::{SharesSchema, TaggedTuple};
 use crate::model::ReducerId;
 use mr_sim::schema::SchemaJob;
-use mr_sim::{run_schema, EngineConfig, EngineError, FnMapper, FnReducer, JobMetrics, RoundMetrics};
+use mr_sim::{
+    run_schema, EngineConfig, EngineError, FnMapper, FnReducer, JobMetrics, RoundMetrics,
+};
 use std::collections::BTreeMap;
 
 /// Group-by-count over the join's first variable, naive two-round plan.
@@ -169,8 +171,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (schema, db) = setup();
-        let (a, ma) =
-            count_by_first_var_pushed(&schema, &db, &EngineConfig::sequential()).unwrap();
+        let (a, ma) = count_by_first_var_pushed(&schema, &db, &EngineConfig::sequential()).unwrap();
         let (b, mb) = count_by_first_var_pushed(&schema, &db, &EngineConfig::parallel(4)).unwrap();
         assert_eq!(a, b);
         assert_eq!(ma, mb);

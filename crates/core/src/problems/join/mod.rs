@@ -21,7 +21,9 @@ pub mod bounds;
 pub mod query;
 pub mod shares;
 
-pub use bounds::{chain_lower_bound, chain_upper_bound, multiway_lower_bound, star_lower_bound, star_replication};
 pub use aggregate::{count_by_first_var_naive, count_by_first_var_pushed};
+pub use bounds::{
+    chain_lower_bound, chain_upper_bound, multiway_lower_bound, star_lower_bound, star_replication,
+};
 pub use query::{Database, Query};
 pub use shares::{optimize_shares, predicted_communication, SharesSchema};

@@ -344,10 +344,7 @@ mod tests {
             let schema = OnePhaseSchema::new(n as u32, s);
             let (got, metrics) =
                 run_one_phase(&a, &b, &schema, &EngineConfig::sequential()).unwrap();
-            assert!(
-                got.max_abs_diff(&expected) < 1e-9,
-                "s={s}: wrong product"
-            );
+            assert!(got.max_abs_diff(&expected) < 1e-9, "s={s}: wrong product");
             // Communication = r·|I| = (n/s)·2n².
             let expected_comm = (n as u64 / s as u64) * 2 * (n as u64).pow(2);
             assert_eq!(metrics.kv_pairs, expected_comm);

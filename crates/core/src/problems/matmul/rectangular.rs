@@ -185,7 +185,9 @@ impl RectOnePhaseSchema {
         match e {
             RectEntry::R(i, _) => {
                 let gi = (*i / self.sr) as u64;
-                (0..self.col_groups()).map(|gk| self.reducer(gi, gk)).collect()
+                (0..self.col_groups())
+                    .map(|gk| self.reducer(gi, gk))
+                    .collect()
             }
             RectEntry::S(_, k) => {
                 let gk = (*k / self.sc) as u64;
@@ -358,7 +360,10 @@ mod tests {
             for q in [32.0, 64.0] {
                 let rect = rect_lower_bound(n, n, n, q);
                 let square = square_bound(n, q);
-                assert!((rect - square).abs() < 1e-9, "n={n} q={q}: {rect} vs {square}");
+                assert!(
+                    (rect - square).abs() < 1e-9,
+                    "n={n} q={q}: {rect} vs {square}"
+                );
             }
         }
     }

@@ -32,8 +32,14 @@ impl TwoPhaseMatMul {
     /// # Panics
     /// Panics unless `s` and `t` both divide `n`.
     pub fn new(n: u32, s: u32, t: u32) -> Self {
-        assert!(s >= 1 && s <= n && n.is_multiple_of(s), "s={s} must divide n={n}");
-        assert!(t >= 1 && t <= n && n.is_multiple_of(t), "t={t} must divide n={n}");
+        assert!(
+            s >= 1 && s <= n && n.is_multiple_of(s),
+            "s={s} must divide n={n}"
+        );
+        assert!(
+            t >= 1 && t <= n && n.is_multiple_of(t),
+            "t={t} must divide n={n}"
+        );
         TwoPhaseMatMul { n, s, t }
     }
 
@@ -82,69 +88,74 @@ impl TwoPhaseMatMul {
         let rb = (n / s) as u64;
         let jb = (n / t) as u64;
 
-        let phase1_map = FnMapper(move |input: &NumericEntry, emit: &mut dyn FnMut(u64, NumericEntry)| {
-            let (entry, _bits) = input;
-            match entry {
-                MatEntry::R(i, j) => {
-                    let bi = (*i / s) as u64;
-                    let bj = (*j / t) as u64;
-                    for bk in 0..rb {
-                        emit(me.cube(bi, bk, bj), *input);
-                    }
-                }
-                MatEntry::S(j, k) => {
-                    let bj = (*j / t) as u64;
-                    let bk = (*k / s) as u64;
-                    for bi in 0..rb {
-                        emit(me.cube(bi, bk, bj), *input);
-                    }
-                }
-            }
-        });
-
-        let phase1_reduce = FnReducer(move |cube: &u64, inputs: &[NumericEntry], emit: &mut dyn FnMut(Cell)| {
-            let bj = cube % jb;
-            let bk = (cube / jb) % rb;
-            let bi = cube / jb / rb;
-            let (row0, col0, j0) = (
-                bi as usize * s as usize,
-                bk as usize * s as usize,
-                bj as usize * t as usize,
-            );
-            let (su, tu, nu) = (s as usize, t as usize, n as usize);
-            let _ = nu;
-            // Local s×t and t×s blocks.
-            let mut rblock = vec![0.0f64; su * tu];
-            let mut sblock = vec![0.0f64; tu * su];
-            for (e, bits) in inputs {
-                let val = f64::from_bits(u64::from_be_bytes(*bits));
-                match e {
+        let phase1_map = FnMapper(
+            move |input: &NumericEntry, emit: &mut dyn FnMut(u64, NumericEntry)| {
+                let (entry, _bits) = input;
+                match entry {
                     MatEntry::R(i, j) => {
-                        rblock[(*i as usize - row0) * tu + (*j as usize - j0)] = val;
+                        let bi = (*i / s) as u64;
+                        let bj = (*j / t) as u64;
+                        for bk in 0..rb {
+                            emit(me.cube(bi, bk, bj), *input);
+                        }
                     }
                     MatEntry::S(j, k) => {
-                        sblock[(*j as usize - j0) * su + (*k as usize - col0)] = val;
+                        let bj = (*j / t) as u64;
+                        let bk = (*k / s) as u64;
+                        for bi in 0..rb {
+                            emit(me.cube(bi, bk, bj), *input);
+                        }
                     }
                 }
-            }
-            for di in 0..su {
-                for dk in 0..su {
-                    let mut acc = 0.0;
-                    for dj in 0..tu {
-                        acc += rblock[di * tu + dj] * sblock[dj * su + dk];
-                    }
-                    emit((
-                        (row0 + di) as u32,
-                        (col0 + dk) as u32,
-                        acc.to_bits().to_be_bytes(),
-                    ));
-                }
-            }
-        });
+            },
+        );
 
-        let phase2_map = FnMapper(move |cell: &Cell, emit: &mut dyn FnMut((u32, u32), [u8; 8])| {
-            emit((cell.0, cell.1), cell.2);
-        });
+        let phase1_reduce = FnReducer(
+            move |cube: &u64, inputs: &[NumericEntry], emit: &mut dyn FnMut(Cell)| {
+                let bj = cube % jb;
+                let bk = (cube / jb) % rb;
+                let bi = cube / jb / rb;
+                let (row0, col0, j0) = (
+                    bi as usize * s as usize,
+                    bk as usize * s as usize,
+                    bj as usize * t as usize,
+                );
+                let (su, tu) = (s as usize, t as usize);
+                // Local s×t and t×s blocks.
+                let mut rblock = vec![0.0f64; su * tu];
+                let mut sblock = vec![0.0f64; tu * su];
+                for (e, bits) in inputs {
+                    let val = f64::from_bits(u64::from_be_bytes(*bits));
+                    match e {
+                        MatEntry::R(i, j) => {
+                            rblock[(*i as usize - row0) * tu + (*j as usize - j0)] = val;
+                        }
+                        MatEntry::S(j, k) => {
+                            sblock[(*j as usize - j0) * su + (*k as usize - col0)] = val;
+                        }
+                    }
+                }
+                for di in 0..su {
+                    for dk in 0..su {
+                        let mut acc = 0.0;
+                        for dj in 0..tu {
+                            acc += rblock[di * tu + dj] * sblock[dj * su + dk];
+                        }
+                        emit((
+                            (row0 + di) as u32,
+                            (col0 + dk) as u32,
+                            acc.to_bits().to_be_bytes(),
+                        ));
+                    }
+                }
+            },
+        );
+
+        let phase2_map = FnMapper(
+            move |cell: &Cell, emit: &mut dyn FnMut((u32, u32), [u8; 8])| {
+                emit((cell.0, cell.1), cell.2);
+            },
+        );
 
         let phase2_reduce = FnReducer(
             move |key: &(u32, u32), partials: &[[u8; 8]], emit: &mut dyn FnMut(Cell)| {
@@ -222,9 +233,7 @@ mod tests {
             assert_eq!(metrics.rounds[0].kv_pairs, p1, "(s={s},t={t}) phase 1");
             assert_eq!(metrics.rounds[1].kv_pairs, p2, "(s={s},t={t}) phase 2");
             assert_eq!(metrics.total_communication(), p1 + p2);
-            assert!(
-                (alg.predicted_communication() - (p1 + p2) as f64).abs() < 1e-9
-            );
+            assert!((alg.predicted_communication() - (p1 + p2) as f64).abs() < 1e-9);
         }
     }
 
@@ -251,10 +260,7 @@ mod tests {
             .iter()
             .map(|&(s, t)| TwoPhaseMatMul::new(n, s, t).predicted_communication())
             .collect();
-        let best = comms
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = comms.iter().cloned().fold(f64::INFINITY, f64::min);
         assert_eq!(comms[0], best, "s=2t should win: {comms:?}");
     }
 

@@ -39,7 +39,10 @@ impl SampleGraphProblem {
     /// Panics if the pattern is trivial (fewer than 2 nodes) or larger than
     /// the data graph.
     pub fn new(pattern: Graph, n: u32) -> Self {
-        assert!(pattern.num_nodes() >= 2, "pattern must have at least 2 nodes");
+        assert!(
+            pattern.num_nodes() >= 2,
+            "pattern must have at least 2 nodes"
+        );
         assert!(
             pattern.num_nodes() <= n as usize,
             "pattern larger than the data graph"
@@ -283,7 +286,10 @@ impl MappingSchema<SampleGraphProblem> for MultisetPartitionSchema {
     }
 
     fn name(&self) -> String {
-        format!("multiset-partition(n={}, k={}, s={})", self.n, self.k, self.s)
+        format!(
+            "multiset-partition(n={}, k={}, s={})",
+            self.n, self.k, self.s
+        )
     }
 }
 

@@ -173,7 +173,11 @@ impl NodePartitionSchema {
     /// Decodes a reducer id back to its group triple.
     pub fn decode(&self, id: ReducerId) -> (u32, u32, u32) {
         let k = self.k as u64;
-        ((id / (k * k)) as u32, ((id / k) % k) as u32, (id % k) as u32)
+        (
+            (id / (k * k)) as u32,
+            ((id / k) % k) as u32,
+            (id % k) as u32,
+        )
     }
 
     /// The reducer triples an edge is assigned to.
@@ -399,8 +403,7 @@ mod tests {
         let g = gen::gnm(60, 400, 42);
         let expected = subgraph::triangles(&g);
         let s = NodePartitionSchema::new(60, 4);
-        let (mut found, metrics) =
-            run_schema(g.edges(), &s, &EngineConfig::sequential()).unwrap();
+        let (mut found, metrics) = run_schema(g.edges(), &s, &EngineConfig::sequential()).unwrap();
         found.sort_unstable();
         let mut exp: Vec<[u32; 3]> = expected;
         exp.sort_unstable();

@@ -185,7 +185,11 @@ impl BucketPairSchema {
     /// Decodes a reducer id into `(u, i, j)`.
     pub fn decode(&self, id: ReducerId) -> (u32, u32, u32) {
         let k = self.k as u64;
-        ((id / (k * k)) as u32, ((id / k) % k) as u32, (id % k) as u32)
+        (
+            (id / (k * k)) as u32,
+            ((id / k) % k) as u32,
+            (id % k) as u32,
+        )
     }
 
     /// Reducers for edge `(a, b)`: `[b, {h(a), *}]` and `[a, {*, h(b)}]`.
@@ -376,8 +380,7 @@ mod tests {
     fn per_node_simulator_matches_baseline() {
         let g = gen::gnm(25, 80, 13);
         let s = PerNodeSchema { n: 25 };
-        let (mut found, metrics) =
-            run_schema(g.edges(), &s, &EngineConfig::sequential()).unwrap();
+        let (mut found, metrics) = run_schema(g.edges(), &s, &EngineConfig::sequential()).unwrap();
         found.sort_unstable();
         let mut expected = subgraph::two_paths(&g);
         expected.sort_unstable();

@@ -29,11 +29,7 @@ pub struct LowerBoundRecipe {
 
 impl LowerBoundRecipe {
     /// Builds a recipe from `g(q)`, `|I|`, and `|O|`.
-    pub fn new(
-        g: impl Fn(f64) -> f64 + Sync + 'static,
-        num_inputs: f64,
-        num_outputs: f64,
-    ) -> Self {
+    pub fn new(g: impl Fn(f64) -> f64 + Sync + 'static, num_inputs: f64, num_outputs: f64) -> Self {
         LowerBoundRecipe {
             g: Box::new(g),
             num_inputs,
@@ -112,10 +108,7 @@ pub fn max_outputs_covered<P: Problem>(problem: &P, q: usize) -> u64 {
         for &i in &subset {
             member[i] = true;
         }
-        let covered = deps
-            .iter()
-            .filter(|d| d.iter().all(|&i| member[i]))
-            .count() as u64;
+        let covered = deps.iter().filter(|d| d.iter().all(|&i| member[i])).count() as u64;
         best = best.max(covered);
 
         // Next combination in lexicographic order.
@@ -192,11 +185,7 @@ mod tests {
     fn clamping_applies_for_weak_bounds() {
         // 2-path shape where the bound dips below 1 for large q (§5.4.1).
         let n = 10.0f64;
-        let recipe = LowerBoundRecipe::new(
-            |q| q * q / 2.0,
-            n * n / 2.0,
-            n * n * n / 2.0,
-        );
+        let recipe = LowerBoundRecipe::new(|q| q * q / 2.0, n * n / 2.0, n * n * n / 2.0);
         assert!(recipe.replication_lower_bound(4.0 * n) < 1.0);
         assert_eq!(recipe.clamped_lower_bound(4.0 * n), 1.0);
         assert!(recipe.clamped_lower_bound(2.0) > 1.0);

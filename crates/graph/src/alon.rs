@@ -217,8 +217,8 @@ mod tests {
     fn every_cycle_is_alon() {
         for k in 3..=9 {
             let c = patterns::cycle(k);
-            let d = alon_decomposition(&c)
-                .unwrap_or_else(|| panic!("C_{k} must be in the Alon class"));
+            let d =
+                alon_decomposition(&c).unwrap_or_else(|| panic!("C_{k} must be in the Alon class"));
             assert!(verify_decomposition(&c, &d), "bad decomposition for C_{k}");
         }
     }

@@ -176,7 +176,10 @@ mod tests {
         let g = gnp(100, 0.3, 9);
         let possible = 100 * 99 / 2;
         let density = g.num_edges() as f64 / possible as f64;
-        assert!((density - 0.3).abs() < 0.05, "density {density} too far from 0.3");
+        assert!(
+            (density - 0.3).abs() < 0.05,
+            "density {density} too far from 0.3"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -180,7 +183,10 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.n as u32)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Edge membership test in `O(log deg)`.

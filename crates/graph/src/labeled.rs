@@ -32,7 +32,10 @@ pub struct LabeledGraph {
 impl LabeledGraph {
     /// Creates an empty labeled graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        LabeledGraph { n, edges: Vec::new() }
+        LabeledGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds edge `(u, v)` with `label`.

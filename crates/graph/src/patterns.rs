@@ -16,10 +16,7 @@ pub fn triangle() -> Graph {
 /// Panics if `k < 3`.
 pub fn cycle(k: usize) -> Graph {
     assert!(k >= 3, "a cycle needs at least 3 nodes");
-    Graph::from_edges(
-        k,
-        (0..k).map(|i| (i as u32, ((i + 1) % k) as u32)),
-    )
+    Graph::from_edges(k, (0..k).map(|i| (i as u32, ((i + 1) % k) as u32)))
 }
 
 /// The complete graph `K_k`. Every complete graph is in the Alon class

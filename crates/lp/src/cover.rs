@@ -129,7 +129,13 @@ impl Hypergraph {
             let coeffs: Vec<f64> = self
                 .edges
                 .iter()
-                .map(|e| if e.binary_search(&v).is_ok() { 1.0 } else { 0.0 })
+                .map(|e| {
+                    if e.binary_search(&v).is_ok() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             lp.constrain(coeffs, ConstraintOp::Ge, 1.0);
         }
@@ -154,11 +160,7 @@ pub fn fractional_edge_cover(h: &Hypergraph) -> Result<(f64, Vec<f64>), LpError>
 pub fn agm_bound(h: &Hypergraph, sizes: &[f64], cover: &[f64]) -> f64 {
     assert_eq!(sizes.len(), h.num_edges(), "one size per relation");
     assert_eq!(cover.len(), h.num_edges(), "one weight per relation");
-    sizes
-        .iter()
-        .zip(cover)
-        .map(|(&s, &x)| s.powf(x))
-        .product()
+    sizes.iter().zip(cover).map(|(&s, &x)| s.powf(x)).product()
 }
 
 /// `g(q) = q^ρ`: the paper's upper bound on the number of join outputs a
@@ -233,10 +235,7 @@ mod tests {
     #[test]
     fn isolated_vertex_is_infeasible() {
         let h = Hypergraph::from_edges(3, vec![vec![0, 1]]);
-        assert_eq!(
-            fractional_edge_cover(&h).unwrap_err(),
-            LpError::Infeasible
-        );
+        assert_eq!(fractional_edge_cover(&h).unwrap_err(), LpError::Infeasible);
     }
 
     #[test]

@@ -229,8 +229,7 @@ impl Tableau {
                     let better = match leave {
                         None => true,
                         Some((li, lr)) => {
-                            ratio < lr - EPS
-                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            ratio < lr - EPS || (ratio < lr + EPS && self.basis[i] < self.basis[li])
                         }
                     };
                     if better {

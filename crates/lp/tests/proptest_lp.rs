@@ -18,10 +18,7 @@ use proptest::prelude::*;
 fn covering_lp() -> impl Strategy<Value = LinearProgram> {
     (2usize..5, 2usize..5).prop_flat_map(|(nvars, nrows)| {
         let c = proptest::collection::vec(0.1f64..5.0, nvars);
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0.0f64..3.0, nvars),
-            nrows,
-        );
+        let rows = proptest::collection::vec(proptest::collection::vec(0.0f64..3.0, nvars), nrows);
         let b = proptest::collection::vec(0.5f64..4.0, nrows);
         (c, rows, b).prop_filter_map("rows must have a positive entry", |(c, rows, b)| {
             if rows.iter().any(|r| r.iter().all(|&a| a < 0.2)) {

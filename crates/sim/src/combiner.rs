@@ -79,7 +79,7 @@ where
     O: Send,
 {
     let workers = config.workers.max(1).min(inputs.len().max(1));
-    let chunk = inputs.len().div_ceil(workers.max(1)).max(1);
+    let chunk = inputs.len().div_ceil(workers);
     let chunks: Vec<&[I]> = if inputs.is_empty() {
         Vec::new()
     } else {
@@ -107,18 +107,7 @@ where
     let per_worker: Vec<(u64, BTreeMap<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
         chunks.iter().map(|c| combine_chunk(c)).collect()
     } else {
-        let mut results = Vec::with_capacity(chunks.len());
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|c| s.spawn(move |_| combine_chunk(c)))
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("combine worker panicked"));
-            }
-        })
-        .expect("combine scope panicked");
-        results
+        crate::engine::run_chunked(chunks, combine_chunk)
     };
 
     let pre_combine_pairs: u64 = per_worker.iter().map(|(e, _)| *e).sum();
@@ -201,9 +190,13 @@ mod tests {
     fn combined_output_equals_uncombined() {
         let docs = corpus();
         let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
-        let (plain, _) =
-            run_round(&docs, &wordcount_mapper(), &sum_reducer(), &EngineConfig::sequential())
-                .unwrap();
+        let (plain, _) = run_round(
+            &docs,
+            &wordcount_mapper(),
+            &sum_reducer(),
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
         for workers in [1usize, 4] {
             let cfg = EngineConfig::parallel(workers);
             let (combined, m) =
@@ -244,14 +237,9 @@ mod tests {
         let docs = corpus();
         let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
         let cfg = EngineConfig::parallel(4).with_max_reducer_inputs(4);
-        assert!(run_round_combined(
-            &docs,
-            &wordcount_mapper(),
-            &combiner,
-            &sum_reducer(),
-            &cfg
-        )
-        .is_ok());
+        assert!(
+            run_round_combined(&docs, &wordcount_mapper(), &combiner, &sum_reducer(), &cfg).is_ok()
+        );
         assert!(run_round(&docs, &wordcount_mapper(), &sum_reducer(), &cfg).is_err());
     }
 
@@ -279,12 +267,22 @@ mod tests {
         let reducer = FnReducer(|k: &u32, vs: &[i64], emit: &mut dyn FnMut((u32, i64))| {
             emit((*k, *vs.iter().min().unwrap()))
         });
-        let (seq, _) =
-            run_round_combined(&inputs, &mapper, &combiner, &reducer, &EngineConfig::sequential())
-                .unwrap();
-        let (par, _) =
-            run_round_combined(&inputs, &mapper, &combiner, &reducer, &EngineConfig::parallel(3))
-                .unwrap();
+        let (seq, _) = run_round_combined(
+            &inputs,
+            &mapper,
+            &combiner,
+            &reducer,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        let (par, _) = run_round_combined(
+            &inputs,
+            &mapper,
+            &combiner,
+            &reducer,
+            &EngineConfig::parallel(3),
+        )
+        .unwrap();
         assert_eq!(seq, par);
         // Spot-check one group: keys 0..7, min over arithmetic sequence.
         let expected_min_for_0 = (0..100)

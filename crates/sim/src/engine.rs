@@ -21,9 +21,10 @@ use std::fmt::Debug;
 /// Engine configuration for one round.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Number of worker threads. `1` runs fully sequentially on the calling
-    /// thread; larger values shard the map and reduce phases with
-    /// `crossbeam` scoped threads. Results are identical either way.
+    /// Number of worker threads. `0` and `1` both run fully sequentially on
+    /// the calling thread; larger values shard the map and reduce phases
+    /// with `std::thread::scope` scoped threads. Results are identical
+    /// either way.
     pub workers: usize,
     /// The paper's reducer-size bound `q`: if set, a reducer receiving more
     /// than this many values aborts the round.
@@ -139,6 +140,24 @@ where
     Ok((outputs, metrics))
 }
 
+/// Runs `f` over each chunk on its own `std::thread::scope` thread and
+/// returns the results in chunk order — the one parallel substrate shared
+/// by the map, reduce, and combine phases. Chunk order in, chunk order
+/// out is what makes parallel execution bit-identical to sequential.
+pub(crate) fn run_chunked<T: Sync, R: Send>(
+    chunks: Vec<&[T]>,
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
 /// Runs the map phase, returning all emissions in input order.
 fn map_phase<I, K, V>(
     inputs: &[I],
@@ -160,25 +179,13 @@ where
     let workers = config.workers.min(inputs.len());
     let chunk = inputs.len().div_ceil(workers);
     let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
-    let mut results: Vec<Vec<(K, V)>> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| {
-                s.spawn(move |_| {
-                    let mut pairs = Vec::new();
-                    for input in c {
-                        mapper.map(input, &mut |k, v| pairs.push((k, v)));
-                    }
-                    pairs
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("map worker panicked"));
+    let results = run_chunked(chunks, |c| {
+        let mut pairs = Vec::new();
+        for input in c {
+            mapper.map(input, &mut |k, v| pairs.push((k, v)));
         }
-    })
-    .expect("map scope panicked");
+        pairs
+    });
     // Concatenate in chunk order == input order.
     results.into_iter().flatten().collect()
 }
@@ -215,25 +222,13 @@ where
     let workers = config.workers.min(entries.len());
     let chunk = entries.len().div_ceil(workers);
     let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
-    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| {
-                s.spawn(move |_| {
-                    let mut outputs = Vec::new();
-                    for (k, vs) in c {
-                        reducer.reduce(k, vs, &mut |o| outputs.push(o));
-                    }
-                    outputs
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("reduce worker panicked"));
+    let results = run_chunked(chunks, |c| {
+        let mut outputs = Vec::new();
+        for (k, vs) in c {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o));
         }
-    })
-    .expect("reduce scope panicked");
+        outputs
+    });
     results.into_iter().flatten().collect()
 }
 
@@ -243,18 +238,17 @@ mod tests {
     use crate::mapper::{FnMapper, FnReducer};
 
     /// Word count, the canonical example (Example 2.5).
-    fn wordcount(
-        docs: &[&str],
-        config: &EngineConfig,
-    ) -> (Vec<(String, u64)>, RoundMetrics) {
+    fn wordcount(docs: &[&str], config: &EngineConfig) -> (Vec<(String, u64)>, RoundMetrics) {
         let mapper = FnMapper(|doc: &&str, emit: &mut dyn FnMut(String, u64)| {
             for w in doc.split_whitespace() {
                 emit(w.to_string(), 1);
             }
         });
-        let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
-            emit((k.clone(), vs.iter().sum()))
-        });
+        let reducer = FnReducer(
+            |k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+                emit((k.clone(), vs.iter().sum()))
+            },
+        );
         run_round(docs, &mapper, &reducer, config).expect("no q bound set")
     }
 
@@ -262,14 +256,7 @@ mod tests {
     fn wordcount_sequential() {
         let docs = ["a b a", "b c", "a"];
         let (out, m) = wordcount(&docs, &EngineConfig::sequential());
-        assert_eq!(
-            out,
-            vec![
-                ("a".into(), 3),
-                ("b".into(), 2),
-                ("c".into(), 1)
-            ]
-        );
+        assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
         assert_eq!(m.inputs, 3);
         assert_eq!(m.kv_pairs, 6); // six word occurrences
         assert_eq!(m.reducers, 3);
@@ -295,9 +282,8 @@ mod tests {
     fn reducer_overflow_detected() {
         let inputs: Vec<u32> = (0..10).collect();
         let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 2, *x));
-        let reducer = FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| {
-            emit(vs.len() as u32)
-        });
+        let reducer =
+            FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| emit(vs.len() as u32));
         let cfg = EngineConfig::sequential().with_max_reducer_inputs(4);
         let err = run_round(&inputs, &mapper, &reducer, &cfg).unwrap_err();
         match err {
@@ -334,9 +320,8 @@ mod tests {
         // All inputs go to one key; values must arrive in input order.
         let inputs: Vec<u32> = (0..50).collect();
         let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *x));
-        let reducer = FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(Vec<u32>)| {
-            emit(vs.to_vec())
-        });
+        let reducer =
+            FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(Vec<u32>)| emit(vs.to_vec()));
         for cfg in [EngineConfig::sequential(), EngineConfig::parallel(4)] {
             let (out, _) = run_round(&inputs, &mapper, &reducer, &cfg).unwrap();
             assert_eq!(out.len(), 1);
@@ -369,5 +354,123 @@ mod tests {
         let (_, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
         assert!((m.replication_rate() - 3.0).abs() < 1e-12);
         assert_eq!(m.reducers, 5);
+    }
+
+    #[test]
+    fn zero_workers_runs_sequentially() {
+        // workers = 0 is a degenerate config users can build by hand; it
+        // must behave exactly like the sequential engine, not hang or
+        // panic trying to spawn zero threads.
+        let docs = ["a b a", "b c", "a"];
+        let zero = EngineConfig {
+            workers: 0,
+            max_reducer_inputs: None,
+        };
+        let (out, m) = wordcount(&docs, &zero);
+        let (seq_out, seq_m) = wordcount(&docs, &EngineConfig::sequential());
+        assert_eq!(out, seq_out);
+        assert_eq!(m, seq_m);
+    }
+
+    #[test]
+    fn parallel_constructor_clamps_zero_workers() {
+        assert_eq!(EngineConfig::parallel(0).workers, 1);
+    }
+
+    #[test]
+    fn empty_input_parallel_yields_empty_round() {
+        // Empty input with a multi-worker config: no chunks, no threads,
+        // empty output, zeroed metrics.
+        let inputs: Vec<u32> = vec![];
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x, *x));
+        let reducer = FnReducer(|_: &u32, _: &[u32], emit: &mut dyn FnMut(u32)| emit(0));
+        let (out, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(8)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(m.inputs, 0);
+        assert_eq!(m.kv_pairs, 0);
+        assert_eq!(m.reducers, 0);
+    }
+
+    #[test]
+    fn reducer_overflow_reports_offending_key() {
+        // Exactly one key is over budget: the first 3 inputs all map to
+        // key 7, every other input gets its own key.
+        let inputs: Vec<u32> = (0..10).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| {
+            if *x < 3 {
+                emit(7, *x);
+            } else {
+                emit(100 + *x, *x);
+            }
+        });
+        let reducer = FnReducer(|_: &u32, _: &[u32], _: &mut dyn FnMut(u32)| {});
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
+        let err = run_round(&inputs, &mapper, &reducer, &cfg).unwrap_err();
+        let EngineError::ReducerOverflow { key, load, limit } = err;
+        assert_eq!(key, "7");
+        assert_eq!(load, 3);
+        assert_eq!(limit, 2);
+    }
+
+    #[test]
+    fn overflow_error_displays_key_load_and_limit() {
+        let err = EngineError::ReducerOverflow {
+            key: "\"hub\"".into(),
+            load: 12,
+            limit: 8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("\"hub\""), "missing key in: {msg}");
+        assert!(msg.contains("12"), "missing load in: {msg}");
+        assert!(msg.contains("q=8"), "missing limit in: {msg}");
+    }
+
+    #[test]
+    fn overflow_precedes_reduce_regardless_of_workers() {
+        // The q check runs on the shuffled groups, before any reducer
+        // executes — so parallel and sequential runs fail identically.
+        let inputs: Vec<u32> = (0..100).collect();
+        let mapper = FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 4, *x));
+        let reducer = FnReducer(|_: &u32, _: &[u32], _: &mut dyn FnMut(u32)| {
+            panic!("reducer must not run on an over-budget round")
+        });
+        for workers in [1usize, 4] {
+            let cfg = EngineConfig::parallel(workers).with_max_reducer_inputs(10);
+            let err = run_round(&inputs, &mapper, &reducer, &cfg).unwrap_err();
+            let EngineError::ReducerOverflow { load, limit, .. } = err;
+            assert_eq!(load, 25);
+            assert_eq!(limit, 10);
+        }
+    }
+
+    #[test]
+    fn determinism_across_worker_counts_thousand_keys() {
+        // Acceptance gate for the std::thread::scope port: ≥ 1000 distinct
+        // reduce keys, and every worker count produces byte-identical
+        // outputs AND metrics to the sequential run.
+        let inputs: Vec<u64> = (0..5_000).collect();
+        let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| {
+            // 2 emissions per input over 1250 keys → every key gets 8 values.
+            emit(*x % 1250, *x);
+            emit((x * 7 + 3) % 1250, x * x);
+        });
+        let reducer = FnReducer(
+            |k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))| {
+                emit((*k, vs.len() as u64, vs.iter().fold(0u64, |a, v| a ^ v)))
+            },
+        );
+        let (seq_out, seq_m) =
+            run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert!(
+            seq_m.reducers >= 1000,
+            "need ≥1000 keys, got {}",
+            seq_m.reducers
+        );
+        for workers in [2usize, 3, 4, 7, 16] {
+            let (out, m) =
+                run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(workers)).unwrap();
+            assert_eq!(seq_out, out, "outputs diverged at workers={workers}");
+            assert_eq!(seq_m, m, "metrics diverged at workers={workers}");
+        }
     }
 }

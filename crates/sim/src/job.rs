@@ -117,11 +117,11 @@ mod tests {
     fn single_round_job_matches_run_round() {
         let job: Job<u32, u32> = Job::single(
             FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 3, *x)),
-            FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| {
-                emit(vs.iter().sum())
-            }),
+            FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| emit(vs.iter().sum())),
         );
-        let (out, m) = job.run((0..9).collect(), &EngineConfig::sequential()).unwrap();
+        let (out, m) = job
+            .run((0..9).collect(), &EngineConfig::sequential())
+            .unwrap();
         assert_eq!(out, vec![9, 12, 15]); // per-residue sums mod 3
         assert_eq!(m.rounds.len(), 1);
         assert_eq!(m.max_reducer_load(), 3);
@@ -136,9 +136,7 @@ mod tests {
         )
         .then(
             FnMapper(|x: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *x)),
-            FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(u32)| {
-                emit(vs.iter().sum())
-            }),
+            FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(u32)| emit(vs.iter().sum())),
         );
         let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
         let err = job.run((0..5).collect(), &cfg).unwrap_err();

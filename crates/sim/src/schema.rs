@@ -96,7 +96,9 @@ mod tests {
 
     impl SchemaJob<u32, u32> for Replicate {
         fn assign(&self, input: &u32) -> Vec<ReducerId> {
-            (0..self.0).map(|g| g * 100 + (*input as u64 % 10)).collect()
+            (0..self.0)
+                .map(|g| g * 100 + (*input as u64 % 10))
+                .collect()
         }
         fn reduce(&self, _r: ReducerId, _inputs: &[u32], _emit: &mut dyn FnMut(u32)) {}
     }
@@ -105,8 +107,7 @@ mod tests {
     fn replication_rate_equals_assignments_per_input() {
         let inputs: Vec<u32> = (0..100).collect();
         for c in [1u64, 2, 5] {
-            let (_, m) =
-                run_schema(&inputs, &Replicate(c), &EngineConfig::sequential()).unwrap();
+            let (_, m) = run_schema(&inputs, &Replicate(c), &EngineConfig::sequential()).unwrap();
             assert!(
                 (m.replication_rate() - c as f64).abs() < 1e-12,
                 "c={c} gave r={}",

@@ -2,9 +2,7 @@
 //! combiner transparency for associative-commutative folds, and pipeline
 //! metric identities.
 
-use mr_sim::{
-    run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer, Job,
-};
+use mr_sim::{run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer, Job};
 use proptest::prelude::*;
 
 proptest! {

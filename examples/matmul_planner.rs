@@ -10,10 +10,10 @@
 //! budget `q < n²`, with the optimal first-phase blocks at aspect ratio
 //! 2:1.
 
+use mapreduce_bounds::core::problems::matmul::problem::run_one_phase;
 use mapreduce_bounds::core::problems::matmul::{
     one_phase_communication, two_phase_communication, Matrix, OnePhaseSchema, TwoPhaseMatMul,
 };
-use mapreduce_bounds::core::problems::matmul::problem::run_one_phase;
 use mapreduce_bounds::sim::EngineConfig;
 
 fn main() {
@@ -51,7 +51,10 @@ fn main() {
         );
     }
 
-    println!("\nAnalytic curves (4n⁴/q vs 4n³/√q) cross at q = n² = {}:", n * n);
+    println!(
+        "\nAnalytic curves (4n⁴/q vs 4n³/√q) cross at q = n² = {}:",
+        n * n
+    );
     for q in [256.0, 1024.0, (n * n) as f64, 4.0 * (n * n) as f64] {
         println!(
             "  q = {:>6}: one-phase {:>10.0}, two-phase {:>10.0}",

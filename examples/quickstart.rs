@@ -19,7 +19,10 @@ fn main() {
     let problem = HammingProblem::distance_one(b);
     println!("Hamming-distance-1 problem, b = {b}");
     println!("  |I| = {} potential inputs", problem.closed_form_inputs());
-    println!("  |O| = {} potential outputs", problem.closed_form_outputs());
+    println!(
+        "  |O| = {} potential outputs",
+        problem.closed_form_outputs()
+    );
 
     // The paper's lower-bound recipe (§2.4 instantiated by Theorem 3.2):
     // any schema with reducer size q has replication rate >= b / log2(q).
@@ -34,7 +37,10 @@ fn main() {
 
     // The Splitting algorithm (§3.3) meets the bound exactly at q = 2^{b/c}.
     println!("\nSplitting algorithm, validated exhaustively:");
-    println!("  {:>3} {:>8} {:>12} {:>12} {:>8}", "c", "q", "r (measured)", "r (bound)", "valid");
+    println!(
+        "  {:>3} {:>8} {:>12} {:>12} {:>8}",
+        "c", "q", "r (measured)", "r (bound)", "valid"
+    );
     for c in [1u32, 2, 3, 4, 6, 12] {
         let schema = SplittingSchema::new(b, c);
         let report = validate_schema(&problem, &schema);

@@ -12,14 +12,15 @@
 
 use mapreduce_bounds::core::cost::CostModel;
 use mapreduce_bounds::core::model::{validate_schema, MappingSchema};
-use mapreduce_bounds::core::problems::hamming::{
-    HammingProblem, SplittingSchema, WeightSchema2D,
-};
+use mapreduce_bounds::core::problems::hamming::{HammingProblem, SplittingSchema, WeightSchema2D};
 
 fn main() {
     let b = 16;
     let problem = HammingProblem::distance_one(b);
-    println!("Similarity join on {b}-bit fingerprints ({} potential keys)\n", 1u64 << b);
+    println!(
+        "Similarity join on {b}-bit fingerprints ({} potential keys)\n",
+        1u64 << b
+    );
 
     // Candidate schemas across the tradeoff curve.
     println!(

@@ -44,18 +44,18 @@ fn main() {
         "{:>6} {:>18} {:>12} {:>12} {:>14} {:>8}",
         "p", "shares", "q (max)", "r (measured)", "r (formula)", "correct"
     );
-    let sizes = vec![fact_size as u64, dim_size as u64, dim_size as u64, dim_size as u64];
+    let sizes = vec![
+        fact_size as u64,
+        dim_size as u64,
+        dim_size as u64,
+        dim_size as u64,
+    ];
     for p in [8u64, 64, 512] {
         let shares = optimize_shares(&query, &sizes, p);
         let schema = SharesSchema::new(query.clone(), shares.clone());
         let (mut got, metrics) = schema.run(&db, &EngineConfig::parallel(4)).unwrap();
         got.sort_unstable();
-        let formula = star_replication(
-            fact_size as f64,
-            dim_size as f64,
-            num_dims,
-            p as f64,
-        );
+        let formula = star_replication(fact_size as f64, dim_size as f64, num_dims, p as f64);
         println!(
             "{:>6} {:>18} {:>12} {:>12.3} {:>14.3} {:>8}",
             p,

@@ -80,10 +80,8 @@ fn triangles_end_to_end() {
     let schema = NodePartitionSchema::new(n as u32, 5);
     let report = validate_schema(&problem, &schema);
     assert!(report.is_valid());
-    let bound = mapreduce_bounds::core::problems::triangle::lower_bound_r(
-        n as u32,
-        report.max_load as f64,
-    );
+    let bound =
+        mapreduce_bounds::core::problems::triangle::lower_bound_r(n as u32, report.max_load as f64);
     assert!(report.replication_rate >= bound * 0.9);
     assert!(report.replication_rate <= bound * 4.0);
 }
