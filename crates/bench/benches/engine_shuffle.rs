@@ -1,0 +1,68 @@
+//! Shuffle-stage microbenchmark: the workload is deliberately
+//! shuffle-bound — a trivial mapper (one integer key per input, no
+//! allocation) and a trivial reducer (count) over a large key cardinality,
+//! so grouping + sorting + merging dominate the round. This is the stage
+//! the hash-partitioned shuffle parallelises; before it, the shuffle was
+//! the one serial stage left in the hot path.
+//!
+//! Two distributions:
+//! * `uniform_150k` — 300k pairs over 150k distinct keys (the
+//!   large-key-cardinality regime of the 2-path and join experiments),
+//! * `hot_key_10pct` — same volume but 10% of all pairs hash to a single
+//!   hub key, the paper's §1.4 skew caveat at engine level: the hub's
+//!   partition caps the speedup (see `RoundMetrics::shuffle`'s
+//!   partition-skew ratio).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
+use std::hint::black_box;
+
+const N: u64 = 300_000;
+
+fn bench_distribution(c: &mut Criterion, group_name: &str, key_of: fn(u64) -> u64) {
+    let inputs: Vec<u64> = (0..N).collect();
+    let mapper = FnMapper(move |x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(key_of(*x), *x));
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.len() as u64))
+    });
+
+    let mut grp = c.benchmark_group(group_name);
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(N));
+    for workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, &workers| {
+                let cfg = if workers == 1 {
+                    EngineConfig::sequential()
+                } else {
+                    EngineConfig::parallel(workers)
+                };
+                bencher.iter(|| {
+                    run_round(black_box(&inputs), &mapper, &reducer, &cfg)
+                        .unwrap()
+                        .1
+                        .reducers
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    // 150k distinct keys, ~2 values each: maximal grouping work per pair.
+    bench_distribution(c, "engine_shuffle/uniform_150k", |x| x % 150_000);
+    // One hub key owns 10% of all pairs; the rest spread over 135k keys.
+    bench_distribution(c, "engine_shuffle/hot_key_10pct", |x| {
+        if x % 10 == 0 {
+            u64::MAX
+        } else {
+            x % 135_000
+        }
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Engine microbenchmark: raw map-shuffle-reduce throughput, sequential
-//! vs parallel, on the canonical word-count job (Example 2.5).
+//! vs parallel, on the canonical word-count job (Example 2.5) plus a
+//! shuffle-bound high-key-cardinality workload where the partitioned
+//! shuffle — not the map or reduce functions — is the dominant stage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
@@ -53,5 +55,44 @@ fn bench(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench);
+/// Shuffle-bound workload: trivial map and reduce over 200k distinct u64
+/// keys, so wall-clock is dominated by grouping, sorting, and merging —
+/// the stage the hash-partitioned shuffle spreads across workers.
+fn bench_shuffle_bound(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..200_000u64).collect();
+    let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| {
+        // Multiply by a large odd constant so key order differs from
+        // input order and every BTree insertion pays for its search.
+        emit(x.wrapping_mul(0x9E37_79B9_7F4A_7C15), *x)
+    });
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.len() as u64))
+    });
+
+    let mut grp = c.benchmark_group("engine_shuffle_bound");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(inputs.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, &workers| {
+                let cfg = if workers == 1 {
+                    EngineConfig::sequential()
+                } else {
+                    EngineConfig::parallel(workers)
+                };
+                bencher.iter(|| {
+                    run_round(black_box(&inputs), &mapper, &reducer, &cfg)
+                        .unwrap()
+                        .1
+                        .reducers
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench, bench_shuffle_bound);
 criterion_main!(benches);

@@ -8,11 +8,12 @@
 //! changing the mapping schema. [`run_round_combined`] measures both
 //! numbers so the gap is visible.
 
-use crate::engine::{EngineConfig, EngineError};
+use crate::engine::{partition_of, reduce_phase, shuffle_partitioned, EngineConfig, EngineError};
 use crate::mapper::{Mapper, Reducer};
-use crate::metrics::{LoadStats, RoundMetrics};
+use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
+use std::hash::Hash;
 
 /// Merges the accumulated value with one more emitted value.
 ///
@@ -65,6 +66,14 @@ impl CombinedMetrics {
 /// Each map worker combines its own emissions per key before they enter
 /// the shuffle, exactly like Hadoop's combiner running on mapper output.
 /// The reduce function then sees one value per (worker, key) pair.
+///
+/// With `workers > 1` the post-combine shuffle is hash-partitioned like
+/// the plain engine's: every worker scatters its combined map into
+/// `P = workers` buckets, partitions are group-sorted and budget-checked
+/// concurrently, and the merged result is reduced in key order. Combiner
+/// accounting stays exact under partitioning — `pre_combine_pairs` is
+/// summed per worker before the scatter, and the wire pair count is the
+/// sum of partition loads, so neither depends on how keys hash.
 pub fn run_round_combined<I, K, V, O>(
     inputs: &[I],
     mapper: &dyn Mapper<I, K, V>,
@@ -74,11 +83,12 @@ pub fn run_round_combined<I, K, V, O>(
 ) -> Result<(Vec<O>, CombinedMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Clone + Debug + Send + Sync,
+    K: Ord + Hash + Clone + Debug + Send + Sync,
     V: Send + Sync,
     O: Send,
 {
-    let workers = config.workers.max(1).min(inputs.len().max(1));
+    let configured_workers = config.effective_workers();
+    let workers = configured_workers.min(inputs.len().max(1));
     let chunk = inputs.len().div_ceil(workers);
     let chunks: Vec<&[I]> = if inputs.is_empty() {
         Vec::new()
@@ -110,36 +120,57 @@ where
         crate::engine::run_chunked(chunks, combine_chunk)
     };
 
+    // Pre-combine accounting happens per worker, before any partitioning:
+    // the paper's replication numerator is independent of the shuffle.
     let pre_combine_pairs: u64 = per_worker.iter().map(|(e, _)| *e).sum();
 
-    // Shuffle: one combined value per (worker, key).
-    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-    let mut wire_pairs = 0u64;
-    for (_, map) in per_worker {
-        for (k, v) in map {
-            wire_pairs += 1;
-            groups.entry(k).or_default().push(v);
-        }
-    }
-
-    if let Some(q) = config.max_reducer_inputs {
-        for (k, vs) in &groups {
-            if vs.len() as u64 > q {
-                return Err(EngineError::ReducerOverflow {
-                    key: format!("{k:?}"),
-                    load: vs.len() as u64,
-                    limit: q,
-                });
+    let (entries, wire_pairs, shuffle_stats) = if configured_workers <= 1 {
+        // Sequential shuffle: one partition, one combined value per
+        // (worker, key).
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut wire_pairs = 0u64;
+        for (_, map) in per_worker {
+            for (k, v) in map {
+                wire_pairs += 1;
+                groups.entry(k).or_default().push(v);
             }
         }
-    }
+        if let Some(q) = config.max_reducer_inputs {
+            for (k, vs) in &groups {
+                if vs.len() as u64 > q {
+                    return Err(EngineError::ReducerOverflow {
+                        key: format!("{k:?}"),
+                        load: vs.len() as u64,
+                        limit: q,
+                    });
+                }
+            }
+        }
+        let stats = ShuffleStats::from_partition_loads(&[wire_pairs]);
+        let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+        (entries, wire_pairs, stats)
+    } else {
+        // Partitioned shuffle: scatter each worker's combined map (in
+        // worker order, ascending keys within a worker — the same order
+        // the sequential shuffle consumes) into P hash buckets. P reuses
+        // the input-clamped worker count so a huge worker count over a
+        // tiny input stays cheap.
+        let p = workers;
+        let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut wire_pairs = 0u64;
+        for (_, map) in per_worker {
+            for (k, v) in map {
+                wire_pairs += 1;
+                partitions[partition_of(&k, p)].push((k, v));
+            }
+        }
+        let (entries, stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+        (entries, wire_pairs, stats)
+    };
 
-    let loads: Vec<u64> = groups.values().map(|v| v.len() as u64).collect();
-    let reducers = groups.len() as u64;
-    let mut outputs = Vec::new();
-    for (k, vs) in &groups {
-        reducer.reduce(k, vs, &mut |o| outputs.push(o));
-    }
+    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
+    let reducers = entries.len() as u64;
+    let outputs = reduce_phase(&entries, reducer, configured_workers);
 
     let metrics = CombinedMetrics {
         round: RoundMetrics {
@@ -153,6 +184,7 @@ where
                 l.sort_unstable();
                 l
             },
+            shuffle: shuffle_stats,
         },
         pre_combine_pairs,
     };
@@ -241,6 +273,32 @@ mod tests {
             run_round_combined(&docs, &wordcount_mapper(), &combiner, &sum_reducer(), &cfg).is_ok()
         );
         assert!(run_round(&docs, &wordcount_mapper(), &sum_reducer(), &cfg).is_err());
+    }
+
+    #[test]
+    fn huge_worker_count_on_tiny_input_is_clamped() {
+        // Regression twin of the engine test: the combined path's
+        // partition count is clamped to the input size too.
+        let docs: Vec<String> = vec!["a b".into(), "b c".into()];
+        let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
+        let (seq, _) = run_round_combined(
+            &docs,
+            &wordcount_mapper(),
+            &combiner,
+            &sum_reducer(),
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        let (par, m) = run_round_combined(
+            &docs,
+            &wordcount_mapper(),
+            &combiner,
+            &sum_reducer(),
+            &EngineConfig::parallel(100_000),
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        assert!(m.round.shuffle.partitions <= docs.len() as u64);
     }
 
     #[test]

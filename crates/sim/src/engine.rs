@@ -7,24 +7,45 @@
 //! keys are processed in ascending order, and outputs are concatenated in
 //! key order.
 //!
+//! # Shuffle architecture
+//!
+//! With `workers <= 1` the shuffle is a single `BTreeMap` insertion pass.
+//! With `workers > 1` the engine runs a **parallel hash-partitioned
+//! shuffle**: map workers scatter each emission into one of
+//! `P = min(workers, inputs)` hash buckets as they run
+//! ([`map_scatter_phase`]), every partition is
+//! group-sorted and `q`-budget-checked on its own scoped thread
+//! ([`shuffle_partitioned`]), and the per-partition sorted runs are merged
+//! in ascending key order. Because a key's pairs all hash to the same
+//! partition and worker buckets are concatenated in chunk (= input) order,
+//! the merged groups — and therefore outputs and semantic metrics — are
+//! identical to the sequential path for every worker count. Only the
+//! [`ShuffleStats`] execution metadata (partition count and balance)
+//! differs, and that is excluded from metric equality by design.
+//!
 //! The engine enforces the paper's central constraint when asked: if
 //! [`EngineConfig::max_reducer_inputs`] (the paper's `q`) is set and any
 //! reducer receives more values, the round fails with
 //! [`EngineError::ReducerOverflow`] instead of silently running an
-//! over-budget reducer.
+//! over-budget reducer. The parallel path checks each partition
+//! concurrently but reports the same offender as the sequential path: the
+//! smallest over-budget key in key order.
 
 use crate::mapper::{Mapper, Reducer};
-use crate::metrics::{LoadStats, RoundMetrics};
+use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
 
 /// Engine configuration for one round.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of worker threads. `0` and `1` both run fully sequentially on
-    /// the calling thread; larger values shard the map and reduce phases
-    /// with `std::thread::scope` scoped threads. Results are identical
-    /// either way.
+    /// the calling thread; larger values shard the map, shuffle, and reduce
+    /// phases with `std::thread::scope` scoped threads. Results are
+    /// identical either way. The raw value is preserved as written;
+    /// [`effective_workers`](EngineConfig::effective_workers) is the single
+    /// place the degenerate `0` is clamped.
     pub workers: usize,
     /// The paper's reducer-size bound `q`: if set, a reducer receiving more
     /// than this many values aborts the round.
@@ -46,12 +67,24 @@ impl EngineConfig {
         Self::default()
     }
 
-    /// Parallel execution with `workers` threads.
+    /// Parallel execution with `workers` threads. The value is stored as
+    /// given (including `0`); clamping happens uniformly in
+    /// [`effective_workers`](EngineConfig::effective_workers), so
+    /// `parallel(0)` and a hand-built `EngineConfig { workers: 0, .. }`
+    /// behave identically (sequential execution).
     pub fn parallel(workers: usize) -> Self {
         EngineConfig {
-            workers: workers.max(1),
+            workers,
             max_reducer_inputs: None,
         }
+    }
+
+    /// The worker count the engine actually uses: `workers` clamped to at
+    /// least 1. This is the **only** clamp site — every execution path
+    /// (engine, combiner, jobs, schemas) normalises the degenerate
+    /// `workers: 0` through here.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
     }
 
     /// Sets the reducer-size bound `q`.
@@ -100,12 +133,35 @@ pub fn run_round<I, K, V, O>(
 ) -> Result<(Vec<O>, RoundMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Debug + Send + Sync,
+    K: Ord + Hash + Debug + Send + Sync,
     V: Send + Sync,
     O: Send,
 {
-    let pairs = map_phase(inputs, mapper, config);
+    let workers = config.effective_workers();
+    if workers <= 1 {
+        run_round_sequential(inputs, mapper, reducer, config)
+    } else {
+        run_round_partitioned(inputs, mapper, reducer, config, workers)
+    }
+}
+
+/// The fully sequential path: one shuffle partition, everything on the
+/// calling thread.
+fn run_round_sequential<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    K: Ord + Debug,
+{
+    let mut pairs = Vec::new();
+    for input in inputs {
+        mapper.map(input, &mut |k, v| pairs.push((k, v)));
+    }
     let kv_pairs = pairs.len() as u64;
+    let shuffle_stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
     let groups = shuffle(pairs);
 
     // Enforce the reducer-size budget before reducing.
@@ -121,29 +177,84 @@ where
         }
     }
 
-    let loads: Vec<u64> = groups.values().map(|v| v.len() as u64).collect();
-    let reducers = groups.len() as u64;
-    let outputs = reduce_phase(groups, reducer, config);
-
-    let metrics = RoundMetrics {
-        inputs: inputs.len() as u64,
+    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    let mut outputs = Vec::new();
+    for (k, vs) in &entries {
+        reducer.reduce(k, vs, &mut |o| outputs.push(o));
+    }
+    let metrics = round_metrics(
+        inputs.len(),
         kv_pairs,
-        reducers,
-        outputs: outputs.len() as u64,
+        &entries,
+        outputs.len(),
+        shuffle_stats,
+    );
+    Ok((outputs, metrics))
+}
+
+/// The parallel path: scatter → per-partition group/check → key-order
+/// merge → chunked reduce.
+fn run_round_partitioned<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+    workers: usize,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    // Partition count: P = workers, clamped to the input size so a huge
+    // worker count over a tiny input never spawns more threads (or
+    // allocates more buckets) than there are inputs — the same envelope
+    // the chunked map and reduce phases have always had.
+    let p = workers.min(inputs.len()).max(1);
+    let partitions = map_scatter_phase(inputs, mapper, workers, p);
+    let kv_pairs: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    let (entries, shuffle_stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+    let outputs = reduce_phase(&entries, reducer, workers);
+    let metrics = round_metrics(
+        inputs.len(),
+        kv_pairs,
+        &entries,
+        outputs.len(),
+        shuffle_stats,
+    );
+    Ok((outputs, metrics))
+}
+
+/// Assembles [`RoundMetrics`] from key-sorted groups.
+fn round_metrics<K, V>(
+    inputs: usize,
+    kv_pairs: u64,
+    entries: &[(K, Vec<V>)],
+    outputs: usize,
+    shuffle: ShuffleStats,
+) -> RoundMetrics {
+    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
+    RoundMetrics {
+        inputs: inputs as u64,
+        kv_pairs,
+        reducers: entries.len() as u64,
+        outputs: outputs as u64,
         load: LoadStats::from_loads(loads.clone()),
         loads: {
             let mut l = loads;
             l.sort_unstable();
             l
         },
-    };
-    Ok((outputs, metrics))
+        shuffle,
+    }
 }
 
 /// Runs `f` over each chunk on its own `std::thread::scope` thread and
-/// returns the results in chunk order — the one parallel substrate shared
-/// by the map, reduce, and combine phases. Chunk order in, chunk order
-/// out is what makes parallel execution bit-identical to sequential.
+/// returns the results in chunk order — the borrowed-slice form of the one
+/// parallel substrate shared by the map, shuffle, reduce, and combine
+/// phases. Chunk order in, chunk order out is what makes parallel
+/// execution bit-identical to sequential.
 pub(crate) fn run_chunked<T: Sync, R: Send>(
     chunks: Vec<&[T]>,
     f: impl Fn(&[T]) -> R + Sync,
@@ -158,39 +269,178 @@ pub(crate) fn run_chunked<T: Sync, R: Send>(
     })
 }
 
-/// Runs the map phase, returning all emissions in input order.
-fn map_phase<I, K, V>(
-    inputs: &[I],
-    mapper: &dyn Mapper<I, K, V>,
-    config: &EngineConfig,
-) -> Vec<(K, V)>
-where
-    I: Sync,
-    K: Send + Sync,
-    V: Send + Sync,
-{
-    if config.workers <= 1 || inputs.len() < 2 {
-        let mut pairs = Vec::new();
-        for input in inputs {
-            mapper.map(input, &mut |k, v| pairs.push((k, v)));
-        }
-        return pairs;
-    }
-    let workers = config.workers.min(inputs.len());
-    let chunk = inputs.len().div_ceil(workers);
-    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
-    let results = run_chunked(chunks, |c| {
-        let mut pairs = Vec::new();
-        for input in c {
-            mapper.map(input, &mut |k, v| pairs.push((k, v)));
-        }
-        pairs
-    });
-    // Concatenate in chunk order == input order.
-    results.into_iter().flatten().collect()
+/// Owned-item twin of [`run_chunked`]: runs `f` over each owned item on
+/// its own scoped thread, returning results in item order. Used for the
+/// per-partition grouping stage, which consumes its partition.
+pub(crate) fn run_owned<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.into_iter().map(|t| s.spawn(move || f(t))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
 }
 
-/// Groups emissions by key, preserving emission order within each key.
+/// Key-sorted reduce groups: one `(key, values)` entry per distinct key,
+/// ascending by key, values in arrival order.
+pub(crate) type Groups<K, V> = Vec<(K, Vec<V>)>;
+
+/// A deterministic, seed-free multiply-rotate hasher (FxHash-style) for
+/// partition routing. `std`'s `RandomState` is randomly seeded per
+/// process, which would make partition loads — and the committed bench
+/// baselines — irreproducible; this one hashes identically on every run.
+struct PartitionHasher(u64);
+
+impl Hasher for PartitionHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The hash partition (in `0..partitions`) that owns `key`. Every pair of
+/// a given key lands in the same partition, which is what lets grouping
+/// and budget checks run per-partition without cross-talk.
+pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = PartitionHasher(0);
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Runs the map phase, scattering emissions into `p` hash buckets as they
+/// are produced. Each map worker fills its own bucket set; bucket sets are
+/// then concatenated per partition in chunk order, so within any partition
+/// pairs appear in global input order.
+fn map_scatter_phase<I, K, V>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    workers: usize,
+    p: usize,
+) -> Vec<Vec<(K, V)>>
+where
+    I: Sync,
+    K: Hash + Send,
+    V: Send,
+{
+    let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+    if inputs.is_empty() {
+        return partitions;
+    }
+    let map_workers = workers.min(inputs.len());
+    let chunk = inputs.len().div_ceil(map_workers);
+    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+    let per_worker = run_chunked(chunks, |c| {
+        let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+        for input in c {
+            mapper.map(input, &mut |k, v| {
+                let b = partition_of(&k, p);
+                buckets[b].push((k, v));
+            });
+        }
+        buckets
+    });
+    for worker_buckets in per_worker {
+        for (pi, mut bucket) in worker_buckets.into_iter().enumerate() {
+            partitions[pi].append(&mut bucket);
+        }
+    }
+    partitions
+}
+
+/// Group-sorts and budget-checks every partition concurrently, then merges
+/// the per-partition sorted runs into one globally key-sorted group list.
+///
+/// Each partition is grouped into its own `BTreeMap` (preserving arrival
+/// order within a key) and scanned for over-budget keys on its own scoped
+/// thread. If any partition overflowed, the error names the globally
+/// smallest over-budget key — exactly the key the sequential path's
+/// in-key-order scan would have reported, even when several partitions
+/// overflow concurrently.
+pub(crate) fn shuffle_partitioned<K, V>(
+    partitions: Vec<Vec<(K, V)>>,
+    q: Option<u64>,
+) -> Result<(Groups<K, V>, ShuffleStats), EngineError>
+where
+    K: Ord + Debug + Send,
+    V: Send,
+{
+    let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
+    let stats = ShuffleStats::from_partition_loads(&partition_loads);
+
+    let grouped: Vec<(BTreeMap<K, Vec<V>>, bool)> = run_owned(partitions, |pairs| {
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in pairs {
+            groups.entry(k).or_default().push(v);
+        }
+        let over_budget = q.is_some_and(|q| groups.values().any(|vs| vs.len() as u64 > q));
+        (groups, over_budget)
+    });
+
+    if let Some(q) = q {
+        if grouped.iter().any(|(_, over)| *over) {
+            // Cold path: find the smallest over-budget key across the
+            // flagged partitions (each map iterates in ascending key
+            // order, so `find` yields its partition's smallest offender).
+            let mut worst: Option<(&K, u64)> = None;
+            for (groups, over) in &grouped {
+                if !over {
+                    continue;
+                }
+                if let Some((k, vs)) = groups.iter().find(|(_, vs)| vs.len() as u64 > q) {
+                    if worst.is_none_or(|(wk, _)| k < wk) {
+                        worst = Some((k, vs.len() as u64));
+                    }
+                }
+            }
+            let (k, load) = worst.expect("a flagged partition must contain an offender");
+            return Err(EngineError::ReducerOverflow {
+                key: format!("{k:?}"),
+                load,
+                limit: q,
+            });
+        }
+    }
+
+    // P-way merge of the ascending per-partition runs. Keys are disjoint
+    // across partitions, so picking the smallest head each step yields the
+    // exact sequence a single global BTreeMap would have produced.
+    let expected: usize = grouped.iter().map(|(g, _)| g.len()).sum();
+    let mut iters: Vec<_> = grouped.into_iter().map(|(g, _)| g.into_iter()).collect();
+    let mut heads: Vec<Option<(K, Vec<V>)>> = iters.iter_mut().map(|it| it.next()).collect();
+    let mut entries: Vec<(K, Vec<V>)> = Vec::with_capacity(expected);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let (bk, _) = heads[b].as_ref().expect("best head is occupied");
+                        if k < bk {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let Some(b) = best else { break };
+        entries.push(heads[b].take().expect("selected head is occupied"));
+        heads[b] = iters[b].next();
+    }
+    Ok((entries, stats))
+}
+
+/// Groups emissions by key, preserving emission order within each key —
+/// the single-partition shuffle used by the sequential path.
 fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
     let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for (k, v) in pairs {
@@ -199,27 +449,26 @@ fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
     groups
 }
 
-/// Runs the reduce phase over the grouped values, concatenating outputs in
+/// Runs the reduce phase over key-sorted groups, concatenating outputs in
 /// ascending key order.
-fn reduce_phase<K, V, O>(
-    groups: BTreeMap<K, Vec<V>>,
+pub(crate) fn reduce_phase<K, V, O>(
+    entries: &[(K, Vec<V>)],
     reducer: &dyn Reducer<K, V, O>,
-    config: &EngineConfig,
+    workers: usize,
 ) -> Vec<O>
 where
-    K: Ord + Send + Sync,
+    K: Send + Sync,
     V: Send + Sync,
     O: Send,
 {
-    if config.workers <= 1 || groups.len() < 2 {
+    if workers <= 1 || entries.len() < 2 {
         let mut outputs = Vec::new();
-        for (k, vs) in &groups {
+        for (k, vs) in entries {
             reducer.reduce(k, vs, &mut |o| outputs.push(o));
         }
         return outputs;
     }
-    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
-    let workers = config.workers.min(entries.len());
+    let workers = workers.min(entries.len());
     let chunk = entries.len().div_ceil(workers);
     let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
     let results = run_chunked(chunks, |c| {
@@ -373,8 +622,27 @@ mod tests {
     }
 
     #[test]
-    fn parallel_constructor_clamps_zero_workers() {
-        assert_eq!(EngineConfig::parallel(0).workers, 1);
+    fn zero_workers_clamped_in_exactly_one_place() {
+        // Both entry points preserve the raw value and defer the clamp to
+        // effective_workers(): parallel(0) is no longer silently rewritten
+        // to 1, and a hand-built config normalises identically.
+        let ctor = EngineConfig::parallel(0);
+        assert_eq!(ctor.workers, 0, "constructor must not rewrite the value");
+        assert_eq!(ctor.effective_workers(), 1);
+        let hand = EngineConfig {
+            workers: 0,
+            max_reducer_inputs: None,
+        };
+        assert_eq!(hand.effective_workers(), 1);
+        assert_eq!(EngineConfig::parallel(6).effective_workers(), 6);
+        // And through the engine: both degenerate configs run sequentially.
+        let docs = ["a b a", "b c", "a"];
+        let (seq_out, seq_m) = wordcount(&docs, &EngineConfig::sequential());
+        for cfg in [ctor, hand] {
+            let (out, m) = wordcount(&docs, &cfg);
+            assert_eq!(out, seq_out);
+            assert_eq!(m, seq_m);
+        }
     }
 
     #[test]
@@ -472,5 +740,84 @@ mod tests {
             assert_eq!(seq_out, out, "outputs diverged at workers={workers}");
             assert_eq!(seq_m, m, "metrics diverged at workers={workers}");
         }
+    }
+
+    #[test]
+    fn huge_worker_count_on_tiny_input_is_clamped() {
+        // Regression: P must be clamped to the input size, or a config
+        // like parallel(100_000) over 4 inputs would allocate 100k bucket
+        // Vecs per map worker and spawn 100k grouping threads. With the
+        // clamp, thread count per phase never exceeds inputs.len() —
+        // the envelope the chunked map/reduce phases have always had.
+        let docs = ["a b a", "b c", "a"];
+        let (seq_out, seq_m) = wordcount(&docs, &EngineConfig::sequential());
+        let (out, m) = wordcount(&docs, &EngineConfig::parallel(100_000));
+        assert_eq!(out, seq_out);
+        assert_eq!(m, seq_m);
+        assert!(
+            m.shuffle.partitions <= docs.len() as u64,
+            "partitions must be clamped to the input size, got {}",
+            m.shuffle.partitions
+        );
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for p in [1usize, 2, 3, 8, 16] {
+            for k in 0u64..500 {
+                let a = partition_of(&k, p);
+                assert!(a < p, "partition {a} out of range for p={p}");
+                assert_eq!(a, partition_of(&k, p), "routing must be stable");
+            }
+        }
+        // The hash must actually spread keys: with 8 partitions and 500
+        // distinct keys, every partition should own at least one key.
+        let mut seen = [false; 8];
+        for k in 0u64..500 {
+            seen[partition_of(&k, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash failed to reach a partition");
+    }
+
+    #[test]
+    fn shuffle_stats_reflect_partitioning() {
+        let inputs: Vec<u64> = (0..4_000).collect();
+        let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*x % 997, *x));
+        let reducer =
+            FnReducer(|_: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.len() as u64));
+        let (_, seq) = run_round(&inputs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert_eq!(seq.shuffle.partitions, 1);
+        assert_eq!(seq.shuffle.max_partition_load, seq.kv_pairs);
+        for workers in [2usize, 4, 8] {
+            let (_, par) =
+                run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(workers)).unwrap();
+            assert_eq!(
+                par.shuffle.partitions, workers as u64,
+                "P must equal workers"
+            );
+            // Partition loads are a partition of the shuffled pairs.
+            let mean_total = par.shuffle.mean_partition_load * workers as f64;
+            assert!((mean_total - par.kv_pairs as f64).abs() < 1e-6);
+            assert!(par.shuffle.min_partition_load <= par.shuffle.max_partition_load);
+            // 997 well-spread keys over ≤8 partitions: skew stays modest.
+            assert!(par.shuffle.partition_skew() >= 1.0);
+            assert!(par.shuffle.partition_skew() < 2.0, "unexpectedly skewed");
+        }
+    }
+
+    #[test]
+    fn single_hot_key_maximises_partition_skew() {
+        // All pairs share one key, so one partition carries everything:
+        // skew = max/mean = P, the engine-level picture of a §1.4 hub.
+        let inputs: Vec<u64> = (0..100).collect();
+        let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u8, u64)| emit(0, *x));
+        let reducer =
+            FnReducer(|_: &u8, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.len() as u64));
+        let (out, m) = run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(4)).unwrap();
+        assert_eq!(out, vec![100]);
+        assert_eq!(m.shuffle.partitions, 4);
+        assert_eq!(m.shuffle.max_partition_load, 100);
+        assert_eq!(m.shuffle.min_partition_load, 0);
+        assert!((m.shuffle.partition_skew() - 4.0).abs() < 1e-12);
     }
 }

@@ -12,6 +12,7 @@ use crate::engine::{run_round, EngineConfig, EngineError};
 use crate::mapper::{Mapper, Reducer};
 use crate::metrics::{JobMetrics, RoundMetrics};
 use std::fmt::Debug;
+use std::hash::Hash;
 
 type RunFn<I, O> =
     Box<dyn Fn(Vec<I>, &EngineConfig) -> Result<(Vec<O>, Vec<RoundMetrics>), EngineError> + Sync>;
@@ -27,7 +28,7 @@ impl<I: Sync + 'static, O: Send + 'static> Job<I, O> {
     /// A single-round job from a mapper and reducer.
     pub fn single<K, V, M, R>(mapper: M, reducer: R) -> Job<I, O>
     where
-        K: Ord + Debug + Send + Sync + 'static,
+        K: Ord + Hash + Debug + Send + Sync + 'static,
         V: Send + Sync + 'static,
         M: Mapper<I, K, V> + 'static,
         R: Reducer<K, V, O> + 'static,
@@ -46,7 +47,7 @@ impl<I: Sync + 'static, O: Send + 'static> Job<I, O> {
     pub fn then<K2, V2, O2, M, R>(self, mapper: M, reducer: R) -> Job<I, O2>
     where
         O: Sync,
-        K2: Ord + Debug + Send + Sync + 'static,
+        K2: Ord + Hash + Debug + Send + Sync + 'static,
         V2: Send + Sync + 'static,
         O2: Send + 'static,
         M: Mapper<O, K2, V2> + 'static,

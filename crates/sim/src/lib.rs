@@ -21,7 +21,9 @@
 //! * [`mapper`] — the `Mapper` and
 //!   `Reducer` traits (and closure adapters),
 //! * [`engine`] — single-round execution with an enforcable reducer-size
-//!   budget,
+//!   budget and a parallel hash-partitioned shuffle (`P = workers`
+//!   partitions, clamped to the input size, merged in key order so
+//!   results never depend on the worker count),
 //! * [`combiner`] — optional map-side combining with pre-/post-combine
 //!   communication accounting,
 //! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
@@ -41,5 +43,5 @@ pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};
 pub use engine::{run_round, EngineConfig, EngineError};
 pub use job::Job;
 pub use mapper::{FnMapper, FnReducer, Mapper, Reducer};
-pub use metrics::{JobMetrics, LoadStats, RoundMetrics};
+pub use metrics::{JobMetrics, LoadStats, RoundMetrics, ShuffleStats};
 pub use schema::{run_schema, SchemaJob};

@@ -58,8 +58,67 @@ impl LoadStats {
     }
 }
 
-/// Exact measurements of one map-reduce round.
+/// Observability for the shuffle stage: how the engine spread the round's
+/// key-value pairs over hash partitions.
+///
+/// A partition's *load* is the number of key-value pairs hashed to it. The
+/// sequential engine has exactly one partition carrying every pair; the
+/// parallel engine uses one partition per worker. The `max / mean` ratio
+/// ([`partition_skew`](ShuffleStats::partition_skew)) is the engine-level
+/// analogue of the paper's §1.4 data-skew caveat: keys are spread by hash,
+/// so a heavy key (a §1.4 "hub") drags its whole partition with it and the
+/// ratio rises above 1.
+///
+/// These numbers describe how a round was *executed*, not what it
+/// *computed* — the same round at different worker counts yields different
+/// `ShuffleStats` but identical outputs and semantic metrics. They are
+/// therefore **excluded** from [`RoundMetrics`]' `PartialEq`.
 #[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShuffleStats {
+    /// Number of hash partitions the shuffle used (1 when sequential).
+    pub partitions: u64,
+    /// Smallest partition load (key-value pairs).
+    pub min_partition_load: u64,
+    /// Largest partition load (key-value pairs).
+    pub max_partition_load: u64,
+    /// Mean partition load.
+    pub mean_partition_load: f64,
+}
+
+impl ShuffleStats {
+    /// Computes statistics from raw per-partition pair counts.
+    pub fn from_partition_loads(loads: &[u64]) -> Self {
+        if loads.is_empty() {
+            return ShuffleStats::default();
+        }
+        let total: u64 = loads.iter().sum();
+        ShuffleStats {
+            partitions: loads.len() as u64,
+            min_partition_load: *loads.iter().min().unwrap(),
+            max_partition_load: *loads.iter().max().unwrap(),
+            mean_partition_load: total as f64 / loads.len() as f64,
+        }
+    }
+
+    /// Partition skew: `max / mean` partition load (1.0 when perfectly
+    /// balanced, 0 when the shuffle carried no pairs).
+    pub fn partition_skew(&self) -> f64 {
+        if self.mean_partition_load == 0.0 {
+            0.0
+        } else {
+            self.max_partition_load as f64 / self.mean_partition_load
+        }
+    }
+}
+
+/// Exact measurements of one map-reduce round.
+///
+/// Equality compares the *semantic* fields only — inputs, pairs, reducers,
+/// loads, outputs. The [`shuffle`](RoundMetrics::shuffle) execution
+/// metadata varies with the worker count by design and is excluded, so the
+/// determinism contract "sequential and parallel runs produce equal
+/// metrics" stays assertable with `==`.
+#[derive(Debug, Clone, Default)]
 pub struct RoundMetrics {
     /// Number of map inputs.
     pub inputs: u64,
@@ -75,6 +134,20 @@ pub struct RoundMetrics {
     /// Raw per-reducer input counts, sorted ascending. Retained so cost
     /// models can be evaluated exactly after the run.
     pub loads: Vec<u64>,
+    /// How the shuffle distributed pairs over hash partitions (execution
+    /// metadata; excluded from `PartialEq`).
+    pub shuffle: ShuffleStats,
+}
+
+impl PartialEq for RoundMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.inputs == other.inputs
+            && self.kv_pairs == other.kv_pairs
+            && self.reducers == other.reducers
+            && self.outputs == other.outputs
+            && self.load == other.load
+            && self.loads == other.loads
+    }
 }
 
 impl RoundMetrics {
@@ -169,6 +242,50 @@ mod tests {
         };
         // Example 1.1: all-pairs work is q^2 per reducer.
         assert!((m.compute_cost(|q| (q * q) as f64) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_stats_from_loads() {
+        let s = ShuffleStats::from_partition_loads(&[10, 30, 20, 0]);
+        assert_eq!(s.partitions, 4);
+        assert_eq!(s.min_partition_load, 0);
+        assert_eq!(s.max_partition_load, 30);
+        assert!((s.mean_partition_load - 15.0).abs() < 1e-12);
+        assert!((s.partition_skew() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_stats_empty_and_balanced() {
+        let empty = ShuffleStats::from_partition_loads(&[]);
+        assert_eq!(empty.partitions, 0);
+        assert_eq!(empty.partition_skew(), 0.0);
+        let balanced = ShuffleStats::from_partition_loads(&[7; 8]);
+        assert!((balanced.partition_skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_stats_are_excluded_from_round_equality() {
+        // Execution metadata must not break the determinism contract: two
+        // rounds that computed the same thing compare equal even if one
+        // ran on 1 partition and the other on 8.
+        let a = RoundMetrics {
+            inputs: 10,
+            kv_pairs: 20,
+            shuffle: ShuffleStats::from_partition_loads(&[20]),
+            ..Default::default()
+        };
+        let b = RoundMetrics {
+            inputs: 10,
+            kv_pairs: 20,
+            shuffle: ShuffleStats::from_partition_loads(&[3, 2, 5, 10]),
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        let c = RoundMetrics {
+            inputs: 11,
+            ..b.clone()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -117,6 +117,20 @@ mod tests {
     }
 
     #[test]
+    fn schema_deterministic_across_worker_counts() {
+        // The schema runner rides on run_round, so the partitioned shuffle
+        // must be invisible here too: identical outputs and metrics for
+        // every worker count.
+        let inputs: Vec<u32> = (0..200).collect();
+        let (seq_out, seq_m) = run_schema(&inputs, &PairUp, &EngineConfig::sequential()).unwrap();
+        for workers in [2usize, 3, 8, 16] {
+            let (out, m) = run_schema(&inputs, &PairUp, &EngineConfig::parallel(workers)).unwrap();
+            assert_eq!(seq_out, out, "outputs diverged at workers={workers}");
+            assert_eq!(seq_m, m, "metrics diverged at workers={workers}");
+        }
+    }
+
+    #[test]
     fn schema_respects_q_budget() {
         let inputs: Vec<u32> = (0..30).collect();
         let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);

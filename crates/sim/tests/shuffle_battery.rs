@@ -1,0 +1,285 @@
+//! Determinism and overflow battery for the hash-partitioned shuffle.
+//!
+//! The engine's contract is that the parallel shuffle is invisible: for
+//! any key distribution and any worker count, outputs and metrics equal
+//! the sequential run's. This suite drives that contract over the four
+//! adversarial distributions (uniform, Zipf-skewed via `mr-graph`'s
+//! Chung–Lu generator, all-one-key, all-distinct), random proptest
+//! distributions, concurrent multi-partition overflows, and combiner
+//! accounting on a hand-computed fixture.
+
+use mr_sim::{
+    run_round, run_round_combined, EngineConfig, EngineError, FnCombiner, FnMapper, FnReducer,
+    RoundMetrics,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Worker counts the battery sweeps, per the shuffle acceptance criteria.
+const WORKER_COUNTS: [usize; 5] = [1, 2, 3, 8, 16];
+
+/// Runs one round over `(index, key)` inputs with an order-sensitive
+/// reducer, so any within-key reordering or cross-key leakage between the
+/// sequential and partitioned shuffles changes the output.
+fn keyed_round(
+    inputs: &[(u64, u64)],
+    config: &EngineConfig,
+) -> (Vec<(u64, u64, u64)>, RoundMetrics) {
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    // Order-sensitive fold: rotate-xor chains the values, so swapping two
+    // values within a key changes the digest.
+    let reducer = FnReducer(
+        |k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))| {
+            emit((
+                *k,
+                vs.len() as u64,
+                vs.iter().fold(0u64, |acc, v| acc.rotate_left(7) ^ v),
+            ))
+        },
+    );
+    run_round(inputs, &mapper, &reducer, config).expect("no q bound set")
+}
+
+/// Indexes a key sequence into `(position, key)` inputs.
+fn indexed(keys: &[u64]) -> Vec<(u64, u64)> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (i as u64, k))
+        .collect()
+}
+
+fn assert_battery_case(name: &str, keys: &[u64]) {
+    let inputs = indexed(keys);
+    let (seq_out, seq_m) = keyed_round(&inputs, &EngineConfig::sequential());
+    for workers in WORKER_COUNTS {
+        let (out, m) = keyed_round(&inputs, &EngineConfig::parallel(workers));
+        assert_eq!(
+            seq_out, out,
+            "[{name}] outputs diverged at workers={workers}"
+        );
+        assert_eq!(seq_m, m, "[{name}] metrics diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn uniform_keys_shuffle_identically() {
+    let mut rng = TestRng::deterministic("shuffle-battery-uniform");
+    let keys: Vec<u64> = (0..6_000).map(|_| rng.below(1_024)).collect();
+    assert_battery_case("uniform", &keys);
+}
+
+#[test]
+fn zipf_skewed_keys_shuffle_identically() {
+    // Chung–Lu power-law graph: node i carries weight ∝ (i+1)^(-1/(γ-1)),
+    // so low-numbered hub nodes appear on far more edges than the tail.
+    // Using every edge endpoint as a key yields the Zipf-like skew of the
+    // paper's §1.4 discussion — a few very heavy keys, a long thin tail.
+    let g = mr_graph::gen::power_law(400, 2.2, 40.0, 7);
+    let keys: Vec<u64> = g
+        .edges()
+        .iter()
+        .flat_map(|e| [u64::from(e.u), u64::from(e.v)])
+        .collect();
+    assert!(keys.len() > 300, "degenerate power-law instance");
+    // Sanity: the distribution is actually skewed (hubs dominate).
+    let (_, m) = keyed_round(&indexed(&keys), &EngineConfig::sequential());
+    assert!(
+        m.load.skew() > 3.0,
+        "expected a heavy hub, got {}",
+        m.load.skew()
+    );
+    assert_battery_case("zipf", &keys);
+}
+
+#[test]
+fn all_one_key_shuffles_identically() {
+    let keys = vec![17u64; 4_000];
+    assert_battery_case("all-one-key", &keys);
+}
+
+#[test]
+fn all_distinct_keys_shuffle_identically() {
+    // Reversed so input order and key order disagree — a shuffle that
+    // leaked arrival order into key order would be caught here.
+    let keys: Vec<u64> = (0..4_000u64).rev().collect();
+    assert_battery_case("all-distinct", &keys);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random key distributions: the partitioned shuffle is
+    /// indistinguishable from the sequential one at any worker count.
+    #[test]
+    fn random_distributions_shuffle_identically(
+        keys in proptest::collection::vec(0u64..5_000, 0..600),
+        workers in 2usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let (seq_out, seq_m) = keyed_round(&inputs, &EngineConfig::sequential());
+        let (out, m) = keyed_round(&inputs, &EngineConfig::parallel(workers));
+        prop_assert_eq!(seq_out, out);
+        prop_assert_eq!(seq_m, m);
+    }
+
+    /// The q budget verdict (and the reported offender) is identical
+    /// between the sequential and partitioned paths for random loads.
+    #[test]
+    fn random_budget_verdicts_match(
+        keys in proptest::collection::vec(0u64..40, 1..300),
+        q in 1u64..12,
+        workers in 2usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+            emit(key, idx);
+        });
+        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
+        let seq = run_round(
+            &inputs, &mapper, &reducer,
+            &EngineConfig::sequential().with_max_reducer_inputs(q),
+        );
+        let par = run_round(
+            &inputs, &mapper, &reducer,
+            &EngineConfig::parallel(workers).with_max_reducer_inputs(q),
+        );
+        match (seq, par) {
+            (Ok((so, sm)), Ok((po, pm))) => {
+                prop_assert_eq!(so, po);
+                prop_assert_eq!(sm, pm);
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+            (s, p) => prop_assert!(
+                false,
+                "verdicts diverged: seq ok={} par ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn concurrent_overflows_report_the_sequential_offender() {
+    // 64 hot keys scattered across the key space, each receiving 8 values
+    // — with up to 16 partitions, many partitions contain an over-budget
+    // key simultaneously. The parallel path must still report exactly the
+    // offender the sequential in-key-order scan finds: the smallest one.
+    let mut keys: Vec<u64> = Vec::new();
+    for hot in 0..64u64 {
+        keys.extend(std::iter::repeat_n(hot * 1_000_003 + 11, 8));
+    }
+    // A thin tail of distinct keys so partitions also hold innocent keys.
+    keys.extend((0..500u64).map(|x| x * 17 + 3));
+    let inputs = indexed(&keys);
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {
+        panic!("reducer must not run on an over-budget round")
+    });
+    let cfg = |w: usize| EngineConfig::parallel(w).with_max_reducer_inputs(5);
+    let seq_err = run_round(&inputs, &mapper, &reducer, &cfg(1)).unwrap_err();
+    // The smallest over-budget key in key order is hot key 11 (hot = 0).
+    let EngineError::ReducerOverflow { key, load, limit } = &seq_err;
+    assert_eq!(key, "11");
+    assert_eq!(*load, 8);
+    assert_eq!(*limit, 5);
+    for workers in [2usize, 3, 8, 16] {
+        let par_err = run_round(&inputs, &mapper, &reducer, &cfg(workers)).unwrap_err();
+        assert_eq!(seq_err, par_err, "offender diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn combiner_accounting_is_exact_under_partitioning() {
+    // Hand-computed fixture: 8 identical documents "a b". The mapper
+    // emits (word, 1), the combiner sums, the reducer sums.
+    //
+    //   pre-combine pairs  = 8 docs × 2 words = 16, for EVERY worker count
+    //   post-combine pairs = (#map chunks) × 2 distinct words, because
+    //     each worker sends one combined value per key it saw:
+    //       workers=1 → 1 chunk  → 2      workers=3 → 3 chunks → 6
+    //       workers=2 → 2 chunks → 4      workers=4 → 4 chunks → 8
+    //       workers=8 → 8 chunks → 16     workers=16 → clamped to 8 chunks
+    //   outputs           = a:8, b:8 regardless of workers, and their sum
+    //     equals the pre-combine total (each pre-combine pair is a 1).
+    let docs: Vec<&str> = vec!["a b"; 8];
+    let mapper = FnMapper(|doc: &&str, emit: &mut dyn FnMut(String, u64)| {
+        for w in doc.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    });
+    let combiner = FnCombiner(|_: &String, acc: &mut u64, v: u64| *acc += v);
+    let reducer = FnReducer(
+        |k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+            emit((k.clone(), vs.iter().sum()))
+        },
+    );
+    for (workers, expected_wire) in [(1u64, 2u64), (2, 4), (3, 6), (4, 8), (8, 16), (16, 16)] {
+        let cfg = EngineConfig::parallel(workers as usize);
+        let (out, m) = run_round_combined(&docs, &mapper, &combiner, &reducer, &cfg).unwrap();
+        assert_eq!(
+            m.pre_combine_pairs, 16,
+            "pre-combine pairs must not depend on workers={workers}"
+        );
+        assert_eq!(
+            m.round.kv_pairs, expected_wire,
+            "wire pairs at workers={workers}"
+        );
+        assert_eq!(m.pairs_saved(), 16 - expected_wire);
+        assert_eq!(
+            out,
+            vec![("a".to_string(), 8), ("b".to_string(), 8)],
+            "combined outputs must be invariant at workers={workers}"
+        );
+        // Value conservation: combining redistributes the 16 unit pairs
+        // without losing any.
+        let total: u64 = out.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, m.pre_combine_pairs);
+    }
+}
+
+#[test]
+fn combined_path_matches_across_worker_counts_on_skewed_keys() {
+    // The combiner path's partitioned shuffle must also be invisible:
+    // same outputs for every worker count, pre-combine pairs invariant.
+    let g = mr_graph::gen::power_law(400, 2.2, 40.0, 13);
+    let inputs: Vec<u64> = g
+        .edges()
+        .iter()
+        .flat_map(|e| [u64::from(e.u), u64::from(e.v)])
+        .collect();
+    let mapper = FnMapper(|k: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, 1));
+    let combiner = FnCombiner(|_: &u64, acc: &mut u64, v: u64| *acc += v);
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.iter().sum()))
+    });
+    let (seq_out, seq_m) = run_round_combined(
+        &inputs,
+        &mapper,
+        &combiner,
+        &reducer,
+        &EngineConfig::sequential(),
+    )
+    .unwrap();
+    for workers in WORKER_COUNTS {
+        let (out, m) = run_round_combined(
+            &inputs,
+            &mapper,
+            &combiner,
+            &reducer,
+            &EngineConfig::parallel(workers),
+        )
+        .unwrap();
+        assert_eq!(seq_out, out, "outputs diverged at workers={workers}");
+        assert_eq!(
+            seq_m.pre_combine_pairs, m.pre_combine_pairs,
+            "pre-combine accounting diverged at workers={workers}"
+        );
+        assert_eq!(seq_m.round.reducers, m.round.reducers);
+        assert_eq!(seq_m.round.outputs, m.round.outputs);
+    }
+}
