@@ -1,0 +1,39 @@
+//! Frontier-sweep benchmark: times the whole empirical q-grid (every
+//! family's complete model instance through the engine) at a sweep of
+//! fan-out worker counts. The grid has 25 independent points whose costs
+//! span orders of magnitude (the Hamming k=1 point does ~500k pair
+//! comparisons; the matmul s=8 point a handful), so this is a scheduling
+//! benchmark as much as an engine one: the shared-queue fan-out must keep
+//! workers busy despite the skewed point costs.
+//!
+//! Baseline committed as `BENCH_frontier.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_bench::sweep::{sweep_all, SweepConfig};
+use mr_sim::EngineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_frontier/sweep_all");
+    grp.sample_size(10);
+    for sweep_workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(sweep_workers),
+            &sweep_workers,
+            |bencher, &sweep_workers| {
+                let cfg = SweepConfig {
+                    sweep_workers,
+                    engine: EngineConfig::sequential(),
+                };
+                bencher.iter(|| {
+                    let rep = sweep_all(black_box(&cfg));
+                    rep.families.iter().map(|f| f.points.len()).sum::<usize>()
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

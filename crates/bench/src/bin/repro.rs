@@ -1,9 +1,10 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release -p mr-bench --bin repro           # everything
-//! cargo run --release -p mr-bench --bin repro -- fig1   # one artifact
-//! cargo run --release -p mr-bench --bin repro -- list   # list ids
+//! cargo run --release -p mr-bench --bin repro            # everything
+//! cargo run --release -p mr-bench --bin repro -- fig1    # one artifact
+//! cargo run --release -p mr-bench --bin repro -- frontier # empirical sweep
+//! cargo run --release -p mr-bench --bin repro -- list    # list ids
 //! ```
 
 use mr_bench::experiments::{self, Experiment};

@@ -35,5 +35,6 @@ pub fn all() -> Vec<Experiment> {
         ("e71", e71_join_aggregate::report),
         ("e12", e12_cost_model::report),
         ("e14", e14_skew::report),
+        ("frontier", crate::sweep::report),
     ]
 }

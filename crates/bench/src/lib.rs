@@ -4,10 +4,16 @@
 //!
 //! Each submodule of [`experiments`] reproduces one artifact (see
 //! `EXPERIMENTS.md` at the workspace root for the index and the recorded
-//! paper-vs-measured comparison). The `repro` binary prints them; the
-//! Criterion benches in `benches/` time the underlying workloads.
+//! paper-vs-measured comparison). The [`sweep`] module is the empirical
+//! frontier subsystem: it executes every problem family's constructive
+//! schemas through the engine over a q-grid and compares the measured
+//! `(q, r)` curves with the §2.4 analytic lower bounds (`repro frontier`).
+//! The `repro` binary prints them; the Criterion benches in `benches/`
+//! time the underlying workloads.
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
+pub use sweep::{sweep_all, SweepConfig, SweepReport};
 pub use table::Table;

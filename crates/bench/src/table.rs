@@ -1,6 +1,15 @@
 //! Minimal fixed-width table formatter for the `repro` binary's output.
 
 /// A simple right-aligned text table.
+///
+/// ```
+/// use mr_bench::Table;
+/// let mut t = Table::new(&["q", "r"]);
+/// t.row(vec!["2".into(), "10".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.lines().next().unwrap().contains('q'));
+/// assert!(rendered.lines().count() == 3); // header, rule, one row
+/// ```
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -1,0 +1,112 @@
+//! Integration battery for the empirical frontier sweep (`repro
+//! frontier`): the sweep's determinism contract across *both* worker
+//! dimensions, and the per-family measured-vs-analytic ordering.
+
+use mr_bench::sweep::{sweep_all, SweepConfig};
+use mr_sim::EngineConfig;
+
+fn config(sweep_workers: usize, engine: EngineConfig) -> SweepConfig {
+    SweepConfig {
+        sweep_workers,
+        engine,
+    }
+}
+
+#[test]
+fn semantic_output_is_byte_identical_across_sweep_worker_counts() {
+    let baseline = sweep_all(&config(1, EngineConfig::sequential())).semantic_json();
+    for sweep_workers in [2usize, 3, 8, 32] {
+        let got = sweep_all(&config(sweep_workers, EngineConfig::sequential())).semantic_json();
+        assert_eq!(
+            baseline, got,
+            "sweep output diverged at sweep_workers={sweep_workers}"
+        );
+    }
+}
+
+#[test]
+fn semantic_output_is_byte_identical_across_engine_worker_counts() {
+    // The engine's own determinism contract, surfaced at sweep level: the
+    // per-point rounds compute identical metrics whether each round runs
+    // sequentially or on a partitioned shuffle.
+    let baseline = sweep_all(&config(2, EngineConfig::sequential())).semantic_json();
+    for engine_workers in [2usize, 4] {
+        let got = sweep_all(&config(2, EngineConfig::parallel(engine_workers))).semantic_json();
+        assert_eq!(
+            baseline, got,
+            "sweep output diverged at engine_workers={engine_workers}"
+        );
+    }
+}
+
+#[test]
+fn every_family_dominates_its_analytic_bound() {
+    // One assertion per family so a regression names the family, not just
+    // the point.
+    let report = sweep_all(&config(4, EngineConfig::sequential()));
+    let expect = [
+        "hamming-d1",
+        "triangles",
+        "sample-c4",
+        "two-path",
+        "join-cycle3",
+        "matmul",
+    ];
+    assert_eq!(
+        report.families.iter().map(|f| f.family).collect::<Vec<_>>(),
+        expect
+    );
+    for family in expect {
+        let fam = report
+            .families
+            .iter()
+            .find(|f| f.family == family)
+            .unwrap_or_else(|| panic!("family {family} missing from sweep"));
+        assert!(!fam.points.is_empty(), "{family}: empty grid");
+        for p in &fam.points {
+            assert!(
+                p.r >= p.bound - 1e-9,
+                "{family} / {}: measured r={} below analytic bound={}",
+                p.algorithm,
+                p.r,
+                p.bound
+            );
+        }
+        // Non-vacuity: the clamp replaces sub-1 bounds by the trivial
+        // r ≥ 1, which any valid schema meets by construction. Every
+        // family's grid must contain at least one point where the
+        // *unclamped* bound bites, or the r ≥ bound check above tests
+        // nothing for that family.
+        assert!(
+            fam.points.iter().any(|p| p.bound > 1.0 + 1e-9),
+            "{family}: clamped bound is 1 at every grid point — the r ≥ bound check is vacuous"
+        );
+    }
+}
+
+#[test]
+fn full_json_adds_only_execution_metadata() {
+    // The full serialisation must agree with the semantic one on every
+    // semantic field — stripping the execution-metadata keys yields the
+    // semantic document exactly.
+    let report = sweep_all(&config(2, EngineConfig::sequential()));
+    let full = report.full_json();
+    let semantic = report.semantic_json();
+    let stripped: String = full
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"engine_workers\""))
+        .map(|l| {
+            let mut l = l.to_string();
+            if let Some(at) = l.find(", \"partition_skew\"") {
+                let tail_at = l.rfind('}').expect("point lines end with a brace");
+                let tail = l[tail_at..].to_string();
+                l.truncate(at);
+                l.push_str(&tail);
+            }
+            l
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    // Allow for the final trailing newline lost by lines().
+    assert_eq!(semantic.trim_end(), stripped.trim_end());
+}

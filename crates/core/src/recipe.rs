@@ -18,6 +18,20 @@ use crate::model::Problem;
 use std::collections::BTreeMap;
 
 /// The three inputs of the §2.4 recipe, with `g` supplied as a closure.
+///
+/// ```
+/// use mr_core::LowerBoundRecipe;
+/// // Hamming distance 1 on b-bit strings (Theorem 3.2): g = (q/2)·log₂q,
+/// // |I| = 2^b, |O| = (b/2)·2^b gives r ≥ b / log₂ q.
+/// let b = 12.0_f64;
+/// let recipe = LowerBoundRecipe::new(
+///     |q| q / 2.0 * q.log2(),
+///     b.exp2(),
+///     b / 2.0 * b.exp2(),
+/// );
+/// let bound = recipe.replication_lower_bound(16.0); // q = 2^4
+/// assert!((bound - b / 4.0).abs() < 1e-9);
+/// ```
 pub struct LowerBoundRecipe {
     /// `g(q)`: upper bound on outputs covered by a reducer with `q` inputs.
     g: Box<dyn Fn(f64) -> f64 + Sync>,

@@ -98,7 +98,7 @@ impl Default for ProptestConfig {
 /// A generator of test values.
 ///
 /// `generate` returns `None` when a filter rejected the candidate; the
-/// driver retries (up to [`MAX_REJECTS`] times) with fresh randomness.
+/// driver retries (up to `MAX_REJECTS` times) with fresh randomness.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
@@ -109,7 +109,7 @@ pub trait Strategy {
     /// Produces one value, retrying rejections.
     ///
     /// # Panics
-    /// Panics if the strategy rejects [`MAX_REJECTS`] candidates in a row.
+    /// Panics if the strategy rejects `MAX_REJECTS` candidates in a row.
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         for _ in 0..MAX_REJECTS {
             if let Some(v) = self.generate(rng) {
@@ -357,7 +357,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -12,11 +12,10 @@
 //! With `workers <= 1` the shuffle is a single `BTreeMap` insertion pass.
 //! With `workers > 1` the engine runs a **parallel hash-partitioned
 //! shuffle**: map workers scatter each emission into one of
-//! `P = min(workers, inputs)` hash buckets as they run
-//! ([`map_scatter_phase`]), every partition is
-//! group-sorted and `q`-budget-checked on its own scoped thread
-//! ([`shuffle_partitioned`]), and the per-partition sorted runs are merged
-//! in ascending key order. Because a key's pairs all hash to the same
+//! `P = min(workers, inputs)` hash buckets as they run (the map-scatter
+//! phase), every partition is group-sorted and `q`-budget-checked on its
+//! own scoped thread (the partitioned shuffle), and the per-partition
+//! sorted runs are merged in ascending key order. Because a key's pairs all hash to the same
 //! partition and worker buckets are concatenated in chunk (= input) order,
 //! the merged groups — and therefore outputs and semantic metrics — are
 //! identical to the sequential path for every worker count. Only the
@@ -125,6 +124,23 @@ impl std::error::Error for EngineError {}
 ///
 /// Returns the reduce outputs (in ascending key order, emission order
 /// within a key) and the round's metrics.
+///
+/// ```
+/// use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
+/// // Word count (Example 2.5): one emission per word, counts per key.
+/// let docs = ["a b a", "b c"];
+/// let mapper = FnMapper(|doc: &&str, emit: &mut dyn FnMut(String, u64)| {
+///     for w in doc.split_whitespace() {
+///         emit(w.to_string(), 1);
+///     }
+/// });
+/// let reducer = FnReducer(|k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+///     emit((k.clone(), vs.iter().sum()))
+/// });
+/// let (out, metrics) = run_round(&docs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+/// assert_eq!(out, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
+/// assert_eq!(metrics.kv_pairs, 5); // five word occurrences crossed the shuffle
+/// ```
 pub fn run_round<I, K, V, O>(
     inputs: &[I],
     mapper: &dyn Mapper<I, K, V>,

@@ -11,6 +11,7 @@
 use crate::engine::{run_round, EngineConfig, EngineError};
 use crate::mapper::{FnMapper, FnReducer};
 use crate::metrics::RoundMetrics;
+use std::time::{Duration, Instant};
 
 /// Identifier of a reducer in a mapping schema.
 pub type ReducerId = u64;
@@ -58,6 +59,32 @@ where
         schema.reduce(*rid, vs, emit)
     });
     run_round(inputs, &mapper, &reducer, config)
+}
+
+/// Executes a [`SchemaJob`] on the engine, additionally reporting the
+/// wall-clock time of the round.
+///
+/// The timing covers exactly the engine run (map, shuffle, reduce) and
+/// nothing else — no input construction, no metric post-processing. It is
+/// *execution metadata* in the same sense as
+/// [`ShuffleStats`](crate::metrics::ShuffleStats): two runs that compute
+/// the same thing will report different durations, so callers comparing
+/// runs for determinism must compare outputs and metrics only. The
+/// frontier-sweep subsystem in `mr-bench` builds its wall-clock column on
+/// this entry point.
+pub fn run_schema_timed<I, O, S>(
+    inputs: &[I],
+    schema: &S,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics, Duration), EngineError>
+where
+    I: Clone + Send + Sync,
+    O: Send,
+    S: SchemaJob<I, O>,
+{
+    let start = Instant::now();
+    let (outputs, metrics) = run_schema(inputs, schema, config)?;
+    Ok((outputs, metrics, start.elapsed()))
 }
 
 #[cfg(test)]
@@ -128,6 +155,25 @@ mod tests {
             assert_eq!(seq_out, out, "outputs diverged at workers={workers}");
             assert_eq!(seq_m, m, "metrics diverged at workers={workers}");
         }
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_reports_a_duration() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let (out, m) = run_schema(&inputs, &PairUp, &EngineConfig::sequential()).unwrap();
+        let (tout, tm, wall) =
+            run_schema_timed(&inputs, &PairUp, &EngineConfig::sequential()).unwrap();
+        assert_eq!(out, tout);
+        assert_eq!(m, tm);
+        // A finished round took *some* time; an exact value is unknowable.
+        assert!(wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_run_propagates_overflow() {
+        let inputs: Vec<u32> = (0..30).collect();
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(1);
+        assert!(run_schema_timed(&inputs, &PairUp, &cfg).is_err());
     }
 
     #[test]
