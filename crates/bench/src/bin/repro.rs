@@ -4,10 +4,19 @@
 //! cargo run --release -p mr-bench --bin repro            # everything
 //! cargo run --release -p mr-bench --bin repro -- fig1    # one artifact
 //! cargo run --release -p mr-bench --bin repro -- frontier # empirical sweep
-//! cargo run --release -p mr-bench --bin repro -- list    # list ids
+//! cargo run --release -p mr-bench --bin repro -- frontier hamming-d1 matmul
+//! cargo run --release -p mr-bench --bin repro -- frontier triangles-gnm full
+//! cargo run --release -p mr-bench --bin repro -- list    # ids + descriptions
 //! ```
+//!
+//! Tokens after `frontier`-style selectors: any token naming an
+//! experiment id selects that experiment; any token naming a frontier
+//! family (or a scale preset `small`/`default`/`full`) selects within
+//! the `frontier` experiment and implies it. Unknown tokens abort with
+//! the full vocabulary.
 
 use mr_bench::experiments::{self, Experiment};
+use mr_bench::sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,30 +24,55 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("list") {
         println!("available experiments:");
-        for (id, _) in &all {
-            println!("  {id}");
+        let width = all.iter().map(|e| e.id.len()).max().unwrap_or(0);
+        for e in &all {
+            println!("  {:width$}  {}", e.id, e.description);
         }
         return;
     }
 
-    let selected: Vec<&Experiment> = if args.is_empty() {
+    // Partition tokens: experiment ids vs frontier selectors. Unknown
+    // tokens are an error that prints the whole vocabulary.
+    let mut ids: Vec<&str> = Vec::new();
+    let mut frontier_args: Vec<String> = Vec::new();
+    let mut unknown: Vec<&str> = Vec::new();
+    for a in &args {
+        if all.iter().any(|e| e.id == a.as_str()) {
+            ids.push(a);
+        } else if sweep::is_selector(a) {
+            frontier_args.push(a.clone());
+        } else {
+            unknown.push(a);
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s) {unknown:?}");
+        eprintln!(
+            "available experiments: {}",
+            all.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+        );
+        eprintln!(
+            "frontier selectors: {} (scales: {})",
+            sweep::available_families().join(", "),
+            sweep::SCALE_TOKENS.join(", ")
+        );
+        std::process::exit(1);
+    }
+    // Frontier selectors imply the frontier experiment.
+    if !frontier_args.is_empty() && !ids.contains(&"frontier") {
+        ids.push("frontier");
+    }
+
+    let selected: Vec<&Experiment> = if ids.is_empty() {
         all.iter().collect()
     } else {
-        let picked: Vec<_> = all
-            .iter()
-            .filter(|(id, _)| args.iter().any(|a| a == id))
-            .collect();
-        if picked.is_empty() {
-            eprintln!("unknown experiment(s) {args:?}; try `repro list`");
-            std::process::exit(1);
-        }
-        picked
+        all.iter().filter(|e| ids.contains(&e.id)).collect()
     };
 
-    for (id, run) in selected {
+    for e in selected {
         println!("================================================================");
-        println!("[{id}]");
+        println!("[{}]", e.id);
         println!("================================================================");
-        println!("{}", run());
+        println!("{}", e.run(&frontier_args));
     }
 }

@@ -15,26 +15,123 @@ pub mod t6_matmul;
 pub mod table1;
 pub mod table2;
 
-/// An experiment id plus its report-producing runner.
-pub type Experiment = (&'static str, fn() -> String);
+/// How an experiment's report is produced.
+pub enum Runner {
+    /// A fixed report: most experiments take no parameters.
+    Simple(fn() -> String),
+    /// A parameterised report: the runner receives the experiment's
+    /// extra command-line tokens (today only `frontier`, whose args
+    /// select families and a scale preset).
+    WithArgs(fn(&[String]) -> String),
+}
 
-/// All experiment ids in presentation order, with their runner.
+/// An experiment: stable id, one-line description (shown by
+/// `repro list`), and its report runner.
+pub struct Experiment {
+    /// Stable id, as typed on the `repro` command line.
+    pub id: &'static str,
+    /// One-line description of what the experiment reproduces.
+    pub description: &'static str,
+    /// The report producer.
+    pub runner: Runner,
+}
+
+impl Experiment {
+    /// Produces the report; `args` are the experiment's extra tokens
+    /// (ignored by [`Runner::Simple`] experiments).
+    pub fn run(&self, args: &[String]) -> String {
+        match self.runner {
+            Runner::Simple(f) => f(),
+            Runner::WithArgs(f) => f(args),
+        }
+    }
+}
+
+/// All experiments in presentation order.
 pub fn all() -> Vec<Experiment> {
+    fn simple(id: &'static str, description: &'static str, f: fn() -> String) -> Experiment {
+        Experiment {
+            id,
+            description,
+            runner: Runner::Simple(f),
+        }
+    }
     vec![
-        ("table1", table1::report as fn() -> String),
-        ("table2", table2::report),
-        ("fig1", fig1_hamming::report),
-        ("fig2", fig2_weight::report),
-        ("e35", e35_weight_ddim::report),
-        ("e36", e36_distance_d::report),
-        ("e42", e42_sparse_triangles::report),
-        ("e52", e52_sample_graphs::report),
-        ("e54", e54_two_paths::report),
-        ("e55", e55_joins::report),
-        ("table6", t6_matmul::report),
-        ("e71", e71_join_aggregate::report),
-        ("e12", e12_cost_model::report),
-        ("e14", e14_skew::report),
-        ("frontier", crate::sweep::report),
+        simple(
+            "table1",
+            "Table 1 (§2.5): lower bounds on replication rate for every family",
+            table1::report,
+        ),
+        simple(
+            "table2",
+            "Table 2: upper bounds — every constructive algorithm measured on the engine",
+            table2::report,
+        ),
+        simple(
+            "fig1",
+            "Figure 1 (§3.2): Hamming-d1 tradeoff — splitting points on the b/log2(q) bound",
+            fig1_hamming::report,
+        ),
+        simple(
+            "fig2",
+            "Figure 2 / §3.4: weight-partition algorithm at large q",
+            fig2_weight::report,
+        ),
+        simple(
+            "e35",
+            "§3.5: d-dimensional weight partition, replication 1 + d/k",
+            e35_weight_ddim::report,
+        ),
+        simple(
+            "e36",
+            "§3.6: larger Hamming distances — generalised splitting and Ball-2",
+            e36_distance_d::report,
+        ),
+        simple(
+            "e42",
+            "§4.2: triangles on sparse graphs vs the rescaled sqrt(m/q) bound",
+            e42_sparse_triangles::report,
+        ),
+        simple(
+            "e52",
+            "§5.1–5.3: Alon-class sample graphs vs the edge-form bound",
+            e52_sample_graphs::report,
+        ),
+        simple(
+            "e54",
+            "§5.4: 2-paths — per-node and bucket-pair algorithms vs 2n/q",
+            e54_two_paths::report,
+        ),
+        simple(
+            "e55",
+            "§5.5: multiway joins — rho by LP, chain and star joins under Shares",
+            e55_joins::report,
+        ),
+        simple(
+            "table6",
+            "§6 (Table 6): matmul one-phase vs two-phase communication crossover",
+            t6_matmul::report,
+        ),
+        simple(
+            "e71",
+            "§7.1 extension: join-then-aggregate plans, naive vs early aggregation",
+            e71_join_aggregate::report,
+        ),
+        simple(
+            "e12",
+            "§1.2 / Ex. 1.1: measured r = f(q) frontiers minimising cluster cost",
+            e12_cost_model::report,
+        ),
+        simple(
+            "e14",
+            "§1.4 caveat: reducer-load skew on power-law vs uniform graphs",
+            e14_skew::report,
+        ),
+        Experiment {
+            id: "frontier",
+            description: "§2.4 vs §§3–6: empirical (q, r) sweep over the family registry; \
+                 args select families/scale (e.g. `frontier hamming-d1 matmul`, `frontier small`)",
+            runner: Runner::WithArgs(crate::sweep::report_args),
+        },
     ]
 }

@@ -1,0 +1,138 @@
+//! Minimal hand-rolled JSON emission shared by the report writers.
+//!
+//! The repro subsystem's contract is **byte-identical output across
+//! runs**, which rules out serialisation libraries with unstable
+//! formatting (and the build environment is offline anyway). This module
+//! centralises the three things every emitter needs — string escaping,
+//! finite-number formatting, and an insertion-ordered object builder —
+//! so `sweep.rs`, `table.rs`, and future report writers produce the same
+//! dialect: compact objects, `", "` separators, shortest-round-trip
+//! numbers.
+
+/// Escapes a string for a JSON string literal (quotes, backslashes, and
+/// control characters; everything else passes through).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (shortest round-trip form).
+///
+/// # Panics
+/// Panics on NaN or infinity: neither can appear in valid JSON, and the
+/// report writers never legitimately produce them — failing loudly beats
+/// emitting garbage.
+pub fn num(x: f64) -> String {
+    assert!(
+        x.is_finite(),
+        "non-finite value {x} cannot be emitted as JSON"
+    );
+    format!("{x}")
+}
+
+/// An insertion-ordered JSON object builder emitting the compact
+/// single-line form `{"k": v, "k": v}`.
+///
+/// ```
+/// use mr_bench::json::Obj;
+/// let mut o = Obj::new();
+/// o.str("algorithm", "splitting(c=2)").int("q", 32).num("r", 2.0);
+/// assert_eq!(o.compact(), r#"{"algorithm": "splitting(c=2)", "q": 32, "r": 2}"#);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Appends a string field (escaped and quoted).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Appends an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Appends a float field via [`num`].
+    ///
+    /// # Panics
+    /// Panics on non-finite values, like [`num`].
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, num(value))
+    }
+
+    /// Appends a field with an already-serialised JSON value.
+    pub fn raw(&mut self, key: &str, value: String) -> &mut Self {
+        self.fields.push((escape(key), value));
+        self
+    }
+
+    /// Renders the compact single-line form.
+    pub fn compact(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn num_is_shortest_roundtrip() {
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(0.1), "0.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn num_rejects_nan() {
+        num(f64::NAN);
+    }
+
+    #[test]
+    fn obj_preserves_insertion_order() {
+        let mut o = Obj::new();
+        o.int("b", 1).str("a", "x").num("c", 0.5);
+        assert_eq!(o.compact(), r#"{"b": 1, "a": "x", "c": 0.5}"#);
+    }
+
+    #[test]
+    fn obj_escapes_keys_and_values() {
+        let mut o = Obj::new();
+        o.str("k\"ey", "v\\al");
+        assert_eq!(o.compact(), r#"{"k\"ey": "v\\al"}"#);
+    }
+
+    #[test]
+    fn empty_obj_renders_braces() {
+        assert_eq!(Obj::new().compact(), "{}");
+    }
+}

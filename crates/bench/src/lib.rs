@@ -12,8 +12,9 @@
 //! time the underlying workloads.
 
 pub mod experiments;
+pub mod json;
 pub mod sweep;
 pub mod table;
 
-pub use sweep::{sweep_all, SweepConfig, SweepReport};
+pub use sweep::{sweep_all, sweep_families, SweepConfig, SweepReport};
 pub use table::Table;

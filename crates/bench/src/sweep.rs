@@ -4,11 +4,11 @@
 //!
 //! The analytic frontiers in [`mr_core::frontier`] come from *exhaustive
 //! validation* — counting assignments over the space of potential inputs.
-//! This module closes the loop with the *execution* layer: it builds each
-//! family's complete model instance (every potential input present, the
-//! instance the paper's lower-bound analysis assumes in §2.3), runs the
-//! family's schemas through [`mr_sim::run_schema_timed`] at a grid of
-//! reducer sizes, and records for every grid point
+//! This module closes the loop with the *execution* layer. Since the
+//! registry refactor it no longer knows any family by name: it asks
+//! [`mr_core::family::registry`] for the implemented families as
+//! `Box<dyn DynFamily>`, fans their grid points out over worker threads,
+//! and merges the measured points back in grid order. Each point records
 //!
 //! * the measured reducer size `q` (max load) and replication rate `r`,
 //! * the reducer-load skew and the shuffle's partition skew
@@ -17,12 +17,16 @@
 //! * the family's analytic lower bound `max(1, q·|O|/(g(q)·|I|))` at the
 //!   measured `q`, plus the gap ratio `r / bound`.
 //!
-//! Because the instances are complete, the §2.4 theorem applies verbatim:
-//! **measured `r ≥ bound` must hold at every grid point**, and the test
-//! suite asserts it. Families whose algorithms are exactly optimal
-//! (Hamming splitting, matrix multiplication, the 2-path `q = n` point)
-//! show `gap = 1`; the others show the constant-factor daylight the paper
-//! proves is all that remains.
+//! Because the default instances are complete, the §2.4 theorem applies
+//! verbatim: **measured `r ≥ bound` must hold at every grid point**, and
+//! the test suite asserts it. Families whose algorithms are exactly
+//! optimal (Hamming splitting, matrix multiplication, the 2-path `q = n`
+//! point) show `gap = 1`; the others show the constant-factor daylight
+//! the paper proves is all that remains. The sparse `G(n, m)` scenarios
+//! ([`mr_core::family::sparse_scenarios`], selectable via
+//! `repro frontier triangles-gnm`) run the same schemas on seeded random
+//! data graphs, where the instance-counted bound still holds but is
+//! weak — the §4.2 rescaling story.
 //!
 //! # Parallelism and determinism
 //!
@@ -37,23 +41,10 @@
 //! excludes them (and is what the determinism tests compare);
 //! [`SweepReport::full_json`] includes them for human consumption.
 
+use crate::json;
 use crate::table::{fmt, Table};
-use mr_core::frontier::{bound_gap, MeasuredPoint};
-use mr_core::problems::hamming::DistanceDSplittingSchema;
-use mr_core::problems::hamming::HammingProblem;
-use mr_core::problems::join::query::{Database, Query};
-use mr_core::problems::join::shares::{SharesSchema, TaggedTuple};
-use mr_core::problems::matmul::problem::numeric_inputs;
-use mr_core::problems::matmul::{MatMulProblem, Matrix, OnePhaseSchema};
-use mr_core::problems::sample_graph::MultisetPartitionSchema;
-use mr_core::problems::sample_graph::SampleGraphProblem;
-use mr_core::problems::triangle::{NodePartitionSchema, TriangleProblem};
-use mr_core::problems::two_path::{BucketPairSchema, PerNodeSchema, TwoPathProblem};
-use mr_core::LowerBoundRecipe;
-use mr_core::MappingSchema;
-use mr_graph::{patterns, Graph};
-use mr_sim::schema::SchemaJob;
-use mr_sim::{run_schema_timed, EngineConfig};
+use mr_core::family::{extended_registry, registry, DynFamily, Scale};
+use mr_sim::EngineConfig;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -113,7 +104,7 @@ pub struct SweepPoint {
 pub struct FamilyCurve {
     /// Family identifier (stable, used by tests and JSON consumers).
     pub family: &'static str,
-    /// Human-readable description of the complete model instance swept.
+    /// Human-readable description of the model instance swept.
     pub instance: String,
     /// Measured points, ascending in `q`.
     pub points: Vec<SweepPoint>,
@@ -128,7 +119,7 @@ pub struct SweepReport {
     pub families: Vec<FamilyCurve>,
 }
 
-/// A queued grid-point job: family index plus the closure that runs it.
+/// A queued grid-point job: the closure that runs it.
 type PointJob<'a> = Box<dyn FnOnce() -> SweepPoint + Send + 'a>;
 
 /// Runs jobs across `workers` scoped threads pulling from a shared queue,
@@ -166,58 +157,64 @@ fn run_jobs(jobs: Vec<PointJob<'_>>, workers: usize) -> Vec<SweepPoint> {
     indexed.into_iter().map(|(_, p)| p).collect()
 }
 
-/// Runs one schema on one instance and assembles the grid point.
-fn measure_point<I, O, S>(
-    q_declared: u64,
-    inputs: &[I],
-    schema: &S,
-    recipe: &LowerBoundRecipe,
-    name: String,
-    engine: &EngineConfig,
-) -> SweepPoint
-where
-    I: Clone + Send + Sync,
-    O: Send,
-    S: SchemaJob<I, O>,
-{
-    let (_outputs, metrics, wall) = run_schema_timed(inputs, schema, engine)
-        .expect("a sweep round overflowed the caller-supplied reducer budget");
-    let mp = MeasuredPoint::from_round(name, &metrics);
-    let bound = recipe.clamped_lower_bound(mp.q as f64);
-    SweepPoint {
-        algorithm: mp.algorithm,
-        q_declared,
-        q: mp.q,
-        r: mp.r,
-        bound,
-        gap: bound_gap(mp.r, bound),
-        load_skew: mp.load_skew,
-        partition_skew: metrics.shuffle.partition_skew(),
-        outputs: mp.outputs,
-        wall,
+/// Sweeps the given families over their q-grids.
+///
+/// This is the whole executor: one job per `(family, grid point)` pair,
+/// fanned out over [`SweepConfig::sweep_workers`] threads, regrouped per
+/// family, and sorted by `(q, algorithm)` so the presentation order is
+/// total and worker-count independent. All family knowledge — instances,
+/// schemas, recipes — lives behind [`DynFamily`].
+pub fn sweep_families(families: &[Box<dyn DynFamily>], config: &SweepConfig) -> SweepReport {
+    let engine = &config.engine;
+    let mut jobs: Vec<PointJob<'_>> = Vec::new();
+    let mut family_of: Vec<usize> = Vec::new();
+    for (fi, fam) in families.iter().enumerate() {
+        for pi in 0..fam.grid().len() {
+            family_of.push(fi);
+            jobs.push(Box::new(move || {
+                let fp = fam.run(pi, engine);
+                SweepPoint {
+                    algorithm: fp.measured.algorithm,
+                    q_declared: fp.q_declared,
+                    q: fp.measured.q,
+                    r: fp.measured.r,
+                    bound: fp.bound,
+                    gap: fp.gap,
+                    load_skew: fp.measured.load_skew,
+                    partition_skew: fp.partition_skew,
+                    outputs: fp.measured.outputs,
+                    wall: fp.wall,
+                }
+            }));
+        }
+    }
+    let points = run_jobs(jobs, config.sweep_workers);
+
+    let mut curves: Vec<FamilyCurve> = families
+        .iter()
+        .map(|f| FamilyCurve {
+            family: f.name(),
+            instance: f.instance(),
+            points: Vec::new(),
+        })
+        .collect();
+    for (fi, p) in family_of.into_iter().zip(points) {
+        curves[fi].points.push(p);
+    }
+    for fam in &mut curves {
+        // Present each curve in ascending q (ties broken by name so the
+        // order is total and worker-count independent).
+        fam.points
+            .sort_by(|a, b| a.q.cmp(&b.q).then_with(|| a.algorithm.cmp(&b.algorithm)));
+    }
+    SweepReport {
+        engine_workers: config.engine.effective_workers(),
+        families: curves,
     }
 }
 
-/// Instance sizes of the sweep. Small enough that the whole grid runs in
-/// well under a second in release builds (the instances are *complete* —
-/// cost grows steeply with size), large enough that every family has a
-/// non-degenerate grid.
-mod sizes {
-    /// Hamming bit-string length (grid: every divisor of `B`).
-    pub const HAMMING_B: u32 = 10;
-    /// Triangle node count (grid: divisors of `N` as group counts).
-    pub const TRIANGLE_N: u32 = 16;
-    /// Sample-graph (4-cycle pattern) node count.
-    pub const SAMPLE_N: u32 = 8;
-    /// 2-path node count.
-    pub const TWO_PATH_N: u32 = 16;
-    /// Join domain size per variable (cycle query over 3 variables).
-    pub const JOIN_N: u32 = 6;
-    /// Matrix side length (grid: divisors of `N` as tile sizes).
-    pub const MATMUL_N: u32 = 8;
-}
-
-/// Sweeps every implemented problem family over its q-grid.
+/// Sweeps every implemented problem family over its q-grid — the
+/// [`registry`] at default scale through [`sweep_families`].
 ///
 /// The returned curves are fully deterministic in everything except the
 /// two execution-metadata fields (wall-clock, partition skew): same
@@ -230,248 +227,7 @@ mod sizes {
 /// reducer loads, so run it without a budget (the default); budget
 /// enforcement has its own tests in `mr-sim`.
 pub fn sweep_all(config: &SweepConfig) -> SweepReport {
-    use sizes::*;
-    let engine = &config.engine;
-
-    // Complete model instances, built once and shared by the grid jobs.
-    let hamming_inputs: Vec<u64> = (0..(1u64 << HAMMING_B)).collect();
-    let triangle_graph = Graph::complete(TRIANGLE_N as usize);
-    let c4 = patterns::cycle(4);
-    let sample_graph = Graph::complete(SAMPLE_N as usize);
-    let two_path_graph = Graph::complete(TWO_PATH_N as usize);
-    let join_query = Query::cycle(3);
-    let join_db = Database::complete(&join_query, JOIN_N);
-    let join_inputs: Vec<TaggedTuple> = join_db
-        .tuples
-        .iter()
-        .enumerate()
-        .flat_map(|(a, ts)| ts.iter().map(move |t| (a as u32, t.clone())))
-        .collect();
-    let join_outputs = join_db.join(&join_query).len() as f64;
-    let join_rho = join_query.rho();
-    let mat_a = Matrix::random(MATMUL_N as usize, 3);
-    let mat_b = Matrix::random(MATMUL_N as usize, 4);
-    let matmul_inputs = numeric_inputs(&mat_a, &mat_b);
-
-    // The grid: (family index, job) pairs, one job per point.
-    let mut jobs: Vec<(usize, PointJob<'_>)> = Vec::new();
-
-    // Family 0 — Hamming distance 1 (§3): splitting at every divisor of b.
-    for k in (1..=HAMMING_B).filter(|k| HAMMING_B.is_multiple_of(*k)) {
-        let inputs = &hamming_inputs;
-        jobs.push((
-            0,
-            Box::new(move || {
-                let schema = DistanceDSplittingSchema::new(HAMMING_B, k, 1);
-                let recipe = HammingProblem::distance_one(HAMMING_B).recipe();
-                let name = MappingSchema::<HammingProblem>::name(&schema);
-                let q = MappingSchema::<HammingProblem>::max_inputs_per_reducer(&schema);
-                measure_point::<u64, (u64, u64), _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-
-    // Family 1 — triangles (§4): node partition at divisor group counts.
-    for k in (1..=TRIANGLE_N).filter(|k| TRIANGLE_N.is_multiple_of(*k) && *k <= TRIANGLE_N / 2) {
-        let inputs = triangle_graph.edges();
-        jobs.push((
-            1,
-            Box::new(move || {
-                let schema = NodePartitionSchema::new(TRIANGLE_N, k);
-                let recipe = TriangleProblem::new(TRIANGLE_N).recipe();
-                let name = MappingSchema::<TriangleProblem>::name(&schema);
-                let q = schema.exact_max_load();
-                measure_point::<_, [u32; 3], _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-
-    // Family 2 — sample graphs (§5.1–5.3): 4-cycle pattern, multiset
-    // partition over k groups. The k = n point (one node per group) pushes
-    // the measured load below |O|/|I|, where the unclamped g(q) = q^{s/2}
-    // bound exceeds 1 — so the family's r ≥ bound check has teeth.
-    for k in [1u32, 2, 3, 4, SAMPLE_N] {
-        let inputs = sample_graph.edges();
-        let pattern = c4.clone();
-        jobs.push((
-            2,
-            Box::new(move || {
-                let schema = MultisetPartitionSchema::new(pattern.clone(), SAMPLE_N, k);
-                let problem = SampleGraphProblem::new(pattern, SAMPLE_N);
-                let recipe = problem.recipe();
-                let name = MappingSchema::<SampleGraphProblem>::name(&schema);
-                let q = MappingSchema::<SampleGraphProblem>::max_inputs_per_reducer(&schema);
-                measure_point::<_, Vec<(u32, u32)>, _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-
-    // Family 3 — 2-paths (§5.4): the per-node q = n point plus the
-    // bucket-pair refinement at power-of-two bucket counts.
-    {
-        let inputs = two_path_graph.edges();
-        jobs.push((
-            3,
-            Box::new(move || {
-                let schema = PerNodeSchema { n: TWO_PATH_N };
-                let recipe = TwoPathProblem::new(TWO_PATH_N).recipe();
-                let name = MappingSchema::<TwoPathProblem>::name(&schema);
-                let q = MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&schema);
-                measure_point::<_, (u32, u32, u32), _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-    for k in [2u32, 4, 8] {
-        let inputs = two_path_graph.edges();
-        jobs.push((
-            3,
-            Box::new(move || {
-                let schema = BucketPairSchema::new(TWO_PATH_N, k);
-                let recipe = TwoPathProblem::new(TWO_PATH_N).recipe();
-                let name = MappingSchema::<TwoPathProblem>::name(&schema);
-                let q = MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&schema);
-                measure_point::<_, (u32, u32, u32), _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-
-    // Family 4 — multiway joins (§5.5): the cycle query R(A,B) ⋈ S(B,C) ⋈
-    // T(C,A) under symmetric Shares grids. g(q) = q^ρ by AGM (§5.5.1).
-    // The s = n grid (one domain value per bucket) drives q low enough
-    // that the unclamped n/(3√q) bound exceeds 1 — the non-vacuous point
-    // of this family's r ≥ bound check.
-    for s in [1u64, 2, 3, JOIN_N as u64] {
-        let inputs = &join_inputs;
-        let query = join_query.clone();
-        let num_inputs = join_inputs.len() as f64;
-        jobs.push((
-            4,
-            Box::new(move || {
-                let schema = SharesSchema::new(query, vec![s, s, s]);
-                let recipe =
-                    LowerBoundRecipe::new(move |q| q.powf(join_rho), num_inputs, join_outputs);
-                let name = format!("shares(cycle3, s={s})");
-                // Declared budget: every reducer's grid cell holds at most
-                // ⌈n/s⌉² tuples of each of the 3 relations.
-                let cell = (JOIN_N as u64).div_ceil(s);
-                let q = 3 * cell * cell;
-                measure_point::<_, Vec<u32>, _>(q, inputs, &schema, &recipe, name, engine)
-            }),
-        ));
-    }
-
-    // Family 5 — matrix multiplication (§6): one-phase tiling at every
-    // divisor tile size. r = 2n²/q exactly — the bound is tight.
-    for s in (1..=MATMUL_N).filter(|s| MATMUL_N.is_multiple_of(*s)) {
-        let inputs = &matmul_inputs;
-        jobs.push((
-            5,
-            Box::new(move || {
-                let schema = OnePhaseSchema::new(MATMUL_N, s);
-                let recipe = MatMulProblem::new(MATMUL_N).recipe();
-                let name = MappingSchema::<MatMulProblem>::name(&schema);
-                let q = schema.q();
-                measure_point::<_, (u32, u32, [u8; 8]), _>(
-                    q, inputs, &schema, &recipe, name, engine,
-                )
-            }),
-        ));
-    }
-
-    // Fan the grid out, then regroup by family in grid order.
-    let families_meta: [(&'static str, String); 6] = [
-        (
-            "hamming-d1",
-            format!("all {HAMMING_B}-bit strings (|I| = {})", 1u64 << HAMMING_B),
-        ),
-        (
-            "triangles",
-            format!(
-                "complete graph K_{TRIANGLE_N} ({} edges)",
-                triangle_graph.num_edges()
-            ),
-        ),
-        (
-            "sample-c4",
-            format!(
-                "4-cycle pattern in K_{SAMPLE_N} ({} edges)",
-                sample_graph.num_edges()
-            ),
-        ),
-        (
-            "two-path",
-            format!(
-                "complete graph K_{TWO_PATH_N} ({} edges)",
-                two_path_graph.num_edges()
-            ),
-        ),
-        (
-            "join-cycle3",
-            format!(
-                "cycle query, complete instance on domain {JOIN_N} ({} tuples)",
-                join_inputs.len()
-            ),
-        ),
-        (
-            "matmul",
-            format!(
-                "{MATMUL_N}×{MATMUL_N} dense pair (|I| = {})",
-                matmul_inputs.len()
-            ),
-        ),
-    ];
-    let family_of: Vec<usize> = jobs.iter().map(|(f, _)| *f).collect();
-    let points = run_jobs(
-        jobs.into_iter().map(|(_, j)| j).collect(),
-        config.sweep_workers,
-    );
-
-    let mut families: Vec<FamilyCurve> = families_meta
-        .into_iter()
-        .map(|(family, instance)| FamilyCurve {
-            family,
-            instance,
-            points: Vec::new(),
-        })
-        .collect();
-    for (f, p) in family_of.into_iter().zip(points) {
-        families[f].points.push(p);
-    }
-    for fam in &mut families {
-        // Present each curve in ascending q (ties broken by name so the
-        // order is total and worker-count independent).
-        fam.points
-            .sort_by(|a, b| a.q.cmp(&b.q).then_with(|| a.algorithm.cmp(&b.algorithm)));
-    }
-    SweepReport {
-        engine_workers: config.engine.effective_workers(),
-        families,
-    }
-}
-
-/// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` as a JSON number (shortest round-trip form).
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        // NaN/∞ cannot appear in valid JSON; the sweep never produces
-        // them, but fail loudly rather than emit garbage.
-        panic!("non-finite value {x} in sweep JSON");
-    }
+    sweep_families(&registry(), config)
 }
 
 impl SweepReport {
@@ -485,29 +241,25 @@ impl SweepReport {
         for (fi, fam) in self.families.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\n      \"family\": \"{}\",\n      \"instance\": \"{}\",\n      \"points\": [\n",
-                json_escape(fam.family),
-                json_escape(&fam.instance)
+                json::escape(fam.family),
+                json::escape(&fam.instance)
             ));
             for (pi, p) in fam.points.iter().enumerate() {
-                out.push_str(&format!(
-                    "        {{\"algorithm\": \"{}\", \"q_declared\": {}, \"q\": {}, \"r\": {}, \"bound\": {}, \"gap\": {}, \"load_skew\": {}, \"outputs\": {}",
-                    json_escape(&p.algorithm),
-                    p.q_declared,
-                    p.q,
-                    json_num(p.r),
-                    json_num(p.bound),
-                    json_num(p.gap),
-                    json_num(p.load_skew),
-                    p.outputs,
-                ));
+                let mut obj = json::Obj::new();
+                obj.str("algorithm", &p.algorithm)
+                    .int("q_declared", p.q_declared)
+                    .int("q", p.q)
+                    .num("r", p.r)
+                    .num("bound", p.bound)
+                    .num("gap", p.gap)
+                    .num("load_skew", p.load_skew)
+                    .int("outputs", p.outputs);
                 if execution_metadata {
-                    out.push_str(&format!(
-                        ", \"partition_skew\": {}, \"wall_ms\": {:.3}",
-                        json_num(p.partition_skew),
-                        p.wall.as_secs_f64() * 1e3
-                    ));
+                    obj.num("partition_skew", p.partition_skew)
+                        .raw("wall_ms", format!("{:.3}", p.wall.as_secs_f64() * 1e3));
                 }
-                out.push('}');
+                out.push_str("        ");
+                out.push_str(&obj.compact());
                 if pi + 1 < fam.points.len() {
                     out.push(',');
                 }
@@ -571,17 +323,8 @@ impl SweepReport {
     }
 }
 
-/// The `repro frontier` report: the comparison table (wall-clock column
-/// included) plus the *semantic* JSON.
-///
-/// The JSON block is deliberately [`semantic_json`](SweepReport::semantic_json):
-/// the repro binary's long-standing contract is byte-identical output
-/// across runs, and only the table's human-facing `wall(ms)` column is
-/// exempt. Execution metadata (`wall_ms`, `partition_skew`,
-/// `engine_workers`) is available programmatically via
-/// [`SweepReport::full_json`].
-pub fn report() -> String {
-    let report = sweep_all(&SweepConfig::default());
+/// Formats a report with the standard frontier prose.
+fn render(report: &SweepReport) -> String {
     format!(
         "Empirical (q, r) frontier sweep — every family's constructive schemas \
          executed\nthrough the engine on its complete model instance, versus the \
@@ -594,9 +337,125 @@ pub fn report() -> String {
     )
 }
 
+/// The `repro frontier` report: the comparison table (wall-clock column
+/// included) plus the *semantic* JSON.
+///
+/// The JSON block is deliberately [`semantic_json`](SweepReport::semantic_json):
+/// the repro binary's long-standing contract is byte-identical output
+/// across runs, and only the table's human-facing `wall(ms)` column is
+/// exempt. Execution metadata (`wall_ms`, `partition_skew`,
+/// `engine_workers`) is available programmatically via
+/// [`SweepReport::full_json`].
+pub fn report() -> String {
+    let report = sweep_all(&SweepConfig::default());
+    render(&report)
+}
+
+/// The scale selector tokens `repro frontier` understands.
+pub const SCALE_TOKENS: [&str; 3] = ["small", "default", "full"];
+
+/// The family names selectable in `repro frontier` (complete families
+/// plus sparse scenarios, in registry order).
+///
+/// Kept as a static list so CLI token validation never constructs the
+/// registry's instance data (complete bit-string universes, seeded
+/// graphs with subgraph counting…) just to read eight names; the
+/// `selector_vocabulary_is_consistent` test pins it to the actual
+/// [`extended_registry`] contents.
+pub fn available_families() -> Vec<&'static str> {
+    vec![
+        "hamming-d1",
+        "triangles",
+        "sample-c4",
+        "two-path",
+        "join-cycle3",
+        "matmul",
+        "triangles-gnm",
+        "sample-c4-gnm",
+    ]
+}
+
+/// True when `token` is something `repro frontier` can consume: a family
+/// name or a scale keyword.
+pub fn is_selector(token: &str) -> bool {
+    SCALE_TOKENS.contains(&token) || available_families().contains(&token)
+}
+
+/// The `repro frontier` report for a selection: family names filter the
+/// extended registry (complete + sparse), an optional scale token picks
+/// the instance-size preset. No selectors at all reproduces [`report`]
+/// byte-for-byte.
+///
+/// Returns `Err` with a message listing the valid selectors when a token
+/// is unknown or two scales are named.
+pub fn report_for(selectors: &[String]) -> Result<String, String> {
+    let mut scale: Option<Scale> = None;
+    let mut picked: Vec<&str> = Vec::new();
+    let names = available_families();
+    for tok in selectors {
+        match tok.as_str() {
+            "small" => set_scale(&mut scale, Scale::Small)?,
+            "default" => set_scale(&mut scale, Scale::Default)?,
+            "full" => set_scale(&mut scale, Scale::Full)?,
+            t if names.contains(&t) => {
+                let canon = *names.iter().find(|n| **n == t).expect("contained");
+                if !picked.contains(&canon) {
+                    picked.push(canon);
+                }
+            }
+            t => {
+                return Err(format!(
+                    "unknown frontier selector '{t}'; families: {}; scales: {}",
+                    names.join(", "),
+                    SCALE_TOKENS.join(", ")
+                ))
+            }
+        }
+    }
+    if scale.is_none() && picked.is_empty() {
+        return Ok(report());
+    }
+    let scale = scale.unwrap_or_default();
+    let families: Vec<Box<dyn DynFamily>> = extended_registry(scale)
+        .into_iter()
+        .filter(|f| picked.is_empty() || picked.contains(&f.name()))
+        .collect();
+    let report = sweep_families(&families, &SweepConfig::default());
+    Ok(format!(
+        "Selection: scale={}, families={}.\n\n{}",
+        match scale {
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        },
+        if picked.is_empty() {
+            "all".to_string()
+        } else {
+            picked.join(", ")
+        },
+        render(&report)
+    ))
+}
+
+fn set_scale(slot: &mut Option<Scale>, scale: Scale) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("at most one scale selector (small/default/full) is allowed".into());
+    }
+    *slot = Some(scale);
+    Ok(())
+}
+
+/// The `repro frontier` runner: selector args as documented in
+/// [`report_for`]; selector errors become the report text (the repro
+/// driver validates tokens up front, so this is a backstop).
+pub fn report_args(args: &[String]) -> String {
+    report_for(args).unwrap_or_else(|e| format!("frontier selection error: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mr_core::frontier::bound_gap;
 
     fn quick_config(sweep_workers: usize) -> SweepConfig {
         SweepConfig {
@@ -732,8 +591,57 @@ mod tests {
     }
 
     #[test]
-    fn json_escape_controls_and_quotes() {
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    fn selector_vocabulary_is_consistent() {
+        // The static token list must match the registry exactly — it
+        // exists only so token validation is free of instance building.
+        let registry_names: Vec<&str> = extended_registry(Scale::Default)
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(available_families(), registry_names);
+        for fam in available_families() {
+            assert!(is_selector(fam), "{fam} must be selectable");
+        }
+        for scale in SCALE_TOKENS {
+            assert!(is_selector(scale));
+        }
+        assert!(!is_selector("fig1"));
+        assert!(!is_selector("nonsense"));
+    }
+
+    #[test]
+    fn report_for_rejects_unknown_and_double_scale() {
+        let err = report_for(&["bogus".to_string()]).unwrap_err();
+        assert!(
+            err.contains("hamming-d1"),
+            "error must list families: {err}"
+        );
+        assert!(err.contains("small"), "error must list scales: {err}");
+        let err2 = report_for(&["small".to_string(), "full".to_string()]).unwrap_err();
+        assert!(err2.contains("at most one scale"));
+    }
+
+    #[test]
+    fn report_for_selects_families_and_scale() {
+        let out = report_for(&["small".to_string(), "matmul".to_string()]).unwrap();
+        assert!(out.starts_with("Selection: scale=small, families=matmul."));
+        assert!(out.contains("one-phase(n=4, s=1)"));
+        assert!(!out.contains("hamming"), "unselected family leaked in");
+    }
+
+    #[test]
+    fn report_for_empty_selection_is_the_default_report() {
+        // No selectors → the legacy byte-identical report shape: no
+        // "Selection:" banner, all six default families. (Comparing two
+        // runs' full text would trip on the wall-clock column.)
+        let out = report_for(&[]).unwrap();
+        assert!(out.starts_with("Empirical (q, r) frontier sweep"));
+        assert!(!out.contains("Selection:"));
+        for fam in registry().iter().map(|f| f.name()) {
+            assert!(
+                out.contains(fam),
+                "family {fam} missing from default report"
+            );
+        }
     }
 }

@@ -34,6 +34,34 @@ impl Table {
         self
     }
 
+    /// Renders the table as a JSON array of row objects keyed by header
+    /// (cells stay strings — the table holds formatted text, not typed
+    /// values), in the shared emission dialect of [`crate::json`].
+    ///
+    /// ```
+    /// use mr_bench::Table;
+    /// let mut t = Table::new(&["q", "r"]);
+    /// t.row(vec!["2".into(), "10".into()]);
+    /// assert_eq!(t.to_json(), "[\n  {\"q\": \"2\", \"r\": \"10\"}\n]\n");
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            let mut obj = crate::json::Obj::new();
+            for (h, cell) in self.headers.iter().zip(row) {
+                obj.str(h, cell);
+            }
+            out.push_str("  ");
+            out.push_str(&obj.compact());
+            if ri + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -95,6 +123,23 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn rejects_ragged_rows() {
         Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn to_json_emits_one_object_per_row() {
+        let mut t = Table::new(&["name", "q"]);
+        t.row(vec!["a\"b".into(), "1".into()]);
+        t.row(vec!["c".into(), "2".into()]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "[\n  {\"name\": \"a\\\"b\", \"q\": \"1\"},\n  {\"name\": \"c\", \"q\": \"2\"}\n]\n"
+        );
+    }
+
+    #[test]
+    fn to_json_empty_table_is_empty_array() {
+        assert_eq!(Table::new(&["x"]).to_json(), "[\n]\n");
     }
 
     #[test]

@@ -1,0 +1,975 @@
+//! The type-erased problem-family registry.
+//!
+//! The paper's thesis is that **one model** — potential inputs/outputs, a
+//! mapping schema, the §2.4 recipe — covers every family it analyses,
+//! from Hamming distance to Shares joins. This module makes the
+//! *execution* side match: every family is a [`DynFamily`] — a name, an
+//! instance description, a grid of [`GridPoint`]s (declared budget,
+//! schema name, lower-bound recipe), and a type-erased
+//! [`run`](DynFamily::run) entry that executes one grid point through the
+//! engine. [`registry`] returns all implemented families as boxed trait
+//! objects, so consumers (the frontier sweep, the `repro` driver, the
+//! test batteries) iterate families without ever naming a concrete input
+//! or output type.
+//!
+//! The erasure itself lives **below** this layer, in
+//! [`mr_sim::DynSchema`]: each family's typed
+//! [`SchemaJob`] is erased to index-based closures and
+//! executed with [`mr_sim::run_schema_dyn`], whose metrics are provably
+//! identical to the typed path's. This module only decides *which*
+//! schema runs on *which* instance.
+//!
+//! # Scales and scenarios
+//!
+//! Each family exposes three [`Scale`] presets. [`Scale::Default`] is the
+//! grid the `repro frontier` experiment and its byte-identical-output
+//! tests pin down; [`Scale::Small`] keeps exhaustive validation cheap
+//! (the validation-vs-engine parity tests run here); [`Scale::Full`]
+//! stretches the instances for benchmarking. Beyond the six
+//! complete-instance families, [`sparse_scenarios`] adds the §4.2/§5.3
+//! edge-budget variants: seeded `G(n, m)` random data graphs where the
+//! recipe's `|I|` and `|O|` are the *instance's* edge and occurrence
+//! counts rather than the complete model's.
+//!
+//! # Adding a family
+//!
+//! Implement [`DynFamily`] for a struct owning the instance data, and
+//! append it in [`registry_at`] (or [`sparse_scenarios`] for non-complete
+//! instances). Nothing else changes: the sweep, `repro frontier`, and
+//! the batteries pick the new family up from the registry. The README's
+//! "adding a new problem family" walkthrough shows a worked example.
+
+use crate::frontier::{bound_gap, MeasuredPoint};
+use crate::model::{validate_schema, MappingSchema, Problem, SchemaReport};
+use crate::problems::hamming::{DistanceDSplittingSchema, HammingProblem};
+use crate::problems::join::problem::{MultiwayJoinProblem, SharesOverDomain};
+use crate::problems::join::query::Query;
+use crate::problems::join::shares::{SharesSchema, TaggedTuple};
+use crate::problems::matmul::problem::{numeric_inputs, NumericEntry};
+use crate::problems::matmul::{MatMulProblem, Matrix, OnePhaseSchema};
+use crate::problems::sample_graph::{MultisetPartitionSchema, SampleGraphProblem};
+use crate::problems::triangle::{g_triangles, NodePartitionSchema, TriangleProblem};
+use crate::problems::two_path::{BucketPairSchema, PerNodeSchema, TwoPathProblem};
+use crate::recipe::LowerBoundRecipe;
+use mr_graph::{gen, patterns, subgraph, Graph};
+use mr_sim::schema::SchemaJob;
+use mr_sim::{run_schema_dyn, DynSchema, EngineConfig};
+use std::time::Duration;
+
+/// Instance-size preset of the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Instances small enough for exhaustive schema validation in tests.
+    Small,
+    /// The grid `repro frontier` pins down byte-for-byte.
+    #[default]
+    Default,
+    /// Stretched instances for benchmarking.
+    Full,
+}
+
+/// One declared point of a family's schema grid: the §2.2 design budget,
+/// the schema's display name, and the family's §2.4 recipe evaluated at
+/// that point. ([`LowerBoundRecipe`] holds a closure, so grid points are
+/// rebuilt per [`DynFamily::grid`] call rather than cloned.)
+pub struct GridPoint {
+    /// The schema's declared reducer budget (its design `q`; the measured
+    /// load never exceeds it).
+    pub q_declared: u64,
+    /// Schema name with its grid parameter, e.g. `splitting-d(b=10, k=5, d=1)`.
+    pub schema: String,
+    /// The family's §2.4 lower-bound recipe.
+    pub recipe: LowerBoundRecipe,
+}
+
+/// The result of executing one grid point through the engine.
+#[derive(Debug, Clone)]
+pub struct FamilyPoint {
+    /// The grid point's declared budget.
+    pub q_declared: u64,
+    /// What the engine measured (algorithm name, effective `q`, `r`,
+    /// load skew, outputs).
+    pub measured: MeasuredPoint,
+    /// The clamped §2.4 bound evaluated at the *measured* `q`.
+    pub bound: f64,
+    /// Gap ratio `r / bound` (≥ 1 for every valid schema).
+    pub gap: f64,
+    /// Shuffle partition skew — execution metadata, like `wall`.
+    pub partition_skew: f64,
+    /// Wall-clock time of the engine round (execution metadata).
+    pub wall: Duration,
+}
+
+/// A problem family with everything needed to measure its `(q, r)`
+/// frontier, behind a type-erased interface.
+///
+/// Implementations own their instance data (built once at registry
+/// construction) and are `Sync`, so a sweep can fan grid points out
+/// across threads sharing `&dyn DynFamily`.
+pub trait DynFamily: Send + Sync {
+    /// Stable family identifier (used by tests, JSON consumers, and the
+    /// `repro frontier` selector).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable description of the instance swept.
+    fn instance(&self) -> String;
+
+    /// The family's schema grid, cheapest-`q` parameterisations first or
+    /// in any fixed order — consumers sort measured points by `(q, name)`.
+    fn grid(&self) -> Vec<GridPoint>;
+
+    /// Executes grid point `point` through the engine.
+    ///
+    /// # Panics
+    /// Panics if `point` is out of range for [`grid`](DynFamily::grid),
+    /// or if `engine` carries a `max_reducer_inputs` budget smaller than
+    /// the point's load (the registry exists to *measure* loads).
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint;
+
+    /// Exhaustively validates grid point `point` against the family's
+    /// §2 problem ([`validate_schema`]), where that is meaningful:
+    /// complete-instance families return `Some`, instance-specific
+    /// scenarios (sparse random graphs) return `None`.
+    fn validate(&self, point: usize) -> Option<SchemaReport>;
+}
+
+/// Executes one typed schema through the type-erased runner and packages
+/// the family point. This is the single seam between the registry and
+/// the engine: every family's `run` lands here.
+fn measure<I, O, S>(
+    inputs: &[I],
+    schema: &S,
+    q_declared: u64,
+    recipe: &LowerBoundRecipe,
+    name: String,
+    engine: &EngineConfig,
+) -> FamilyPoint
+where
+    I: Clone + Send + Sync,
+    O: Send,
+    S: SchemaJob<I, O>,
+{
+    let erased = DynSchema::erase::<I, O, S>(inputs, schema);
+    let (_outputs, metrics, wall) = run_schema_dyn(&erased, engine)
+        .expect("a registry round overflowed the caller-supplied reducer budget");
+    let measured = MeasuredPoint::from_round(name, &metrics);
+    let bound = recipe.clamped_lower_bound(measured.q as f64);
+    FamilyPoint {
+        q_declared,
+        gap: bound_gap(measured.r, bound),
+        bound,
+        partition_skew: metrics.shuffle.partition_skew(),
+        wall,
+        measured,
+    }
+}
+
+/// Per-scale instance sizes. Default values are pinned by the
+/// byte-identical `repro frontier` contract; change them only with a
+/// matching baseline update.
+struct Sizes {
+    hamming_b: u32,
+    triangle_n: u32,
+    sample_n: u32,
+    two_path_n: u32,
+    join_n: u32,
+    matmul_n: u32,
+}
+
+impl Scale {
+    fn sizes(self) -> Sizes {
+        match self {
+            Scale::Small => Sizes {
+                hamming_b: 6,
+                triangle_n: 8,
+                sample_n: 6,
+                two_path_n: 8,
+                join_n: 3,
+                matmul_n: 4,
+            },
+            Scale::Default => Sizes {
+                hamming_b: 10,
+                triangle_n: 16,
+                sample_n: 8,
+                two_path_n: 16,
+                join_n: 6,
+                matmul_n: 8,
+            },
+            Scale::Full => Sizes {
+                hamming_b: 12,
+                triangle_n: 24,
+                sample_n: 10,
+                two_path_n: 24,
+                join_n: 8,
+                matmul_n: 12,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 0 — Hamming distance 1 (§3): splitting at every divisor of b.
+// ---------------------------------------------------------------------
+
+struct HammingD1 {
+    b: u32,
+    ks: Vec<u32>,
+    inputs: Vec<u64>,
+}
+
+impl HammingD1 {
+    fn new(b: u32) -> Self {
+        HammingD1 {
+            b,
+            ks: (1..=b).filter(|k| b.is_multiple_of(*k)).collect(),
+            inputs: (0..(1u64 << b)).collect(),
+        }
+    }
+
+    fn schema(&self, point: usize) -> DistanceDSplittingSchema {
+        DistanceDSplittingSchema::new(self.b, self.ks[point], 1)
+    }
+}
+
+impl DynFamily for HammingD1 {
+    fn name(&self) -> &'static str {
+        "hamming-d1"
+    }
+
+    fn instance(&self) -> String {
+        format!("all {}-bit strings (|I| = {})", self.b, 1u64 << self.b)
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ks.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    q_declared: MappingSchema::<HammingProblem>::max_inputs_per_reducer(&schema),
+                    schema: MappingSchema::<HammingProblem>::name(&schema),
+                    recipe: HammingProblem::distance_one(self.b).recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = HammingProblem::distance_one(self.b).recipe();
+        let name = MappingSchema::<HammingProblem>::name(&schema);
+        let q = MappingSchema::<HammingProblem>::max_inputs_per_reducer(&schema);
+        measure::<u64, (u64, u64), _>(&self.inputs, &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        Some(validate_schema(
+            &HammingProblem::distance_one(self.b),
+            &self.schema(point),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 1 — triangles (§4): node partition at divisor group counts.
+// ---------------------------------------------------------------------
+
+struct Triangles {
+    n: u32,
+    ks: Vec<u32>,
+    graph: Graph,
+}
+
+impl Triangles {
+    fn new(n: u32) -> Self {
+        Triangles {
+            n,
+            ks: (1..=n)
+                .filter(|k| n.is_multiple_of(*k) && *k <= n / 2)
+                .collect(),
+            graph: Graph::complete(n as usize),
+        }
+    }
+
+    fn schema(&self, point: usize) -> NodePartitionSchema {
+        NodePartitionSchema::new(self.n, self.ks[point])
+    }
+}
+
+impl DynFamily for Triangles {
+    fn name(&self) -> &'static str {
+        "triangles"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "complete graph K_{} ({} edges)",
+            self.n,
+            self.graph.num_edges()
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ks.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    q_declared: schema.exact_max_load(),
+                    schema: MappingSchema::<TriangleProblem>::name(&schema),
+                    recipe: TriangleProblem::new(self.n).recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = TriangleProblem::new(self.n).recipe();
+        let name = MappingSchema::<TriangleProblem>::name(&schema);
+        let q = schema.exact_max_load();
+        measure::<_, [u32; 3], _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        Some(validate_schema(
+            &TriangleProblem::new(self.n),
+            &self.schema(point),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 2 — sample graphs (§5.1–5.3): 4-cycle pattern, multiset
+// partition over k groups. The k = n point (one node per group) pushes
+// the measured load below |O|/|I|, where the unclamped g(q) = q^{s/2}
+// bound exceeds 1 — so the family's r ≥ bound check has teeth.
+// ---------------------------------------------------------------------
+
+struct SampleC4 {
+    n: u32,
+    ks: Vec<u32>,
+    pattern: Graph,
+    graph: Graph,
+}
+
+impl SampleC4 {
+    fn new(n: u32) -> Self {
+        SampleC4 {
+            n,
+            ks: vec![1, 2, 3, 4, n],
+            pattern: patterns::cycle(4),
+            graph: Graph::complete(n as usize),
+        }
+    }
+
+    fn schema(&self, point: usize) -> MultisetPartitionSchema {
+        MultisetPartitionSchema::new(self.pattern.clone(), self.n, self.ks[point])
+    }
+}
+
+impl DynFamily for SampleC4 {
+    fn name(&self) -> &'static str {
+        "sample-c4"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "4-cycle pattern in K_{} ({} edges)",
+            self.n,
+            self.graph.num_edges()
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ks.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    q_declared: MappingSchema::<SampleGraphProblem>::max_inputs_per_reducer(
+                        &schema,
+                    ),
+                    schema: MappingSchema::<SampleGraphProblem>::name(&schema),
+                    recipe: SampleGraphProblem::new(self.pattern.clone(), self.n).recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = SampleGraphProblem::new(self.pattern.clone(), self.n).recipe();
+        let name = MappingSchema::<SampleGraphProblem>::name(&schema);
+        let q = MappingSchema::<SampleGraphProblem>::max_inputs_per_reducer(&schema);
+        measure::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        Some(validate_schema(
+            &SampleGraphProblem::new(self.pattern.clone(), self.n),
+            &self.schema(point),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 3 — 2-paths (§5.4): the per-node q = n point plus the
+// bucket-pair refinement at power-of-two bucket counts.
+// ---------------------------------------------------------------------
+
+struct TwoPaths {
+    n: u32,
+    bucket_ks: Vec<u32>,
+    graph: Graph,
+}
+
+impl TwoPaths {
+    fn new(n: u32) -> Self {
+        TwoPaths {
+            n,
+            bucket_ks: vec![2, 4, 8],
+            graph: Graph::complete(n as usize),
+        }
+    }
+}
+
+impl DynFamily for TwoPaths {
+    fn name(&self) -> &'static str {
+        "two-path"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "complete graph K_{} ({} edges)",
+            self.n,
+            self.graph.num_edges()
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        let recipe = || TwoPathProblem::new(self.n).recipe();
+        let mut points = Vec::with_capacity(1 + self.bucket_ks.len());
+        let per_node = PerNodeSchema { n: self.n };
+        points.push(GridPoint {
+            q_declared: MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&per_node),
+            schema: MappingSchema::<TwoPathProblem>::name(&per_node),
+            recipe: recipe(),
+        });
+        for &k in &self.bucket_ks {
+            let schema = BucketPairSchema::new(self.n, k);
+            points.push(GridPoint {
+                q_declared: MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&schema),
+                schema: MappingSchema::<TwoPathProblem>::name(&schema),
+                recipe: recipe(),
+            });
+        }
+        points
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let recipe = TwoPathProblem::new(self.n).recipe();
+        if point == 0 {
+            let schema = PerNodeSchema { n: self.n };
+            let name = MappingSchema::<TwoPathProblem>::name(&schema);
+            let q = MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&schema);
+            measure::<_, (u32, u32, u32), _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+        } else {
+            let schema = BucketPairSchema::new(self.n, self.bucket_ks[point - 1]);
+            let name = MappingSchema::<TwoPathProblem>::name(&schema);
+            let q = MappingSchema::<TwoPathProblem>::max_inputs_per_reducer(&schema);
+            measure::<_, (u32, u32, u32), _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+        }
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        let problem = TwoPathProblem::new(self.n);
+        Some(if point == 0 {
+            validate_schema(&problem, &PerNodeSchema { n: self.n })
+        } else {
+            validate_schema(
+                &problem,
+                &BucketPairSchema::new(self.n, self.bucket_ks[point - 1]),
+            )
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 4 — multiway joins (§5.5): the cycle query R(A,B) ⋈ S(B,C) ⋈
+// T(C,A) under symmetric Shares grids. g(q) = q^ρ by AGM (§5.5.1).
+// The s = n grid (one domain value per bucket) drives q low enough
+// that the unclamped n/(3√q) bound exceeds 1 — the non-vacuous point
+// of this family's r ≥ bound check.
+// ---------------------------------------------------------------------
+
+struct JoinCycle3 {
+    n: u32,
+    ss: Vec<u64>,
+    problem: MultiwayJoinProblem,
+    inputs: Vec<TaggedTuple>,
+}
+
+impl JoinCycle3 {
+    fn new(n: u32) -> Self {
+        let problem = MultiwayJoinProblem::new(Query::cycle(3), n);
+        let inputs = problem.inputs();
+        let mut ss: Vec<u64> = vec![1, 2, 3, n as u64];
+        ss.dedup();
+        JoinCycle3 {
+            n,
+            ss,
+            problem,
+            inputs,
+        }
+    }
+
+    fn schema(&self, point: usize) -> SharesSchema {
+        let s = self.ss[point];
+        SharesSchema::new(self.problem.query.clone(), vec![s, s, s])
+    }
+
+    fn point_name(&self, point: usize) -> String {
+        format!("shares(cycle3, s={})", self.ss[point])
+    }
+}
+
+impl DynFamily for JoinCycle3 {
+    fn name(&self) -> &'static str {
+        "join-cycle3"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "cycle query, complete instance on domain {} ({} tuples)",
+            self.n,
+            self.inputs.len()
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ss.len())
+            .map(|p| GridPoint {
+                q_declared: SharesOverDomain::new(self.schema(p), self.n).cell_budget(),
+                schema: self.point_name(p),
+                recipe: self.problem.recipe(),
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = self.problem.recipe();
+        let name = self.point_name(point);
+        let q = SharesOverDomain::new(schema.clone(), self.n).cell_budget();
+        measure::<_, Vec<u32>, _>(&self.inputs, &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        Some(validate_schema(
+            &self.problem,
+            &SharesOverDomain::new(self.schema(point), self.n),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 5 — matrix multiplication (§6): one-phase tiling at every
+// divisor tile size. r = 2n²/q exactly — the bound is tight.
+// ---------------------------------------------------------------------
+
+struct MatMul {
+    n: u32,
+    ss: Vec<u32>,
+    inputs: Vec<NumericEntry>,
+}
+
+impl MatMul {
+    fn new(n: u32) -> Self {
+        let a = Matrix::random(n as usize, 3);
+        let b = Matrix::random(n as usize, 4);
+        MatMul {
+            n,
+            ss: (1..=n).filter(|s| n.is_multiple_of(*s)).collect(),
+            inputs: numeric_inputs(&a, &b),
+        }
+    }
+
+    fn schema(&self, point: usize) -> OnePhaseSchema {
+        OnePhaseSchema::new(self.n, self.ss[point])
+    }
+}
+
+impl DynFamily for MatMul {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "{}×{} dense pair (|I| = {})",
+            self.n,
+            self.n,
+            self.inputs.len()
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ss.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    q_declared: schema.q(),
+                    schema: MappingSchema::<MatMulProblem>::name(&schema),
+                    recipe: MatMulProblem::new(self.n).recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = MatMulProblem::new(self.n).recipe();
+        let name = MappingSchema::<MatMulProblem>::name(&schema);
+        let q = schema.q();
+        measure::<_, (u32, u32, [u8; 8]), _>(&self.inputs, &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, point: usize) -> Option<SchemaReport> {
+        Some(validate_schema(
+            &MatMulProblem::new(self.n),
+            &self.schema(point),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse scenarios — the §4.2/§5.3 edge-budget variants: seeded G(n, m)
+// random data graphs instead of complete model instances. The §2.4
+// argument still applies per instance (g bounds any reducer's coverage,
+// every present output must be covered), so measured r ≥ the clamped
+// bound with |I| = m and |O| = the instance's occurrence count. The
+// bounds are weak — that is §4.2's point: a schema designed for budget
+// q on the complete instance sees only ~q·2m/n(n−1) real inputs.
+// ---------------------------------------------------------------------
+
+/// Fixed seed of the sparse scenario graphs — part of the reproducible
+/// surface (`repro` output must be byte-identical across runs).
+const SPARSE_SEED: u64 = 42;
+
+struct SparseTriangles {
+    n: u32,
+    ks: Vec<u32>,
+    graph: Graph,
+    triangles: u64,
+}
+
+impl SparseTriangles {
+    fn new(n: u32, m: usize) -> Self {
+        let graph = gen::gnm(n as usize, m, SPARSE_SEED);
+        let triangles = subgraph::triangle_count(&graph);
+        SparseTriangles {
+            n,
+            ks: vec![1, 2, 3, 4, 6],
+            graph,
+            triangles,
+        }
+    }
+
+    fn schema(&self, point: usize) -> NodePartitionSchema {
+        NodePartitionSchema::new(self.n, self.ks[point])
+    }
+
+    fn recipe(&self) -> LowerBoundRecipe {
+        LowerBoundRecipe::new(
+            g_triangles,
+            self.graph.num_edges() as f64,
+            self.triangles as f64,
+        )
+    }
+}
+
+impl DynFamily for SparseTriangles {
+    fn name(&self) -> &'static str {
+        "triangles-gnm"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "sparse G(n={}, m={}) random graph, seed {SPARSE_SEED} ({} triangles)",
+            self.n,
+            self.graph.num_edges(),
+            self.triangles
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ks.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    // Declared budget: the complete-instance load, an upper
+                    // bound on what the sparse instance can deliver.
+                    q_declared: schema.exact_max_load(),
+                    schema: MappingSchema::<TriangleProblem>::name(&schema),
+                    recipe: self.recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = self.recipe();
+        let name = MappingSchema::<TriangleProblem>::name(&schema);
+        let q = schema.exact_max_load();
+        measure::<_, [u32; 3], _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, _point: usize) -> Option<SchemaReport> {
+        None // exhaustive validation is a complete-instance notion
+    }
+}
+
+struct SparseSampleC4 {
+    n: u32,
+    ks: Vec<u32>,
+    pattern: Graph,
+    graph: Graph,
+    instances: u64,
+}
+
+impl SparseSampleC4 {
+    fn new(n: u32, m: usize) -> Self {
+        let pattern = patterns::cycle(4);
+        let graph = gen::gnm(n as usize, m, SPARSE_SEED);
+        let instances = subgraph::instances(&pattern, &graph);
+        SparseSampleC4 {
+            n,
+            ks: vec![1, 2, 3, 4],
+            pattern,
+            graph,
+            instances,
+        }
+    }
+
+    fn schema(&self, point: usize) -> MultisetPartitionSchema {
+        MultisetPartitionSchema::new(self.pattern.clone(), self.n, self.ks[point])
+    }
+
+    fn recipe(&self) -> LowerBoundRecipe {
+        // g(q) = q^{s/2} = q² for the 4-node Alon-class cycle.
+        LowerBoundRecipe::new(
+            |q| q * q,
+            self.graph.num_edges() as f64,
+            self.instances as f64,
+        )
+    }
+}
+
+impl DynFamily for SparseSampleC4 {
+    fn name(&self) -> &'static str {
+        "sample-c4-gnm"
+    }
+
+    fn instance(&self) -> String {
+        format!(
+            "4-cycle pattern in sparse G(n={}, m={}), seed {SPARSE_SEED} ({} instances)",
+            self.n,
+            self.graph.num_edges(),
+            self.instances
+        )
+    }
+
+    fn grid(&self) -> Vec<GridPoint> {
+        (0..self.ks.len())
+            .map(|p| {
+                let schema = self.schema(p);
+                GridPoint {
+                    q_declared: MappingSchema::<SampleGraphProblem>::max_inputs_per_reducer(
+                        &schema,
+                    ),
+                    schema: MappingSchema::<SampleGraphProblem>::name(&schema),
+                    recipe: self.recipe(),
+                }
+            })
+            .collect()
+    }
+
+    fn run(&self, point: usize, engine: &EngineConfig) -> FamilyPoint {
+        let schema = self.schema(point);
+        let recipe = self.recipe();
+        let name = MappingSchema::<SampleGraphProblem>::name(&schema);
+        let q = MappingSchema::<SampleGraphProblem>::max_inputs_per_reducer(&schema);
+        measure::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &schema, q, &recipe, name, engine)
+    }
+
+    fn validate(&self, _point: usize) -> Option<SchemaReport> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry constructors.
+// ---------------------------------------------------------------------
+
+/// All complete-instance problem families at [`Scale::Default`] — the
+/// grid `repro frontier` and the frontier sweep execute.
+pub fn registry() -> Vec<Box<dyn DynFamily>> {
+    registry_at(Scale::Default)
+}
+
+/// All complete-instance problem families at the given scale, in the
+/// paper's presentation order: Hamming (§3), triangles (§4), sample
+/// graphs (§5.1–5.3), 2-paths (§5.4), joins (§5.5), matmul (§6).
+pub fn registry_at(scale: Scale) -> Vec<Box<dyn DynFamily>> {
+    let s = scale.sizes();
+    vec![
+        Box::new(HammingD1::new(s.hamming_b)),
+        Box::new(Triangles::new(s.triangle_n)),
+        Box::new(SampleC4::new(s.sample_n)),
+        Box::new(TwoPaths::new(s.two_path_n)),
+        Box::new(JoinCycle3::new(s.join_n)),
+        Box::new(MatMul::new(s.matmul_n)),
+    ]
+}
+
+/// The §4.2/§5.3 sparse-instance scenarios: seeded `G(n, m)` data graphs
+/// run through the same schemas, with the recipe's `|I|`/`|O|` counted on
+/// the instance.
+pub fn sparse_scenarios(scale: Scale) -> Vec<Box<dyn DynFamily>> {
+    let (tri, c4) = match scale {
+        Scale::Small => ((12, 30), (10, 22)),
+        Scale::Default => ((24, 72), (16, 44)),
+        Scale::Full => ((40, 200), (24, 90)),
+    };
+    vec![
+        Box::new(SparseTriangles::new(tri.0, tri.1)),
+        Box::new(SparseSampleC4::new(c4.0, c4.1)),
+    ]
+}
+
+/// Complete families plus sparse scenarios — everything `repro frontier`
+/// can select from.
+pub fn extended_registry(scale: Scale) -> Vec<Box<dyn DynFamily>> {
+    let mut fams = registry_at(scale);
+    fams.extend(sparse_scenarios(scale));
+    fams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_and_order_are_stable() {
+        let names: Vec<&str> = registry().iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hamming-d1",
+                "triangles",
+                "sample-c4",
+                "two-path",
+                "join-cycle3",
+                "matmul"
+            ]
+        );
+        let extended: Vec<&str> = extended_registry(Scale::Default)
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(&extended[..6], &names[..]);
+        assert_eq!(&extended[6..], &["triangles-gnm", "sample-c4-gnm"]);
+    }
+
+    #[test]
+    fn default_grids_match_the_pinned_sweep_shape() {
+        // 4 + 4 + 5 + 4 + 4 + 4 = the 25-point default grid.
+        let lens: Vec<usize> = registry().iter().map(|f| f.grid().len()).collect();
+        assert_eq!(lens, vec![4, 4, 5, 4, 4, 4]);
+    }
+
+    #[test]
+    fn every_scale_has_nonempty_deduplicated_grids() {
+        for scale in [Scale::Small, Scale::Default, Scale::Full] {
+            for fam in extended_registry(scale) {
+                let grid = fam.grid();
+                assert!(
+                    grid.len() >= 3,
+                    "{} at {scale:?}: grid too small ({})",
+                    fam.name(),
+                    grid.len()
+                );
+                let mut names: Vec<&str> = grid.iter().map(|p| p.schema.as_str()).collect();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(
+                    names.len(),
+                    grid.len(),
+                    "{} at {scale:?}: duplicate grid points",
+                    fam.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_respects_declared_budget_and_bound() {
+        // Small-scale smoke over every family, sparse included.
+        for fam in extended_registry(Scale::Small) {
+            for (p, gp) in fam.grid().iter().enumerate() {
+                let fp = fam.run(p, &EngineConfig::sequential());
+                assert!(
+                    fp.measured.q <= fp.q_declared,
+                    "{} / {}: load {} exceeds declared {}",
+                    fam.name(),
+                    gp.schema,
+                    fp.measured.q,
+                    fp.q_declared
+                );
+                assert!(
+                    fp.measured.r >= fp.bound - 1e-9,
+                    "{} / {}: r={} below bound={}",
+                    fam.name(),
+                    gp.schema,
+                    fp.measured.r,
+                    fp.bound
+                );
+                assert_eq!(fp.measured.algorithm, gp.schema);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_scenarios_refuse_exhaustive_validation() {
+        for fam in sparse_scenarios(Scale::Small) {
+            assert!(fam.validate(0).is_none(), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn sparse_triangle_outputs_match_serial_baseline() {
+        // The engine round must find exactly the instance's triangles —
+        // the sparse scenario measures a real execution, not a model.
+        let fam = SparseTriangles::new(12, 30);
+        let expected = subgraph::triangle_count(&fam.graph);
+        assert!(expected > 0, "test instance must contain triangles");
+        for p in 0..fam.grid().len() {
+            let fp = fam.run(p, &EngineConfig::sequential());
+            assert_eq!(fp.measured.outputs, expected, "point {p}");
+        }
+    }
+
+    #[test]
+    fn grid_recipes_evaluate_like_family_bounds() {
+        for fam in registry_at(Scale::Small) {
+            for gp in fam.grid() {
+                let b = gp.recipe.clamped_lower_bound(gp.q_declared as f64);
+                assert!(
+                    b >= 1.0,
+                    "{} / {}: clamped bound {b}",
+                    fam.name(),
+                    gp.schema
+                );
+            }
+        }
+    }
+}

@@ -24,16 +24,22 @@
 //!   frontier minimisation;
 //! * [`frontier`] — measured `(q, r)` tradeoff curves built by sweeping
 //!   every implemented algorithm, ready for cost minimisation;
+//! * [`family`] — the type-erased problem-family registry: every family
+//!   behind one `DynFamily` interface (grids, scale presets, sparse
+//!   scenarios), so executors iterate families without naming their
+//!   input/output types;
 //! * [`problems`] — one module per problem family analysed in the paper:
 //!   Hamming distance (§3), triangles (§4), general sample graphs (§5.1–5.3),
 //!   2-paths (§5.4), multiway joins (§5.5), matrix multiplication (§6), and
 //!   the illustrative model examples of §2.1.
 
 pub mod cost;
+pub mod family;
 pub mod frontier;
 pub mod model;
 pub mod problems;
 pub mod recipe;
 
+pub use family::{registry, DynFamily, FamilyPoint, GridPoint, Scale};
 pub use model::{validate_schema, MappingSchema, Problem, SchemaReport};
 pub use recipe::LowerBoundRecipe;

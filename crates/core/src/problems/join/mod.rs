@@ -12,12 +12,15 @@
 //!   baseline;
 //! * [`shares`] — the Shares mapping schema, share optimisation, and
 //!   predicted communication;
+//! * [`problem`] — the complete-instance join as a §2 [`Problem`](crate::model::Problem),
+//!   so Shares grids validate exhaustively like every other family;
 //! * [`bounds`] — the §5.5.1/§5.5.2 closed forms for chains and stars;
 //! * [`aggregate`] — two-round join-then-aggregate pipelines with and
 //!   without partial-aggregation push-down (§7.1's open direction).
 
 pub mod aggregate;
 pub mod bounds;
+pub mod problem;
 pub mod query;
 pub mod shares;
 
@@ -25,5 +28,6 @@ pub use aggregate::{count_by_first_var_naive, count_by_first_var_pushed};
 pub use bounds::{
     chain_lower_bound, chain_upper_bound, multiway_lower_bound, star_lower_bound, star_replication,
 };
+pub use problem::{MultiwayJoinProblem, SharesOverDomain};
 pub use query::{Database, Query};
 pub use shares::{optimize_shares, predicted_communication, SharesSchema};

@@ -1,0 +1,85 @@
+//! Schema/engine parity battery for the family registry.
+//!
+//! On a *complete* model instance, exhaustive schema validation
+//! ([`mr_core::model::validate_schema`] — counting assignments over every
+//! potential input) and an actual engine round
+//! ([`mr_sim::run_schema_dyn`] under [`mr_core::family::DynFamily::run`])
+//! must agree exactly: the same replication rate `Σ qᵢ / |I|` and the
+//! same maximum reducer load. This pins the §2.3 "all inputs present"
+//! assumption through the registry's type-erased path for **every**
+//! family at once — any family whose erased closures dropped, duplicated,
+//! or rerouted an assignment would split the two numbers apart.
+
+use mr_core::family::{registry_at, sparse_scenarios, Scale};
+use mr_sim::EngineConfig;
+
+#[test]
+fn validation_and_engine_agree_for_every_family_at_small_scale() {
+    for fam in registry_at(Scale::Small) {
+        let grid = fam.grid();
+        assert!(!grid.is_empty(), "{}: empty grid", fam.name());
+        for (pi, gp) in grid.iter().enumerate() {
+            let report = fam
+                .validate(pi)
+                .unwrap_or_else(|| panic!("{}: complete family must validate", fam.name()));
+            assert!(
+                report.is_valid(),
+                "{} / {}: invalid schema {report:?}",
+                fam.name(),
+                gp.schema
+            );
+            let run = fam.run(pi, &EngineConfig::sequential());
+            assert_eq!(
+                report.max_load,
+                run.measured.q,
+                "{} / {}: validated max load differs from engine-measured q",
+                fam.name(),
+                gp.schema
+            );
+            assert!(
+                (report.replication_rate - run.measured.r).abs() < 1e-12,
+                "{} / {}: validated r={} vs engine r={}",
+                fam.name(),
+                gp.schema,
+                report.replication_rate,
+                run.measured.r
+            );
+            // The §2.2 coverage condition showed up in is_valid(); the
+            // engine side must also have emitted every output exactly
+            // once, so the counts agree too.
+            assert_eq!(
+                report.num_outputs,
+                run.measured.outputs,
+                "{} / {}: engine outputs differ from the model's |O|",
+                fam.name(),
+                gp.schema
+            );
+        }
+    }
+}
+
+#[test]
+fn parity_holds_across_engine_worker_counts() {
+    // The erased path rides the engine's determinism contract: the same
+    // numbers at any worker count. One family per instance type suffices
+    // here (the full cross-product lives in the engine's own batteries).
+    for fam in registry_at(Scale::Small) {
+        let baseline = fam.run(0, &EngineConfig::sequential());
+        for workers in [2usize, 4] {
+            let par = fam.run(0, &EngineConfig::parallel(workers));
+            assert_eq!(baseline.measured, par.measured, "{}", fam.name());
+        }
+    }
+}
+
+#[test]
+fn sparse_scenarios_have_no_exhaustive_validation() {
+    // Sparse instances measure one data graph, not the model's potential
+    // inputs; exhaustive validation would be a category error and the
+    // registry must refuse it rather than validate the wrong thing.
+    for fam in sparse_scenarios(Scale::Small) {
+        for pi in 0..fam.grid().len() {
+            assert!(fam.validate(pi).is_none(), "{} point {pi}", fam.name());
+        }
+    }
+}

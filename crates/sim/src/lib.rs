@@ -44,4 +44,4 @@ pub use engine::{run_round, EngineConfig, EngineError};
 pub use job::Job;
 pub use mapper::{FnMapper, FnReducer, Mapper, Reducer};
 pub use metrics::{JobMetrics, LoadStats, RoundMetrics, ShuffleStats};
-pub use schema::{run_schema, run_schema_timed, SchemaJob};
+pub use schema::{run_schema, run_schema_dyn, run_schema_timed, DynSchema, SchemaJob};
