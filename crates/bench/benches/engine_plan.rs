@@ -1,0 +1,36 @@
+//! Planner benchmark: how much does *deciding* cost relative to *doing*?
+//!
+//! `plan_all` prices every family's whole grid with map-side censuses
+//! (plus one simplex solve for the join exponents) — no engine rounds —
+//! so planning the default-scale registry should sit orders of magnitude
+//! below executing it (compare `engine_frontier`'s sweep times). The
+//! second group executes each plan's single chosen point at Small scale:
+//! the planner's end-to-end "decide then run one schema" path.
+//!
+//! Baseline committed as `BENCH_plan.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_core::family::Scale;
+use mr_plan::{plan_all, ClusterSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_plan");
+    grp.sample_size(10);
+    grp.bench_function("plan_all/default_scale", |b| {
+        b.iter(|| {
+            let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Default).unwrap();
+            plans.len()
+        })
+    });
+    grp.bench_function("plan_and_execute/small_scale", |b| {
+        b.iter(|| {
+            let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
+            plans.iter().map(|p| p.execute().outputs).sum::<u64>()
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

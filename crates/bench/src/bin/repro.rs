@@ -6,16 +6,19 @@
 //! cargo run --release -p mr-bench --bin repro -- frontier # empirical sweep
 //! cargo run --release -p mr-bench --bin repro -- frontier hamming-d1 matmul
 //! cargo run --release -p mr-bench --bin repro -- frontier triangles-gnm full
+//! cargo run --release -p mr-bench --bin repro -- plan     # cost-based planner
+//! cargo run --release -p mr-bench --bin repro -- plan matmul --q-budget 32
 //! cargo run --release -p mr-bench --bin repro -- list    # ids + descriptions
 //! ```
 //!
-//! Tokens after `frontier`-style selectors: any token naming an
-//! experiment id selects that experiment; any token naming a frontier
-//! family (or a scale preset `small`/`default`/`full`) selects within
-//! the `frontier` experiment and implies it. Unknown tokens abort with
-//! the full vocabulary.
+//! Tokens after `frontier`/`plan`-style selectors: any token naming an
+//! experiment id selects that experiment; any token naming a family (or a
+//! scale preset `small`/`default`/`full`) selects within the `frontier`
+//! experiment — or within `plan` when that experiment is chosen — and
+//! implies `frontier` otherwise. `--q-budget N` belongs to `plan` and
+//! implies it. Unknown tokens abort with the full vocabulary.
 
-use mr_bench::experiments::{self, Experiment};
+use mr_bench::experiments::{self, plan, Experiment};
 use mr_bench::sweep;
 
 fn main() {
@@ -31,19 +34,30 @@ fn main() {
         return;
     }
 
-    // Partition tokens: experiment ids vs frontier selectors. Unknown
-    // tokens are an error that prints the whole vocabulary.
+    // Partition tokens: experiment ids, shared family/scale selectors,
+    // plan-only flags. Unknown tokens are an error that prints the whole
+    // vocabulary.
     let mut ids: Vec<&str> = Vec::new();
-    let mut frontier_args: Vec<String> = Vec::new();
+    let mut selectors: Vec<String> = Vec::new();
+    let mut plan_extra: Vec<String> = Vec::new();
     let mut unknown: Vec<&str> = Vec::new();
-    for a in &args {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
         if all.iter().any(|e| e.id == a.as_str()) {
             ids.push(a);
+        } else if plan::is_plan_flag(a) {
+            plan_extra.push(a.clone());
+            if let Some(value) = args.get(i + 1) {
+                plan_extra.push(value.clone());
+                i += 1;
+            }
         } else if sweep::is_selector(a) {
-            frontier_args.push(a.clone());
+            selectors.push(a.clone());
         } else {
             unknown.push(a);
         }
+        i += 1;
     }
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s) {unknown:?}");
@@ -56,10 +70,15 @@ fn main() {
             sweep::available_families().join(", "),
             sweep::SCALE_TOKENS.join(", ")
         );
+        eprintln!("plan flags: {} N", plan::Q_BUDGET_FLAG);
         std::process::exit(1);
     }
-    // Frontier selectors imply the frontier experiment.
-    if !frontier_args.is_empty() && !ids.contains(&"frontier") {
+    // A budget flag implies the plan experiment; bare family/scale
+    // selectors imply the frontier experiment unless plan claimed them.
+    if !plan_extra.is_empty() && !ids.contains(&"plan") {
+        ids.push("plan");
+    }
+    if !selectors.is_empty() && !ids.contains(&"plan") && !ids.contains(&"frontier") {
         ids.push("frontier");
     }
 
@@ -70,9 +89,14 @@ fn main() {
     };
 
     for e in selected {
+        let extra: Vec<String> = match e.id {
+            "frontier" => selectors.clone(),
+            "plan" => selectors.iter().chain(plan_extra.iter()).cloned().collect(),
+            _ => Vec::new(),
+        };
         println!("================================================================");
         println!("[{}]", e.id);
         println!("================================================================");
-        println!("{}", e.run(&frontier_args));
+        println!("{}", e.run(&extra));
     }
 }

@@ -11,6 +11,7 @@ pub mod e55_joins;
 pub mod e71_join_aggregate;
 pub mod fig1_hamming;
 pub mod fig2_weight;
+pub mod plan;
 pub mod t6_matmul;
 pub mod table1;
 pub mod table2;
@@ -132,6 +133,13 @@ pub fn all() -> Vec<Experiment> {
             description: "§2.4 vs §§3–6: empirical (q, r) sweep over the family registry; \
                  args select families/scale (e.g. `frontier hamming-d1 matmul`, `frontier small`)",
             runner: Runner::WithArgs(crate::sweep::report_args),
+        },
+        Experiment {
+            id: "plan",
+            description: "mr-plan: cost-based planner — cheapest algorithm per family for a \
+                 cluster spec, predicted vs measured (q, r, cost); args select \
+                 families/scale and `--q-budget N` (e.g. `plan matmul --q-budget 32`)",
+            runner: Runner::WithArgs(crate::experiments::plan::report_args),
         },
     ]
 }

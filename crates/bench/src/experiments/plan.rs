@@ -1,0 +1,245 @@
+//! **`repro plan`** — the cost-based planner end to end: for a cluster
+//! spec, pick the cheapest algorithm per family (`mr-plan`), execute the
+//! pick on the engine, and print predicted vs measured `(q, r, cost)`
+//! with the planner's rationale.
+//!
+//! Arguments: family names filter the plannable families, a scale token
+//! (`small`/`default`/`full`) picks the instance preset, and
+//! `--q-budget N` sets the cluster's per-reducer memory budget — the
+//! knob that flips the §6 matmul planner from one-phase to two-phase as
+//! soon as `N < n²`.
+
+use crate::json;
+use crate::table::{fmt, Table};
+use mr_core::family::Scale;
+use mr_plan::{plan_family, plannable_families, ClusterSpec, PlanError, PlanReport};
+
+/// The token that introduces the reducer budget.
+pub const Q_BUDGET_FLAG: &str = "--q-budget";
+
+/// Parses the experiment's tokens into a selection. Family/scale tokens
+/// go through the shared [`crate::selectors`] helpers (the same ones the
+/// frontier experiment uses); only the budget flag is plan-specific.
+fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, ClusterSpec), String> {
+    let names = plannable_families();
+    let mut picked: Vec<&'static str> = Vec::new();
+    let mut scale: Option<Scale> = None;
+    let mut cluster = ClusterSpec::default();
+    let mut it = args.iter();
+    while let Some(tok) = it.next() {
+        if tok == Q_BUDGET_FLAG {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("{Q_BUDGET_FLAG} requires a value"))?;
+            let q: u64 = value
+                .parse()
+                .map_err(|_| format!("{Q_BUDGET_FLAG} value '{value}' is not a number"))?;
+            if q == 0 {
+                return Err(format!("{Q_BUDGET_FLAG} must be positive"));
+            }
+            cluster.reducer_capacity = Some(q);
+        } else if let Some(sc) = crate::selectors::scale_token(tok) {
+            crate::selectors::set_scale(&mut scale, sc)?;
+        } else if !crate::selectors::pick_family(&names, tok, &mut picked) {
+            return Err(format!(
+                "unknown plan selector '{tok}'; families: {}; scales: small, default, full; \
+                 budget: {Q_BUDGET_FLAG} N",
+                names.join(", ")
+            ));
+        }
+    }
+    if picked.is_empty() {
+        picked = names;
+    }
+    Ok((picked, scale.unwrap_or_default(), cluster))
+}
+
+/// One family's outcome: a measured report or an honest refusal.
+enum Outcome {
+    Planned(Box<PlanReport>),
+    Refused(&'static str, PlanError),
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (picked, scale, cluster) = parse(args)?;
+    let outcomes: Vec<Outcome> = picked
+        .iter()
+        .map(|family| match plan_family(family, &cluster, scale) {
+            Ok(plan) => Outcome::Planned(Box::new(plan.execute())),
+            Err(e) => Outcome::Refused(family, e),
+        })
+        .collect();
+
+    let mut out = format!(
+        "Cost-based planner (mr-plan): the cheapest algorithm per family for a cluster.\n\
+         Cluster: {}.\n\
+         Predictions are exact (map-side census / closed forms / Shares-exponent LP);\n\
+         every plan executes under its own predicted q as a hard reducer budget, so\n\
+         pred ≠ meas would abort the round rather than print a happy number.\n\n",
+        cluster.describe()
+    );
+
+    let mut t = Table::new(&[
+        "family",
+        "chosen schema",
+        "q(pred)",
+        "q(meas)",
+        "r(pred)",
+        "r(meas)",
+        "cost(pred)",
+        "cost(meas)",
+        "outputs",
+        "wall(ms)",
+    ]);
+    for o in &outcomes {
+        if let Outcome::Planned(rep) = o {
+            t.row(vec![
+                rep.plan.family.to_string(),
+                rep.plan.schema.clone(),
+                rep.plan.predicted_q.to_string(),
+                rep.measured_q.to_string(),
+                fmt(rep.plan.predicted_r),
+                fmt(rep.measured_r),
+                fmt(rep.plan.predicted_cost),
+                fmt(rep.measured_cost),
+                rep.outputs.to_string(),
+                format!("{:.3}", rep.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nRationale:\n");
+    for o in &outcomes {
+        match o {
+            Outcome::Planned(rep) => {
+                out.push_str(&format!("  {}: {}\n", rep.plan.family, rep.plan.rationale))
+            }
+            Outcome::Refused(family, e) => out.push_str(&format!("  {family}: REFUSED — {e}\n")),
+        }
+    }
+
+    out.push_str(
+        "\nJSON (semantic — deterministic across runs; wall-clock is execution metadata,\n\
+         see the table):\n\n",
+    );
+    out.push_str(&semantic_json(&cluster, &outcomes));
+    Ok(out)
+}
+
+/// The deterministic JSON serialisation of a plan run (no wall-clock).
+fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
+    let mut out = String::from("{\n  \"subsystem\": \"planner\",\n");
+    out.push_str(&format!(
+        "  \"cluster\": \"{}\",\n  \"plans\": [\n",
+        json::escape(&cluster.describe())
+    ));
+    for (i, o) in outcomes.iter().enumerate() {
+        let mut obj = json::Obj::new();
+        match o {
+            Outcome::Planned(rep) => {
+                obj.str("family", rep.plan.family)
+                    .str("schema", &rep.plan.schema)
+                    .int("q_pred", rep.plan.predicted_q)
+                    .int("q_meas", rep.measured_q)
+                    .num("r_pred", rep.plan.predicted_r)
+                    .num("r_meas", rep.measured_r)
+                    .num("cost_pred", rep.plan.predicted_cost)
+                    .num("cost_meas", rep.measured_cost)
+                    .int("outputs", rep.outputs)
+                    .str("rationale", &rep.plan.rationale);
+            }
+            Outcome::Refused(family, e) => {
+                obj.str("family", family).str("error", &e.to_string());
+            }
+        }
+        out.push_str("    ");
+        out.push_str(&obj.compact());
+        if i + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `repro plan` runner: selector errors become the report text (the
+/// repro driver validates most tokens up front, so this is a backstop).
+pub fn report_args(args: &[String]) -> String {
+    run(args).unwrap_or_else(|e| format!("plan selection error: {e}"))
+}
+
+/// True when `token` is something `repro plan` can consume *besides* the
+/// shared family/scale selectors: today only the budget flag (its numeric
+/// value is validated by [`report_args`]).
+pub fn is_plan_flag(token: &str) -> bool {
+    token == Q_BUDGET_FLAG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn default_report_plans_every_family() {
+        let out = report_args(&args(&["small"]));
+        for family in plannable_families() {
+            assert!(out.contains(family), "{family} missing:\n{out}");
+        }
+        assert!(out.contains("Rationale:"));
+        assert!(out.contains("\"subsystem\": \"planner\""));
+        assert!(!out.contains("REFUSED"));
+    }
+
+    #[test]
+    fn q_budget_flips_matmul_to_two_phase() {
+        // Small scale: n = 4, n² = 16.
+        let out = report_args(&args(&["small", "matmul", "--q-budget", "8"]));
+        assert!(out.contains("two-phase(n=4"), "{out}");
+        assert!(out.contains("q-budget=8"));
+        let out2 = report_args(&args(&["small", "matmul", "--q-budget", "16"]));
+        assert!(out2.contains("one-phase(n=4"), "{out2}");
+    }
+
+    #[test]
+    fn impossible_budget_is_refused_not_planned() {
+        let out = report_args(&args(&["small", "triangles", "--q-budget", "1"]));
+        assert!(out.contains("REFUSED"), "{out}");
+        assert!(out.contains("no schema fits"));
+    }
+
+    #[test]
+    fn bad_tokens_are_reported_with_the_vocabulary() {
+        let out = report_args(&args(&["bogus"]));
+        assert!(out.contains("plan selection error"));
+        assert!(out.contains("hamming-d1"));
+        let out2 = report_args(&args(&["--q-budget"]));
+        assert!(out2.contains("requires a value"));
+        let out3 = report_args(&args(&["--q-budget", "zero"]));
+        assert!(out3.contains("is not a number"));
+        let out4 = report_args(&args(&["small", "full"]));
+        assert!(out4.contains("at most one scale"));
+    }
+
+    #[test]
+    fn semantic_json_is_byte_identical_across_runs() {
+        let json = |_: ()| {
+            let out = report_args(&args(&["small"]));
+            out.split("JSON").nth(1).unwrap().to_string()
+        };
+        // Everything after the JSON marker excludes wall-clock, so two
+        // runs must agree byte for byte.
+        assert_eq!(json(()), json(()));
+    }
+
+    #[test]
+    fn sparse_families_are_not_plannable() {
+        let out = report_args(&args(&["triangles-gnm"]));
+        assert!(out.contains("plan selection error"), "{out}");
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod json;
+mod selectors;
 pub mod sweep;
 pub mod table;
 

@@ -1,0 +1,73 @@
+//! Shared CLI selector parsing for the `repro` experiments that take
+//! family/scale tokens (`frontier`, `plan`), so the two vocabularies
+//! cannot drift apart token by token.
+
+use mr_core::family::Scale;
+
+/// Parses a scale token (`small`/`default`/`full`).
+pub(crate) fn scale_token(token: &str) -> Option<Scale> {
+    match token {
+        "small" => Some(Scale::Small),
+        "default" => Some(Scale::Default),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+/// Records a scale selection, rejecting a second one.
+pub(crate) fn set_scale(slot: &mut Option<Scale>, scale: Scale) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("at most one scale selector (small/default/full) is allowed".into());
+    }
+    *slot = Some(scale);
+    Ok(())
+}
+
+/// Adds `token` to `picked` when it names one of `names` (deduplicated,
+/// canonical `&'static str`). Returns whether it matched.
+pub(crate) fn pick_family(
+    names: &[&'static str],
+    token: &str,
+    picked: &mut Vec<&'static str>,
+) -> bool {
+    match names.iter().find(|n| **n == token) {
+        Some(&canon) => {
+            if !picked.contains(&canon) {
+                picked.push(canon);
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_tokens_roundtrip() {
+        assert_eq!(scale_token("small"), Some(Scale::Small));
+        assert_eq!(scale_token("default"), Some(Scale::Default));
+        assert_eq!(scale_token("full"), Some(Scale::Full));
+        assert_eq!(scale_token("huge"), None);
+    }
+
+    #[test]
+    fn second_scale_is_rejected() {
+        let mut slot = None;
+        set_scale(&mut slot, Scale::Small).unwrap();
+        assert!(set_scale(&mut slot, Scale::Full).is_err());
+        assert_eq!(slot, Some(Scale::Small));
+    }
+
+    #[test]
+    fn families_are_picked_once() {
+        let names = ["a", "b"];
+        let mut picked = Vec::new();
+        assert!(pick_family(&names, "a", &mut picked));
+        assert!(pick_family(&names, "a", &mut picked));
+        assert!(!pick_family(&names, "c", &mut picked));
+        assert_eq!(picked, vec!["a"]);
+    }
+}

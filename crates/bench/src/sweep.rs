@@ -390,26 +390,17 @@ pub fn is_selector(token: &str) -> bool {
 /// is unknown or two scales are named.
 pub fn report_for(selectors: &[String]) -> Result<String, String> {
     let mut scale: Option<Scale> = None;
-    let mut picked: Vec<&str> = Vec::new();
+    let mut picked: Vec<&'static str> = Vec::new();
     let names = available_families();
     for tok in selectors {
-        match tok.as_str() {
-            "small" => set_scale(&mut scale, Scale::Small)?,
-            "default" => set_scale(&mut scale, Scale::Default)?,
-            "full" => set_scale(&mut scale, Scale::Full)?,
-            t if names.contains(&t) => {
-                let canon = *names.iter().find(|n| **n == t).expect("contained");
-                if !picked.contains(&canon) {
-                    picked.push(canon);
-                }
-            }
-            t => {
-                return Err(format!(
-                    "unknown frontier selector '{t}'; families: {}; scales: {}",
-                    names.join(", "),
-                    SCALE_TOKENS.join(", ")
-                ))
-            }
+        if let Some(sc) = crate::selectors::scale_token(tok) {
+            crate::selectors::set_scale(&mut scale, sc)?;
+        } else if !crate::selectors::pick_family(&names, tok, &mut picked) {
+            return Err(format!(
+                "unknown frontier selector '{tok}'; families: {}; scales: {}",
+                names.join(", "),
+                SCALE_TOKENS.join(", ")
+            ));
         }
     }
     if scale.is_none() && picked.is_empty() {
@@ -435,14 +426,6 @@ pub fn report_for(selectors: &[String]) -> Result<String, String> {
         },
         render(&report)
     ))
-}
-
-fn set_scale(slot: &mut Option<Scale>, scale: Scale) -> Result<(), String> {
-    if slot.is_some() {
-        return Err("at most one scale selector (small/default/full) is allowed".into());
-    }
-    *slot = Some(scale);
-    Ok(())
 }
 
 /// The `repro frontier` runner: selector args as documented in

@@ -52,26 +52,54 @@ impl CostModel {
     /// concrete algorithms) and returns the cheapest point
     /// `(q, r, total_cost)`.
     ///
-    /// Returns `None` on an empty frontier.
+    /// Points whose cost evaluates to NaN (a NaN coordinate, or a NaN
+    /// produced by the processing closure) are skipped rather than
+    /// poisoning the minimum. Returns `None` on an empty frontier — or
+    /// one consisting entirely of NaN-cost points.
+    ///
+    /// ```
+    /// use mr_core::cost::CostModel;
+    /// let m = CostModel::linear(1.0, 1.0);
+    /// assert_eq!(m.cheapest_point(&[]), None);
+    /// // The NaN point is ignored; the finite one wins.
+    /// let (q, r, cost) = m
+    ///     .cheapest_point(&[(f64::NAN, 1.0), (4.0, 2.0)])
+    ///     .unwrap();
+    /// assert_eq!((q, r, cost), (4.0, 2.0, 6.0));
+    /// ```
     pub fn cheapest_point(&self, frontier: &[(f64, f64)]) -> Option<(f64, f64, f64)> {
         frontier
             .iter()
             .map(|&(q, r)| (q, r, self.total(q, r)))
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("costs must not be NaN"))
+            .filter(|&(_, _, cost)| !cost.is_nan())
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN costs were filtered"))
     }
 
     /// Minimises `a·f(q) + processing(q)` over a q-grid for an analytic
-    /// tradeoff curve `f`. Returns `(q*, cost*)`.
+    /// tradeoff curve `f`. Returns `Some((q*, cost*))`, skipping grid
+    /// points whose cost evaluates to NaN; `None` when the grid is empty
+    /// or every point's cost is NaN.
     ///
-    /// # Panics
-    /// Panics if the grid is empty.
-    pub fn minimize_over_curve(&self, f: impl Fn(f64) -> f64, q_grid: &[f64]) -> (f64, f64) {
-        assert!(!q_grid.is_empty(), "q grid must be non-empty");
+    /// ```
+    /// use mr_core::cost::CostModel;
+    /// let m = CostModel::linear(1.0, 1.0);
+    /// assert_eq!(m.minimize_over_curve(|q| 100.0 / q, &[]), None);
+    /// // f(0) = NaN·… is skipped, not propagated.
+    /// let (q, _) = m
+    ///     .minimize_over_curve(|q| 0.0 / q, &[0.0, 2.0])
+    ///     .unwrap();
+    /// assert_eq!(q, 2.0);
+    /// ```
+    pub fn minimize_over_curve(
+        &self,
+        f: impl Fn(f64) -> f64,
+        q_grid: &[f64],
+    ) -> Option<(f64, f64)> {
         q_grid
             .iter()
             .map(|&q| (q, self.total(q, f(q))))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs must not be NaN"))
-            .expect("non-empty grid")
+            .filter(|&(_, cost)| !cost.is_nan())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN costs were filtered"))
     }
 }
 
@@ -117,7 +145,7 @@ mod tests {
         // curve r = f(q) = 1000/q, cost = f(q) + q → q* = sqrt(1000).
         let m = CostModel::linear(1.0, 1.0);
         let grid: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let (q_star, _) = m.minimize_over_curve(|q| 1000.0 / q, &grid);
+        let (q_star, _) = m.minimize_over_curve(|q| 1000.0 / q, &grid).unwrap();
         assert!((q_star - 32.0).abs() < 1.0, "q* = {q_star}");
     }
 
@@ -125,5 +153,29 @@ mod tests {
     fn empty_frontier_is_none() {
         let m = CostModel::linear(1.0, 1.0);
         assert!(m.cheapest_point(&[]).is_none());
+        assert!(m.minimize_over_curve(|q| q, &[]).is_none());
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_propagated() {
+        let m = CostModel::linear(1.0, 1.0);
+        // NaN q, NaN r, and a NaN produced inside the curve itself must
+        // all be ignored; the finite minimum survives.
+        let frontier = [(f64::NAN, 1.0), (3.0, f64::NAN), (5.0, 2.0), (2.0, 4.0)];
+        let (q, r, cost) = m.cheapest_point(&frontier).unwrap();
+        assert_eq!((q, r), (2.0, 4.0));
+        assert!((cost - 6.0).abs() < 1e-12);
+
+        let grid = [f64::NAN, 1.0, 4.0];
+        let (q_star, cost_star) = m.minimize_over_curve(|q| 16.0 / q, &grid).unwrap();
+        assert_eq!(q_star, 4.0);
+        assert!((cost_star - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_nan_inputs_yield_none() {
+        let m = CostModel::linear(1.0, 1.0);
+        assert!(m.cheapest_point(&[(f64::NAN, 1.0)]).is_none());
+        assert!(m.minimize_over_curve(|_| f64::NAN, &[1.0, 2.0]).is_none());
     }
 }

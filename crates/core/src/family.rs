@@ -54,6 +54,7 @@ use crate::recipe::LowerBoundRecipe;
 use mr_graph::{gen, patterns, subgraph, Graph};
 use mr_sim::schema::SchemaJob;
 use mr_sim::{run_schema_dyn, DynSchema, EngineConfig};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// Instance-size preset of the registry.
@@ -80,6 +81,28 @@ pub struct GridPoint {
     pub schema: String,
     /// The family's §2.4 lower-bound recipe.
     pub recipe: LowerBoundRecipe,
+}
+
+/// An exact map-side prediction of one grid point: the §2.2 assignment
+/// function applied to every instance input, with no shuffle and no
+/// reduce work.
+///
+/// The engine's semantic load metrics depend only on assignments, so the
+/// census `q` and `r` are **exactly** what a full
+/// [`run`](DynFamily::run) of the same point will measure — at a
+/// fraction of the cost. This is the planner layer's prediction
+/// primitive: `mr-plan` prices candidate points with a census and only
+/// executes the one it picks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignCensus {
+    /// Exact maximum reducer load — the point's effective `q`.
+    pub q: u64,
+    /// Exact replication rate `Σᵢ qᵢ / |I|`.
+    pub r: f64,
+    /// Number of distinct reducers the assignment touches.
+    pub reducers: u64,
+    /// Total key-value pairs the map phase would shuffle.
+    pub pairs: u64,
 }
 
 /// The result of executing one grid point through the engine.
@@ -131,6 +154,21 @@ pub trait DynFamily: Send + Sync {
     /// complete-instance families return `Some`, instance-specific
     /// scenarios (sparse random graphs) return `None`.
     fn validate(&self, point: usize) -> Option<SchemaReport>;
+
+    /// Exact map-side prediction of grid point `point` — see
+    /// [`AssignCensus`]. Costs one pass of the assignment function over
+    /// the instance; never runs the engine.
+    ///
+    /// # Panics
+    /// Panics if `point` is out of range for [`grid`](DynFamily::grid).
+    fn census(&self, point: usize) -> AssignCensus;
+
+    /// The instance's defining parameters as `(name, value)` pairs — the
+    /// type-erased hook the planner layer uses to evaluate the paper's
+    /// closed forms. Every family exposes `n` (or `b` for Hamming); e.g.
+    /// matmul's `n` lets a planner place the §6 one- vs two-phase
+    /// crossover at `q = n²`.
+    fn params(&self) -> Vec<(&'static str, u64)>;
 }
 
 /// Executes one typed schema through the type-erased runner and packages
@@ -161,6 +199,33 @@ where
         partition_skew: metrics.shuffle.partition_skew(),
         wall,
         measured,
+    }
+}
+
+/// Runs a typed schema's assignment function over the instance and
+/// aggregates per-reducer loads — the counterpart of [`measure`] that
+/// stops at the map phase. Every family's `census` lands here.
+fn census_of<I, O, S>(inputs: &[I], schema: &S) -> AssignCensus
+where
+    S: SchemaJob<I, O>,
+{
+    let mut loads: HashMap<u64, u64> = HashMap::new();
+    let mut pairs = 0u64;
+    for input in inputs {
+        for rid in schema.assign(input) {
+            *loads.entry(rid).or_insert(0) += 1;
+            pairs += 1;
+        }
+    }
+    AssignCensus {
+        q: loads.values().copied().max().unwrap_or(0),
+        r: if inputs.is_empty() {
+            0.0
+        } else {
+            pairs as f64 / inputs.len() as f64
+        },
+        reducers: loads.len() as u64,
+        pairs,
     }
 }
 
@@ -267,6 +332,14 @@ impl DynFamily for HammingD1 {
             &self.schema(point),
         ))
     }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<u64, (u64, u64), _>(&self.inputs, &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("b", self.b as u64)]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -334,6 +407,14 @@ impl DynFamily for Triangles {
             &TriangleProblem::new(self.n),
             &self.schema(point),
         ))
+    }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, [u32; 3], _>(self.graph.edges(), &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n as u64)]
     }
 }
 
@@ -407,6 +488,14 @@ impl DynFamily for SampleC4 {
             &SampleGraphProblem::new(self.pattern.clone(), self.n),
             &self.schema(point),
         ))
+    }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n as u64), ("s", self.pattern.num_nodes() as u64)]
     }
 }
 
@@ -490,6 +579,21 @@ impl DynFamily for TwoPaths {
             )
         })
     }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        if point == 0 {
+            census_of::<_, (u32, u32, u32), _>(self.graph.edges(), &PerNodeSchema { n: self.n })
+        } else {
+            census_of::<_, (u32, u32, u32), _>(
+                self.graph.edges(),
+                &BucketPairSchema::new(self.n, self.bucket_ks[point - 1]),
+            )
+        }
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n as u64)]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -568,6 +672,17 @@ impl DynFamily for JoinCycle3 {
             &SharesOverDomain::new(self.schema(point), self.n),
         ))
     }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, Vec<u32>, _>(&self.inputs, &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("n", self.n as u64),
+            ("atoms", self.problem.query.atoms.len() as u64),
+        ]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -637,6 +752,14 @@ impl DynFamily for MatMul {
             &MatMulProblem::new(self.n),
             &self.schema(point),
         ))
+    }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, (u32, u32, [u8; 8]), _>(&self.inputs, &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n as u64)]
     }
 }
 
@@ -726,6 +849,14 @@ impl DynFamily for SparseTriangles {
     fn validate(&self, _point: usize) -> Option<SchemaReport> {
         None // exhaustive validation is a complete-instance notion
     }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, [u32; 3], _>(self.graph.edges(), &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n as u64), ("m", self.graph.num_edges() as u64)]
+    }
 }
 
 struct SparseSampleC4 {
@@ -804,6 +935,18 @@ impl DynFamily for SparseSampleC4 {
     fn validate(&self, _point: usize) -> Option<SchemaReport> {
         None
     }
+
+    fn census(&self, point: usize) -> AssignCensus {
+        census_of::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &self.schema(point))
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("n", self.n as u64),
+            ("m", self.graph.num_edges() as u64),
+            ("s", self.pattern.num_nodes() as u64),
+        ]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -816,34 +959,73 @@ pub fn registry() -> Vec<Box<dyn DynFamily>> {
     registry_at(Scale::Default)
 }
 
-/// All complete-instance problem families at the given scale, in the
-/// paper's presentation order: Hamming (§3), triangles (§4), sample
-/// graphs (§5.1–5.3), 2-paths (§5.4), joins (§5.5), matmul (§6).
-pub fn registry_at(scale: Scale) -> Vec<Box<dyn DynFamily>> {
+/// The complete-instance family names, in the paper's presentation
+/// order: Hamming (§3), triangles (§4), sample graphs (§5.1–5.3),
+/// 2-paths (§5.4), joins (§5.5), matmul (§6).
+const COMPLETE_FAMILIES: [&str; 6] = [
+    "hamming-d1",
+    "triangles",
+    "sample-c4",
+    "two-path",
+    "join-cycle3",
+    "matmul",
+];
+
+/// The sparse-scenario names, in presentation order.
+const SPARSE_FAMILIES: [&str; 2] = ["triangles-gnm", "sample-c4-gnm"];
+
+/// Builds **one** family by name at the given scale — without
+/// constructing any other family's instance data. Returns `None` for an
+/// unknown name.
+///
+/// Instance construction is the expensive part of the registry (complete
+/// bit-string universes, complete join databases, seeded sparse graphs
+/// with subgraph counting), so consumers that want a single family — the
+/// planner layer above all — should come through here rather than
+/// filtering [`registry_at`] / [`extended_registry`].
+pub fn family_by_name(name: &str, scale: Scale) -> Option<Box<dyn DynFamily>> {
     let s = scale.sizes();
-    vec![
-        Box::new(HammingD1::new(s.hamming_b)),
-        Box::new(Triangles::new(s.triangle_n)),
-        Box::new(SampleC4::new(s.sample_n)),
-        Box::new(TwoPaths::new(s.two_path_n)),
-        Box::new(JoinCycle3::new(s.join_n)),
-        Box::new(MatMul::new(s.matmul_n)),
-    ]
+    let (tri, c4) = sparse_sizes(scale);
+    Some(match name {
+        "hamming-d1" => Box::new(HammingD1::new(s.hamming_b)),
+        "triangles" => Box::new(Triangles::new(s.triangle_n)),
+        "sample-c4" => Box::new(SampleC4::new(s.sample_n)),
+        "two-path" => Box::new(TwoPaths::new(s.two_path_n)),
+        "join-cycle3" => Box::new(JoinCycle3::new(s.join_n)),
+        "matmul" => Box::new(MatMul::new(s.matmul_n)),
+        "triangles-gnm" => Box::new(SparseTriangles::new(tri.0, tri.1)),
+        "sample-c4-gnm" => Box::new(SparseSampleC4::new(c4.0, c4.1)),
+        _ => return None,
+    })
+}
+
+/// All complete-instance problem families at the given scale, in the
+/// paper's presentation order (see [`family_by_name`] for single-family
+/// construction).
+pub fn registry_at(scale: Scale) -> Vec<Box<dyn DynFamily>> {
+    COMPLETE_FAMILIES
+        .iter()
+        .map(|n| family_by_name(n, scale).expect("complete family names are constructible"))
+        .collect()
+}
+
+/// Per-scale `(n, m)` sizes of the sparse `G(n, m)` scenarios.
+fn sparse_sizes(scale: Scale) -> ((u32, usize), (u32, usize)) {
+    match scale {
+        Scale::Small => ((12, 30), (10, 22)),
+        Scale::Default => ((24, 72), (16, 44)),
+        Scale::Full => ((40, 200), (24, 90)),
+    }
 }
 
 /// The §4.2/§5.3 sparse-instance scenarios: seeded `G(n, m)` data graphs
 /// run through the same schemas, with the recipe's `|I|`/`|O|` counted on
 /// the instance.
 pub fn sparse_scenarios(scale: Scale) -> Vec<Box<dyn DynFamily>> {
-    let (tri, c4) = match scale {
-        Scale::Small => ((12, 30), (10, 22)),
-        Scale::Default => ((24, 72), (16, 44)),
-        Scale::Full => ((40, 200), (24, 90)),
-    };
-    vec![
-        Box::new(SparseTriangles::new(tri.0, tri.1)),
-        Box::new(SparseSampleC4::new(c4.0, c4.1)),
-    ]
+    SPARSE_FAMILIES
+        .iter()
+        .map(|n| family_by_name(n, scale).expect("sparse family names are constructible"))
+        .collect()
 }
 
 /// Complete families plus sparse scenarios — everything `repro frontier`
@@ -956,6 +1138,81 @@ mod tests {
             let fp = fam.run(p, &EngineConfig::sequential());
             assert_eq!(fp.measured.outputs, expected, "point {p}");
         }
+    }
+
+    #[test]
+    fn census_predicts_engine_measurement_exactly() {
+        // The planner hook's whole contract: a map-side census and a full
+        // engine round agree on q and r at every grid point, complete and
+        // sparse families alike.
+        for fam in extended_registry(Scale::Small) {
+            for (p, gp) in fam.grid().iter().enumerate() {
+                let census = fam.census(p);
+                let fp = fam.run(p, &EngineConfig::sequential());
+                assert_eq!(
+                    census.q,
+                    fp.measured.q,
+                    "{} / {}: census q diverged",
+                    fam.name(),
+                    gp.schema
+                );
+                assert!(
+                    (census.r - fp.measured.r).abs() < 1e-12,
+                    "{} / {}: census r={} vs measured {}",
+                    fam.name(),
+                    gp.schema,
+                    census.r,
+                    fp.measured.r
+                );
+                assert!(census.reducers > 0);
+                assert!(census.pairs >= census.q, "pairs can't undercut max load");
+            }
+        }
+    }
+
+    #[test]
+    fn family_by_name_covers_the_registries_and_rejects_unknowns() {
+        for scale in [Scale::Small, Scale::Default, Scale::Full] {
+            for fam in extended_registry(scale) {
+                let single = family_by_name(fam.name(), scale)
+                    .unwrap_or_else(|| panic!("{} not constructible alone", fam.name()));
+                assert_eq!(single.name(), fam.name());
+                assert_eq!(single.instance(), fam.instance());
+                assert_eq!(single.grid().len(), fam.grid().len());
+            }
+        }
+        assert!(family_by_name("nonsense", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn every_family_exposes_its_size_parameter() {
+        for fam in extended_registry(Scale::Small) {
+            let params = fam.params();
+            assert!(
+                params.iter().any(|(k, _)| *k == "n" || *k == "b"),
+                "{}: params {:?} lack a size parameter",
+                fam.name(),
+                params
+            );
+            for (_, v) in params {
+                assert!(v > 0, "{}: zero-valued parameter", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn census_of_empty_instance_is_all_zero() {
+        let empty: Vec<u64> = Vec::new();
+        struct Nowhere;
+        impl SchemaJob<u64, u64> for Nowhere {
+            fn assign(&self, _input: &u64) -> Vec<u64> {
+                vec![]
+            }
+            fn reduce(&self, _r: u64, _inputs: &[u64], _emit: &mut dyn FnMut(u64)) {}
+        }
+        let c = census_of::<u64, u64, _>(&empty, &Nowhere);
+        assert_eq!((c.q, c.reducers, c.pairs), (0, 0, 0));
+        assert_eq!(c.r, 0.0);
     }
 
     #[test]

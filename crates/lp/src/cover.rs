@@ -170,6 +170,52 @@ pub fn g_of_q(rho: f64, q: f64) -> f64 {
     q.powf(rho)
 }
 
+/// **Share exponents** for the Shares algorithm on `h`'s query, in the
+/// spirit of the Afrati–Ullman share optimisation and the fractional-cover
+/// machinery of Abo Khamis–Ngo–Suciu: weights `x_v ≥ 0` with
+/// `Σ_v x_v = 1` so that each variable's share is `s_v = p^{x_v}` for a
+/// reducer budget `p`.
+///
+/// A tuple of atom `e` is replicated to `Π_{v ∉ e} s_v = p^{1 − Σ_{v∈e} x_v}`
+/// reducers, so the worst atom replicates `p^{1−τ}` times with
+/// `τ = min_e Σ_{v∈e} x_v`. The optimal exponents therefore **maximise τ**
+/// — an LP solved here by the two-phase simplex:
+///
+/// ```text
+/// max τ  s.t.  Σ_{v∈e} x_v ≥ τ  for every atom e,
+///              Σ_v x_v = 1,  x ≥ 0, τ ≥ 0.
+/// ```
+///
+/// Returns `(τ, x)`. For the `k`-cycle query the optimum is the symmetric
+/// `x_v = 1/k`, `τ = 2/k` — for the triangle, shares `p^{1/3}` per
+/// variable, the planner's cycle-join configuration. Fails with
+/// [`LpError::Infeasible`] only when the hypergraph has no edges at all
+/// (no atom to cover any weight).
+pub fn share_exponents(h: &Hypergraph) -> Result<(f64, Vec<f64>), LpError> {
+    if h.num_edges() == 0 {
+        return Err(LpError::Infeasible);
+    }
+    let m = h.num_vertices();
+    // Variables: x_0 .. x_{m-1}, then τ at index m. Minimise -τ.
+    let mut objective = vec![0.0; m + 1];
+    objective[m] = -1.0;
+    let mut lp = LinearProgram::minimize(m + 1, objective);
+    for e in h.edges() {
+        let mut coeffs = vec![0.0; m + 1];
+        for &v in e {
+            coeffs[v] = 1.0;
+        }
+        coeffs[m] = -1.0;
+        lp.constrain(coeffs, ConstraintOp::Ge, 0.0);
+    }
+    let mut sum = vec![1.0; m + 1];
+    sum[m] = 0.0;
+    lp.constrain(sum, ConstraintOp::Eq, 1.0);
+    let sol = lp.solve()?;
+    let tau = sol.x[m];
+    Ok((tau, sol.x[..m].to_vec()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +321,67 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_edge_rejected() {
         Hypergraph::new(1).add_edge(vec![]);
+    }
+
+    #[test]
+    fn cycle_share_exponents_are_symmetric() {
+        // The k-cycle optimum is unique: x_v = 1/k, τ = 2/k (summing the
+        // k edge constraints gives 2 Σx ≥ kτ, tight only when all edge
+        // sums are equal). The triangle case is the planner's Shares
+        // configuration: shares p^{1/3} per variable.
+        for k in 3..=6usize {
+            let (tau, x) = share_exponents(&Hypergraph::cycle(k)).unwrap();
+            assert_close(tau, 2.0 / k as f64);
+            if k == 3 {
+                for xi in &x {
+                    assert_close(*xi, 1.0 / 3.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn share_exponents_are_feasible_and_normalised() {
+        let cases = vec![
+            Hypergraph::chain(4),
+            Hypergraph::cycle(5),
+            Hypergraph::clique(4),
+            Hypergraph::star(3, 1),
+            Hypergraph::from_edges(4, vec![vec![0, 1, 2], vec![2, 3], vec![0, 3]]),
+        ];
+        for h in cases {
+            let (tau, x) = share_exponents(&h).unwrap();
+            assert!(x.iter().all(|&xi| xi >= -1e-9), "negative exponent: {x:?}");
+            assert_close(x.iter().sum::<f64>(), 1.0);
+            for e in h.edges() {
+                let covered: f64 = e.iter().map(|&v| x[v]).sum();
+                assert!(
+                    covered >= tau - 1e-6,
+                    "edge {e:?} covered {covered} < τ = {tau}"
+                );
+            }
+            // τ ≤ 1 always (any edge sum is at most Σ x = 1).
+            assert!(tau <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_atom_takes_all_weight() {
+        // One relation covering both variables: τ = 1, every exponent on
+        // the atom's variables (no replication at all: s_v = p^{x_v},
+        // Π_{v∉e} s_v = p^0 = 1).
+        let h = Hypergraph::from_edges(2, vec![vec![0, 1]]);
+        let (tau, x) = share_exponents(&h).unwrap();
+        assert_close(tau, 1.0);
+        assert_close(x.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn edgeless_hypergraph_is_infeasible() {
+        assert_eq!(
+            share_exponents(&Hypergraph::new(3)).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     /// Property: the LP cover is feasible and no worse than any greedy

@@ -11,11 +11,13 @@
 //! * [`simplex`] — a dense two-phase primal simplex solver with Bland's
 //!   anti-cycling rule (`min cᵀx` subject to mixed `≤ / ≥ / =` constraints
 //!   and `x ≥ 0`),
-//! * [`cover`] — hypergraphs, the fractional edge cover LP, `ρ`, and the
-//!   AGM output-size bound `|O| ≤ Π_e |R_e|^{x_e}`.
+//! * [`cover`] — hypergraphs, the fractional edge cover LP, `ρ`, the
+//!   AGM output-size bound `|O| ≤ Π_e |R_e|^{x_e}`, and the
+//!   [`share_exponents`] LP the `mr-plan` layer
+//!   uses to derive Shares grids (`s_v = p^{x_v}`).
 
 pub mod cover;
 pub mod simplex;
 
-pub use cover::{agm_bound, fractional_edge_cover, Hypergraph};
+pub use cover::{agm_bound, fractional_edge_cover, share_exponents, Hypergraph};
 pub use simplex::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution};

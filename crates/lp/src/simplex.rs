@@ -429,4 +429,61 @@ mod tests {
         let s = lp.solve().unwrap();
         assert_close(s.value, 0.0);
     }
+
+    #[test]
+    fn conflicting_equalities_are_infeasible() {
+        // x + y = 1 and x + y = 2 — the phase-1 optimum stays positive.
+        let mut lp = LinearProgram::minimize(2, vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Eq, 1.0);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Eq, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_beats_unbounded_in_reporting() {
+        // Empty feasible region AND an objective that would be unbounded
+        // on the relaxation: infeasibility must be detected first (phase 1
+        // runs before phase 2 can chase the unbounded direction).
+        let mut lp = LinearProgram::minimize(2, vec![-1.0, 0.0]);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Ge, 3.0);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_with_equality_side_constraint() {
+        // min -x s.t. y = 1: x can grow without bound while the equality
+        // pins y. The ray must be reported as Unbounded, not looped on.
+        let mut lp = LinearProgram::minimize(2, vec![-1.0, 0.0]);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Eq, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_share_exponent_program_terminates_at_optimum() {
+        // Regression for the planner's Shares path: the share-exponent LP
+        // of the 4-cycle query R(A,B) ⋈ S(B,C) ⋈ T(C,D) ⋈ U(D,A).
+        // Variables x_0..x_3, τ; max τ s.t. every edge's x-sum ≥ τ and
+        // Σ x = 1. The optimum τ = 1/2 is *massively degenerate*: both
+        // x = (¼,¼,¼,¼) and x = (½,0,½,0) (and every convex combination)
+        // are optimal vertices, so the solver walks ties — Bland's rule
+        // must terminate and report the right value, not cycle or return
+        // a sub-optimal basic solution.
+        let mut lp = LinearProgram::minimize(5, vec![0.0, 0.0, 0.0, 0.0, -1.0]);
+        for (u, v) in [(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+            let mut coeffs = vec![0.0; 5];
+            coeffs[u] = 1.0;
+            coeffs[v] = 1.0;
+            coeffs[4] = -1.0;
+            lp.constrain(coeffs, ConstraintOp::Ge, 0.0);
+        }
+        lp.constrain(vec![1.0, 1.0, 1.0, 1.0, 0.0], ConstraintOp::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value, -0.5); // τ = 1/2
+        assert_close(s.x[..4].iter().sum::<f64>(), 1.0);
+        // Whatever optimal vertex was returned, it must be feasible.
+        for (u, v) in [(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+            assert!(s.x[u] + s.x[v] >= 0.5 - 1e-6, "edge ({u},{v}) under τ");
+        }
+    }
 }

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The decision layer between `mr-core`'s analytic bounds and `mr-sim`'s
+//! executor: given a **cluster**, pick the **cheapest algorithm**.
+//!
+//! Every executor in this workspace takes a hand-picked schema parameter —
+//! a splitting divisor, block sides `(s, t)`, Shares exponents. A
+//! production system is not told `q`; it is told a cluster and derives the
+//! cheapest point on the paper's `(q, r)` tradeoff frontier itself. This
+//! crate closes that loop:
+//!
+//! * [`ClusterSpec`] describes the cluster — worker
+//!   count, per-reducer memory budget, and the §1.2 cost weights
+//!   `a·r + b·q (+ c·q²)` (generalising [`mr_core::cost::CostModel`]);
+//! * the [`Planner`] trait has one implementation per
+//!   problem family, each using the paper's closed forms where it gives
+//!   them — the Theorem 3.2 Hamming hyperbola, §4.1 triangle
+//!   partitioning, the §6 one- vs two-phase matmul crossover at
+//!   `q = n²` — and [`mr_lp::share_exponents`]'s simplex for Shares
+//!   exponents on cycle joins;
+//! * candidate points are priced by [`mr_core::family::AssignCensus`] —
+//!   an exact map-side prediction, so `predicted_q`/`predicted_r` equal
+//!   what the engine will measure;
+//! * every [`Plan`] is **runnable**:
+//!   [`Plan::execute`] lowers the choice onto the
+//!   [`DynFamily`](mr_core::family::DynFamily) registry /
+//!   [`mr_sim::run_schema_dyn`] path (or the two-round §6.3 job), under a
+//!   reducer budget equal to its own prediction, and reports measured
+//!   `(q, r, cost)` next to the predicted ones.
+//!
+//! The `repro plan` experiment in `mr-bench` drives this end to end, and
+//! its planner-vs-sweep parity battery proves the planner's pick matches
+//! the empirically-cheapest sweep point for every registry family.
+
+pub mod cluster;
+pub mod plan;
+pub mod planner;
+
+pub use cluster::ClusterSpec;
+pub use plan::{Choice, Plan, PlanReport};
+pub use planner::{plan_all, plan_family, plannable_families, planners, PlanError, Planner};

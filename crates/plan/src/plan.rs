@@ -1,0 +1,199 @@
+//! Plans and their execution lowering.
+
+use crate::cluster::ClusterSpec;
+use mr_core::family::{family_by_name, Scale};
+use mr_core::problems::matmul::problem::numeric_inputs;
+use mr_core::problems::matmul::{Matrix, TwoPhaseMatMul};
+use mr_sim::EngineConfig;
+use std::time::Duration;
+
+/// The algorithm a plan commits to, in lowerable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Choice {
+    /// Grid point `point` of the named registry family at `scale` —
+    /// lowered through [`DynFamily::run`](mr_core::family::DynFamily::run)
+    /// onto the type-erased [`mr_sim::run_schema_dyn`] path.
+    Registry {
+        /// Instance-size preset the plan was made for.
+        scale: Scale,
+        /// Index into the family's [`grid`](mr_core::family::DynFamily::grid).
+        point: usize,
+    },
+    /// The §6.3 two-round matrix-multiplication job with first-phase
+    /// blocks of `s × s × t` — the algorithm the one-phase registry grid
+    /// cannot express, chosen whenever the reducer budget drops below
+    /// `n²`.
+    TwoPhaseMatMul {
+        /// Matrix side length.
+        n: u32,
+        /// Row/column block side (divides `n`).
+        s: u32,
+        /// j-dimension block depth (divides `n`).
+        t: u32,
+    },
+}
+
+/// A costed, runnable decision: which schema to run, what it will
+/// measure, and why it was picked.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Registry family the plan is for.
+    pub family: &'static str,
+    /// Chosen schema's display name (grid-point name, or the two-phase
+    /// block shape).
+    pub schema: String,
+    /// The lowerable choice.
+    pub choice: Choice,
+    /// The cluster the plan was made for (costs and execution workers).
+    pub cluster: ClusterSpec,
+    /// Predicted maximum reducer load. Exact: grid points are priced by
+    /// [`AssignCensus`](mr_core::family::AssignCensus), the two-phase job
+    /// by its closed-form block loads — so execution runs under this very
+    /// value as a hard budget.
+    pub predicted_q: u64,
+    /// Predicted replication rate (for multi-round choices: total
+    /// communication over `|I|`).
+    pub predicted_r: f64,
+    /// Predicted cluster cost `a·r + b·q (+ c·q²)`.
+    pub predicted_cost: f64,
+    /// Why this point: the closed form used, the candidates priced, and
+    /// the winning numbers.
+    pub rationale: String,
+}
+
+/// The result of executing a [`Plan`]: measurements next to predictions.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The executed plan.
+    pub plan: Plan,
+    /// Engine-measured maximum reducer load (max over rounds for
+    /// multi-round choices).
+    pub measured_q: u64,
+    /// Engine-measured replication rate (total communication over `|I|`
+    /// for multi-round choices).
+    pub measured_r: f64,
+    /// Cluster cost of the measured `(q, r)` point.
+    pub measured_cost: f64,
+    /// Outputs the execution emitted.
+    pub outputs: u64,
+    /// Wall-clock time (execution metadata, varies run to run).
+    pub wall: Duration,
+}
+
+impl Plan {
+    /// Executes the plan on the cluster's engine. See
+    /// [`execute_with`](Plan::execute_with).
+    pub fn execute(&self) -> PlanReport {
+        self.execute_with(&self.cluster.engine())
+    }
+
+    /// Executes the plan on the given engine, **under its own prediction
+    /// as the reducer budget**: the round runs with
+    /// `max_reducer_inputs = predicted_q`, so a plan whose prediction
+    /// undershot reality aborts loudly instead of reporting a happy
+    /// number. Predictions are exact by construction, so this is a
+    /// self-check that every execution re-proves.
+    ///
+    /// # Panics
+    /// Panics if the predicted budget overflows (a planner bug by
+    /// definition), or if the plan's family/point no longer exists in the
+    /// registry.
+    pub fn execute_with(&self, engine: &EngineConfig) -> PlanReport {
+        let budgeted = engine.clone().with_max_reducer_inputs(self.predicted_q);
+        match self.choice {
+            Choice::Registry { scale, point } => {
+                let fam = family_by_name(self.family, scale)
+                    .unwrap_or_else(|| panic!("family {} not in the registry", self.family));
+                let fp = fam.run(point, &budgeted);
+                PlanReport {
+                    measured_q: fp.measured.q,
+                    measured_r: fp.measured.r,
+                    measured_cost: self.cluster.cost(fp.measured.q as f64, fp.measured.r),
+                    outputs: fp.measured.outputs,
+                    wall: fp.wall,
+                    plan: self.clone(),
+                }
+            }
+            Choice::TwoPhaseMatMul { n, s, t } => {
+                // The same instance the registry's matmul family builds
+                // (seeds included), so one- and two-phase plans are
+                // directly comparable.
+                let a = Matrix::random(n as usize, 3);
+                let b = Matrix::random(n as usize, 4);
+                let inputs = numeric_inputs(&a, &b);
+                let num_inputs = inputs.len() as f64;
+                let job = TwoPhaseMatMul::new(n, s, t).job();
+                let (out, metrics, wall) = job
+                    .run_timed(inputs, &budgeted)
+                    .expect("a two-phase plan overflowed its own predicted budget");
+                let measured_q = metrics.max_reducer_load();
+                let measured_r = metrics.total_communication() as f64 / num_inputs;
+                PlanReport {
+                    measured_q,
+                    measured_r,
+                    measured_cost: self.cluster.cost(measured_q as f64, measured_r),
+                    outputs: out.len() as u64,
+                    wall,
+                    plan: self.clone(),
+                }
+            }
+        }
+    }
+}
+
+impl PlanReport {
+    /// Absolute relative error of the replication prediction
+    /// (`|predicted − measured| / measured`); 0 for an exact planner.
+    pub fn r_error(&self) -> f64 {
+        (self.plan.predicted_r - self.measured_r).abs() / self.measured_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_family;
+
+    #[test]
+    fn registry_plan_roundtrips_exactly() {
+        let cluster = ClusterSpec::default();
+        let plan = plan_family("triangles", &cluster, Scale::Small).unwrap();
+        assert!(matches!(plan.choice, Choice::Registry { .. }));
+        let report = plan.execute();
+        assert_eq!(report.measured_q, plan.predicted_q);
+        assert!((report.measured_r - plan.predicted_r).abs() < 1e-12);
+        assert!((report.measured_cost - plan.predicted_cost).abs() < 1e-9);
+        assert_eq!(report.r_error(), 0.0);
+        assert!(report.outputs > 0);
+    }
+
+    #[test]
+    fn two_phase_plan_roundtrips_exactly() {
+        // Small-scale matmul n = 4: a budget below n² = 16 forces the
+        // two-phase job; its closed-form predictions must match the
+        // two-round execution to the pair.
+        let cluster = ClusterSpec::default().with_q_budget(8);
+        let plan = plan_family("matmul", &cluster, Scale::Small).unwrap();
+        assert!(matches!(plan.choice, Choice::TwoPhaseMatMul { .. }));
+        let report = plan.execute();
+        assert_eq!(report.measured_q, plan.predicted_q);
+        assert!(
+            (report.measured_r - plan.predicted_r).abs() < 1e-12,
+            "predicted r={}, measured {}",
+            plan.predicted_r,
+            report.measured_r
+        );
+        assert_eq!(report.outputs, 16); // n² product cells
+    }
+
+    #[test]
+    fn execution_is_engine_worker_independent() {
+        let cluster = ClusterSpec::default();
+        let plan = plan_family("two-path", &cluster, Scale::Small).unwrap();
+        let seq = plan.execute_with(&EngineConfig::sequential());
+        let par = plan.execute_with(&EngineConfig::parallel(8));
+        assert_eq!(seq.measured_q, par.measured_q);
+        assert_eq!(seq.measured_r, par.measured_r);
+        assert_eq!(seq.outputs, par.outputs);
+    }
+}

@@ -80,6 +80,26 @@ impl<I: Sync + 'static, O: Send + 'static> Job<I, O> {
         let (out, rounds) = (self.run_fn)(inputs, config)?;
         Ok((out, JobMetrics { rounds }))
     }
+
+    /// Executes the job, additionally reporting its wall-clock time — the
+    /// multi-round counterpart of
+    /// [`run_schema_timed`](crate::schema::run_schema_timed).
+    ///
+    /// The timing covers all rounds (every map, shuffle, and reduce in the
+    /// chain) and nothing else. Like every wall-clock figure in this
+    /// crate it is *execution metadata*: determinism comparisons must use
+    /// the outputs and metrics only. The plan-execution layer (`mr-plan`)
+    /// lowers multi-round choices — the §6.3 two-phase matmul — through
+    /// this entry point.
+    pub fn run_timed(
+        &self,
+        inputs: Vec<I>,
+        config: &EngineConfig,
+    ) -> Result<(Vec<O>, JobMetrics, std::time::Duration), EngineError> {
+        let start = std::time::Instant::now();
+        let (out, metrics) = self.run(inputs, config)?;
+        Ok((out, metrics, start.elapsed()))
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +162,36 @@ mod tests {
         let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
         let err = job.run((0..5).collect(), &cfg).unwrap_err();
         assert!(matches!(err, EngineError::ReducerOverflow { load: 5, .. }));
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_reports_a_duration() {
+        let build = || -> Job<u32, u32> {
+            Job::single(
+                FnMapper(|x: &u32, emit: &mut dyn FnMut(u32, u32)| emit(*x % 3, *x)),
+                FnReducer(|_: &u32, vs: &[u32], emit: &mut dyn FnMut(u32)| emit(vs.iter().sum())),
+            )
+        };
+        let inputs: Vec<u32> = (0..9).collect();
+        let (out, m) = build()
+            .run(inputs.clone(), &EngineConfig::sequential())
+            .unwrap();
+        let (tout, tm, wall) = build()
+            .run_timed(inputs, &EngineConfig::sequential())
+            .unwrap();
+        assert_eq!(out, tout);
+        assert_eq!(m, tm);
+        assert!(wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_run_propagates_overflow() {
+        let job: Job<u32, u32> = Job::single(
+            FnMapper(|x: &u32, emit: &mut dyn FnMut(u8, u32)| emit(0, *x)),
+            FnReducer(|_: &u8, vs: &[u32], emit: &mut dyn FnMut(u32)| emit(vs.iter().sum())),
+        );
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
+        assert!(job.run_timed((0..5).collect(), &cfg).is_err());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! budget `q < n²`, with the optimal first-phase blocks at aspect ratio
 //! 2:1.
 
+use mapreduce_bounds::core::family::Scale;
 use mapreduce_bounds::core::problems::matmul::problem::run_one_phase;
 use mapreduce_bounds::core::problems::matmul::{
     one_phase_communication, two_phase_communication, Matrix, OnePhaseSchema, TwoPhaseMatMul,
 };
+use mapreduce_bounds::plan::{plan_family, ClusterSpec};
 use mapreduce_bounds::sim::EngineConfig;
 
 fn main() {
@@ -65,4 +67,18 @@ fn main() {
     }
     println!("\nBelow n² the two-phase method always communicates less —");
     println!("the surprise §6.3 highlights. (Both run the same arithmetic.)");
+
+    // The mr-plan decision layer makes this call automatically from a
+    // cluster spec (registry instance n = 8, so the crossover is q = 64).
+    println!("\nmr-plan makes the same decision from a cluster's q-budget (n=8, n²=64):");
+    for budget in [16u64, 32, 63, 64, 128] {
+        let cluster = ClusterSpec::default().with_q_budget(budget);
+        let plan = plan_family("matmul", &cluster, Scale::Default).expect("feasible budget");
+        let report = plan.execute();
+        println!(
+            "  q-budget {budget:>4} → {:<26} measured (q={}, r={})",
+            plan.schema, report.measured_q, report.measured_r
+        );
+    }
+    println!("\n(`repro plan matmul --q-budget N` prints the full rationale.)");
 }
