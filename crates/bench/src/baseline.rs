@@ -1,0 +1,438 @@
+//! Re-recordable benchmark baselines with an automatic machine stamp.
+//!
+//! The workspace root carries three committed baselines —
+//! `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json` — that
+//! pin what the engine benchmarks measured on a known machine. They used
+//! to be transcribed by hand from `cargo bench` output, which is exactly
+//! the kind of step that silently rots: the numbers change, the machine
+//! description doesn't, and nobody can tell which container a baseline
+//! came from.
+//!
+//! This module makes re-recording a single command:
+//!
+//! ```text
+//! cargo run --release -p mr-bench --bin record_bench [out_dir]
+//! ```
+//!
+//! Each recorder re-runs its bench workload in process (same shapes as
+//! `benches/engine_shuffle.rs`, `engine_frontier.rs`, `engine_plan.rs`:
+//! one warm-up plus ten timed samples per configuration) and emits the
+//! baseline JSON with a [`MachineStamp`] captured at run time — logical
+//! core count from [`std::thread::available_parallelism`] and the UTC
+//! date from the system clock — plus the workload parameters, so every
+//! baseline records the machine and workload it actually measured.
+//!
+//! Like the offline criterion shim, the reported mean excludes Tukey
+//! outliers (beyond 1.5×IQR): on shared machines one background burst
+//! otherwise skews a 10-sample mean far from the typical iteration. Min
+//! and max stay raw so the spread remains visible.
+
+use crate::sweep::{sweep_all, SweepConfig};
+use mr_core::family::Scale;
+use mr_plan::{plan_all, ClusterSpec};
+use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
+use std::hint::black_box;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// What the recording machine looked like when a baseline was taken.
+#[derive(Debug, Clone)]
+pub struct MachineStamp {
+    /// Logical cores visible to the process.
+    pub cores: usize,
+    /// UTC date of the recording, `YYYY-MM-DD`.
+    pub date: String,
+}
+
+impl MachineStamp {
+    /// Captures the current machine: core count and today's UTC date.
+    pub fn detect() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+        MachineStamp {
+            cores,
+            date: format!("{y:04}-{m:02}-{d:02}"),
+        }
+    }
+}
+
+/// Days-since-epoch to a proleptic Gregorian `(year, month, day)` —
+/// Howard Hinnant's `civil_from_days` algorithm, so the date stamp needs
+/// no calendar dependency.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+/// Min / Tukey-mean / max of one benchmark configuration, in
+/// milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest sample.
+    pub min_ms: f64,
+    /// Mean over samples inside the Tukey fences (raw mean below five
+    /// samples).
+    pub mean_ms: f64,
+    /// Slowest sample.
+    pub max_ms: f64,
+}
+
+/// Runs `f` once untimed, then `sample_size` timed iterations.
+pub fn time_samples(sample_size: usize, mut f: impl FnMut()) -> Timing {
+    f();
+    let samples: Vec<Duration> = (0..sample_size.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    Timing {
+        min_ms: ms(samples.iter().min().copied().unwrap_or_default()),
+        mean_ms: ms(tukey_mean(&samples)),
+        max_ms: ms(samples.iter().max().copied().unwrap_or_default()),
+    }
+}
+
+/// The mean over samples inside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`; raw mean
+/// below five samples (the quartiles would be meaningless).
+fn tukey_mean(samples: &[Duration]) -> Duration {
+    let raw = samples.iter().sum::<Duration>() / samples.len() as u32;
+    if samples.len() < 5 {
+        return raw;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let (q1, q3) = (sorted[sorted.len() / 4], sorted[3 * sorted.len() / 4]);
+    let fence = (q3 - q1).mul_f64(1.5);
+    let lo = q1.checked_sub(fence).unwrap_or(Duration::ZERO);
+    let hi = q3 + fence;
+    let kept: Vec<Duration> = sorted
+        .into_iter()
+        .filter(|d| *d >= lo && *d <= hi)
+        .collect();
+    if kept.is_empty() {
+        raw
+    } else {
+        kept.iter().sum::<Duration>() / kept.len() as u32
+    }
+}
+
+/// Samples per configuration — matches the benches' `sample_size(10)`.
+const SAMPLES: usize = 10;
+
+/// Pairs in the shuffle workload — matches `benches/engine_shuffle.rs`.
+const SHUFFLE_N: u64 = 300_000;
+
+/// Worker counts the shuffle baseline sweeps.
+const SHUFFLE_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Mean throughput for the machine-note and results rows.
+fn melem_s(n: u64, mean_ms: f64) -> f64 {
+    n as f64 / (mean_ms / 1e3).max(1e-12) / 1e6
+}
+
+/// The auto-generated machine note shared by every baseline.
+fn machine_note(stamp: &MachineStamp) -> String {
+    format!(
+        "Auto-recorded by `cargo run --release -p mr-bench --bin record_bench` \
+         ({} logical core{}, UTC date from the system clock). Worker counts above \
+         the core count timeslice rather than parallelise; re-record on the target \
+         machine before comparing absolute times across hosts.",
+        stamp.cores,
+        if stamp.cores == 1 { "" } else { "s" }
+    )
+}
+
+/// Times one shuffle configuration (a key distribution at a worker
+/// count) over `n` pairs.
+fn shuffle_timing(n: u64, workers: usize, samples: usize, key_of: fn(u64) -> u64) -> Timing {
+    let inputs: Vec<u64> = (0..n).collect();
+    let mapper = FnMapper(move |x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(key_of(*x), *x));
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.len() as u64))
+    });
+    let cfg = if workers == 1 {
+        EngineConfig::sequential()
+    } else {
+        EngineConfig::parallel(workers)
+    };
+    time_samples(samples, || {
+        black_box(
+            run_round(black_box(&inputs), &mapper, &reducer, &cfg)
+                .unwrap()
+                .1
+                .reducers,
+        );
+    })
+}
+
+/// Renders one `results` row of a shuffle baseline.
+fn shuffle_row(group: &str, workers: usize, t: Timing, n: u64) -> String {
+    format!(
+        "    {{ \"group\": \"{group}\", \"workers\": {workers}, \"min_ms\": {:.2}, \
+         \"mean_ms\": {:.2}, \"max_ms\": {:.2}, \"throughput_melem_s\": {:.3} }}",
+        t.min_ms,
+        t.mean_ms,
+        t.max_ms,
+        melem_s(n, t.mean_ms)
+    )
+}
+
+/// Records `BENCH_shuffle.json`: the `engine_shuffle` workloads (uniform
+/// and hot-key distributions at 1/2/4/8 workers) re-timed on this
+/// machine. Returns the JSON text and the uniform workers=1 mean (the
+/// headline the data-plane acceptance gate tracks).
+pub fn record_shuffle(stamp: &MachineStamp) -> (String, f64) {
+    let uniform: Vec<(usize, Timing)> = SHUFFLE_WORKERS
+        .iter()
+        .map(|&w| (w, shuffle_timing(SHUFFLE_N, w, SAMPLES, |x| x % 150_000)))
+        .collect();
+    let hot: Vec<(usize, Timing)> = SHUFFLE_WORKERS
+        .iter()
+        .map(|&w| {
+            let t = shuffle_timing(SHUFFLE_N, w, SAMPLES, |x| {
+                if x % 10 == 0 {
+                    u64::MAX
+                } else {
+                    x % 135_000
+                }
+            });
+            (w, t)
+        })
+        .collect();
+    let uniform_w1 = uniform[0].1.mean_ms;
+    let mut rows: Vec<String> = uniform
+        .iter()
+        .map(|&(w, t)| shuffle_row("engine_shuffle/uniform_150k", w, t, SHUFFLE_N))
+        .collect();
+    rows.extend(
+        hot.iter()
+            .map(|&(w, t)| shuffle_row("engine_shuffle/hot_key_10pct", w, t, SHUFFLE_N)),
+    );
+    let json = format!(
+        r#"{{
+  "bench": "engine_shuffle",
+  "command": "cargo bench -p mr-bench --bench engine_shuffle",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "pairs": {n},
+    "uniform_150k": "300k pairs over 150k distinct keys, trivial map and reduce (shuffle-bound)",
+    "hot_key_10pct": "300k pairs, 10% on one hub key, rest over 135k keys (partition-skew regime, paper §1.4)"
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "uniform_150k_workers1_mean_ms": {w1:.2},
+    "speedup_vs_btreemap_seed": {speedup:.2},
+    "basis": "pre-columnar BTreeMap baseline (recorded 2026-07-29, same container class) measured mean 47.61 ms at workers=1; the columnar radix-partitioned data plane's acceptance floor is 5x",
+    "hot_key_observation": "With 10% of pairs on one hub the hub's partition carries the load (RoundMetrics::shuffle partition_skew >> 1) and partitioning cannot help — the engine-level picture of the paper's §1.4 skew caveat."
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        n = SHUFFLE_N,
+        rows = rows.join(",\n"),
+        w1 = uniform_w1,
+        speedup = 47.61 / uniform_w1,
+    );
+    (json, uniform_w1)
+}
+
+/// Records `BENCH_frontier.json`: the full default-scale frontier sweep
+/// timed at 1/2/4/8 fan-out workers. Returns the JSON text and the
+/// workers=1 mean (fed into the plan baseline's decide-vs-do ratio).
+pub fn record_frontier(stamp: &MachineStamp) -> (String, f64) {
+    let timings: Vec<(usize, Timing)> = SHUFFLE_WORKERS
+        .iter()
+        .map(|&w| {
+            let cfg = SweepConfig {
+                sweep_workers: w,
+                engine: EngineConfig::sequential(),
+            };
+            let t = time_samples(SAMPLES, || {
+                let rep = sweep_all(black_box(&cfg));
+                black_box(rep.families.iter().map(|f| f.points.len()).sum::<usize>());
+            });
+            (w, t)
+        })
+        .collect();
+    let mean1 = timings[0].1.mean_ms;
+    let mean8 = timings.last().unwrap().1.mean_ms;
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|&(w, t)| {
+            format!(
+                "    {{ \"group\": \"engine_frontier/sweep_all\", \"sweep_workers\": {w}, \
+                 \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \"max_ms\": {:.2} }}",
+                t.min_ms, t.mean_ms, t.max_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "bench": "engine_frontier",
+  "command": "cargo bench -p mr-bench --bench engine_frontier",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "grid_points": 25,
+    "description": "sweep_all over the six problem families (hamming-d1 b=10, triangles n=16, sample-c4 n=8, two-path n=16, join-cycle3 n=6, matmul n=8), each family's complete model instance executed through the engine, engine sequential per point"
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "fanout_overhead_at_8_workers": {overhead:.2},
+    "basis": "mean_ms(workers=8) / mean_ms(workers=1) = {mean8:.2} / {mean1:.2}",
+    "determinism": "semantic_json() verified byte-identical across sweep_workers in {{1,2,3,8,32}} and engine workers in {{1,2,4}} (tests/frontier_battery.rs)"
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        rows = rows.join(",\n"),
+        overhead = mean8 / mean1,
+    );
+    (json, mean1)
+}
+
+/// Records `BENCH_plan.json`: `plan_all` at Default scale (pure
+/// decision-making) and plan-then-execute at Small scale, with the
+/// decide-vs-do ratio computed against the frontier sweep mean measured
+/// in the same recording session.
+pub fn record_plan(stamp: &MachineStamp, frontier_mean1_ms: f64) -> String {
+    let plan_default = time_samples(SAMPLES, || {
+        let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Default).unwrap();
+        black_box(plans.len());
+    });
+    let plan_exec = time_samples(SAMPLES, || {
+        let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
+        black_box(plans.iter().map(|p| p.execute().outputs).sum::<u64>());
+    });
+    let row = |group: &str, t: Timing| {
+        format!(
+            "    {{ \"group\": \"{group}\", \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \
+             \"max_ms\": {:.2} }}",
+            t.min_ms, t.mean_ms, t.max_ms
+        )
+    };
+    format!(
+        r#"{{
+  "bench": "engine_plan",
+  "command": "cargo bench -p mr-bench --bench engine_plan",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "description": "plan_all/default_scale plans all six registry families at Default scale (census-prices every grid point, one simplex solve for the join exponents; no engine rounds). plan_and_execute/small_scale additionally executes each chosen plan on the engine at Small scale under its own predicted q and pairs hint.",
+    "families": 6,
+    "grid_points_priced_default": 25
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "decide_vs_do_default_scale": {ratio:.2},
+    "basis": "mean_ms(plan_all/default {plan:.2}) / mean_ms(engine_frontier sweep_all workers=1, {frontier:.2} measured in the same recording session). Planning builds only the planned family's instance (mr_core::family::family_by_name), so the remaining cost is that instance's construction plus census arithmetic",
+    "exactness": "predicted (q, r) equal engine measurements at every chosen point; every execution runs under max_reducer_inputs = predicted_q with pairs_hint = predicted pairs (tests/planner_battery.rs, crates/plan/tests/proptest_planner.rs)"
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        rows = [
+            row("engine_plan/plan_all/default_scale", plan_default),
+            row("engine_plan/plan_and_execute/small_scale", plan_exec)
+        ]
+        .join(",\n"),
+        ratio = plan_default.mean_ms / frontier_mean1_ms,
+        plan = plan_default.mean_ms,
+        frontier = frontier_mean1_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_000), (2022, 1, 8));
+        // Leap day.
+        assert_eq!(civil_from_days(18_321), (2020, 2, 29));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn machine_stamp_is_plausible() {
+        let s = MachineStamp::detect();
+        assert!(s.cores >= 1);
+        // YYYY-MM-DD with a 20xx-century year.
+        assert_eq!(s.date.len(), 10);
+        assert!(s.date.starts_with("20"), "date {}", s.date);
+        assert_eq!(s.date.as_bytes()[4], b'-');
+        assert_eq!(s.date.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn time_samples_reports_ordered_statistics() {
+        let mut runs = 0u32;
+        let t = time_samples(6, || {
+            runs += 1;
+            std::hint::black_box((0..2_000u64).sum::<u64>());
+        });
+        // 1 warm-up + 6 samples.
+        assert_eq!(runs, 7);
+        assert!(t.min_ms <= t.mean_ms + 1e-9);
+        assert!(t.mean_ms <= t.max_ms + 1e-9);
+        assert!(t.min_ms >= 0.0);
+    }
+
+    #[test]
+    fn tukey_mean_ignores_one_burst() {
+        let mut samples = vec![Duration::from_millis(10); 9];
+        samples.push(Duration::from_millis(100));
+        assert_eq!(tukey_mean(&samples), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn shuffle_rows_render_valid_json_fragments() {
+        // A tiny workload keeps this a format test, not a benchmark.
+        let t = shuffle_timing(2_000, 2, 1, |x| x % 500);
+        let row = shuffle_row("g", 2, t, 2_000);
+        assert!(row.contains("\"group\": \"g\""));
+        assert!(row.contains("\"workers\": 2"));
+        assert!(row.contains("throughput_melem_s"));
+        assert_eq!(row.matches('{').count(), row.matches('}').count());
+    }
+}

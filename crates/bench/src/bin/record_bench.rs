@@ -1,0 +1,46 @@
+//! Re-records the committed benchmark baselines.
+//!
+//! ```text
+//! cargo run --release -p mr-bench --bin record_bench [out_dir]
+//! ```
+//!
+//! Writes `BENCH_shuffle.json`, `BENCH_frontier.json` and
+//! `BENCH_plan.json` into `out_dir` (default: the current directory),
+//! each stamped with the recording machine's core count and the UTC
+//! date. Run it from the workspace root on a quiet machine to refresh
+//! the committed baselines.
+
+use mr_bench::baseline::{record_frontier, record_plan, record_shuffle, MachineStamp};
+use std::path::Path;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let out_dir = Path::new(&out_dir);
+    let stamp = MachineStamp::detect();
+    eprintln!(
+        "recording baselines on {} core(s), {} (1 warm-up + 10 samples per configuration)",
+        stamp.cores, stamp.date
+    );
+
+    eprint!("engine_shuffle ... ");
+    let (shuffle_json, uniform_w1) = record_shuffle(&stamp);
+    eprintln!("uniform_150k workers=1 mean {uniform_w1:.2} ms");
+
+    eprint!("engine_frontier ... ");
+    let (frontier_json, frontier_w1) = record_frontier(&stamp);
+    eprintln!("sweep_all workers=1 mean {frontier_w1:.2} ms");
+
+    eprint!("engine_plan ... ");
+    let plan_json = record_plan(&stamp, frontier_w1);
+    eprintln!("done");
+
+    for (name, json) in [
+        ("BENCH_shuffle.json", &shuffle_json),
+        ("BENCH_frontier.json", &frontier_json),
+        ("BENCH_plan.json", &plan_json),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -9,8 +9,11 @@
 //! schemas through the engine over a q-grid and compares the measured
 //! `(q, r)` curves with the §2.4 analytic lower bounds (`repro frontier`).
 //! The `repro` binary prints them; the Criterion benches in `benches/`
-//! time the underlying workloads.
+//! time the underlying workloads, and the [`baseline`] module (via the
+//! `record_bench` binary) re-records the committed `BENCH_*.json`
+//! baselines with an automatic machine stamp.
 
+pub mod baseline;
 pub mod experiments;
 pub mod json;
 mod selectors;

@@ -11,8 +11,9 @@
 //! and merges the measured points back in grid order. Each point records
 //!
 //! * the measured reducer size `q` (max load) and replication rate `r`,
-//! * the reducer-load skew and the shuffle's partition skew
-//!   ([`ShuffleStats`](mr_sim::ShuffleStats), PR 2),
+//! * the reducer-load skew and the shuffle's partition skew, bytes moved,
+//!   and per-partition occupancy histogram
+//!   ([`ShuffleStats`](mr_sim::ShuffleStats)),
 //! * the round's wall-clock time, and
 //! * the family's analytic lower bound `max(1, q·|O|/(g(q)·|I|))` at the
 //!   measured `q`, plus the gap ratio `r / bound`.
@@ -37,9 +38,11 @@
 //! index, so the sweep's semantic output is **byte-identical for every
 //! worker count** — the same contract the engine itself makes. Only two
 //! fields depend on how a sweep was executed rather than what it
-//! computed: wall-clock and partition skew. [`SweepReport::semantic_json`]
-//! excludes them (and is what the determinism tests compare);
-//! [`SweepReport::full_json`] includes them for human consumption.
+//! computed: wall-clock and the shuffle's execution picture (partition
+//! skew, bytes moved, occupancy histogram).
+//! [`SweepReport::semantic_json`] excludes them (and is what the
+//! determinism tests compare); [`SweepReport::full_json`] includes them
+//! for human consumption.
 
 use crate::json;
 use crate::table::{fmt, Table};
@@ -93,6 +96,14 @@ pub struct SweepPoint {
     /// Shuffle partition skew (execution metadata; 1 partition when the
     /// engine runs sequentially, so 1.0 or 0.0 there).
     pub partition_skew: f64,
+    /// Bytes the columnar shuffle moved (`pairs × pair width` — the
+    /// communication cost in bytes rather than pairs). Execution
+    /// metadata: the pair width depends on the erased key/value layout.
+    pub shuffle_bytes: u64,
+    /// Per-partition shuffle occupancy histogram (execution metadata:
+    /// one entry per engine partition, so its shape follows the worker
+    /// count).
+    pub bucket_loads: Vec<u64>,
     /// Outputs the round emitted.
     pub outputs: u64,
     /// Wall-clock time of the engine round (execution metadata).
@@ -182,6 +193,8 @@ pub fn sweep_families(families: &[Box<dyn DynFamily>], config: &SweepConfig) -> 
                     gap: fp.gap,
                     load_skew: fp.measured.load_skew,
                     partition_skew: fp.partition_skew,
+                    shuffle_bytes: fp.shuffle_bytes,
+                    bucket_loads: fp.bucket_loads,
                     outputs: fp.measured.outputs,
                     wall: fp.wall,
                 }
@@ -255,7 +268,15 @@ impl SweepReport {
                     .num("load_skew", p.load_skew)
                     .int("outputs", p.outputs);
                 if execution_metadata {
+                    let histogram = p
+                        .bucket_loads
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     obj.num("partition_skew", p.partition_skew)
+                        .int("shuffle_bytes", p.shuffle_bytes)
+                        .raw("bucket_loads", format!("[{histogram}]"))
                         .raw("wall_ms", format!("{:.3}", p.wall.as_secs_f64() * 1e3));
                 }
                 out.push_str("        ");
@@ -301,6 +322,7 @@ impl SweepReport {
             "gap",
             "skew",
             "outputs",
+            "shuffle(KiB)",
             "wall(ms)",
         ]);
         for fam in &self.families {
@@ -315,6 +337,7 @@ impl SweepReport {
                     fmt(p.gap),
                     fmt(p.load_skew),
                     p.outputs.to_string(),
+                    format!("{:.1}", p.shuffle_bytes as f64 / 1024.0),
                     format!("{:.3}", p.wall.as_secs_f64() * 1e3),
                 ]);
             }
@@ -547,6 +570,7 @@ mod tests {
         let rep = sweep_all(&quick_config(2));
         let t = rep.table();
         assert!(t.contains("wall(ms)"));
+        assert!(t.contains("shuffle(KiB)"));
         let total: usize = rep.families.iter().map(|f| f.points.len()).sum();
         // Header + separator + one line per point.
         assert_eq!(t.lines().count(), 2 + total);
@@ -560,8 +584,12 @@ mod tests {
         assert!(semantic.contains("\"frontier_sweep\""));
         assert!(!semantic.contains("wall_ms"));
         assert!(!semantic.contains("partition_skew"));
+        assert!(!semantic.contains("shuffle_bytes"));
+        assert!(!semantic.contains("bucket_loads"));
         assert!(full.contains("wall_ms"));
         assert!(full.contains("partition_skew"));
+        assert!(full.contains("shuffle_bytes"));
+        assert!(full.contains("bucket_loads"));
         assert!(full.contains("engine_workers"));
         // Balanced braces/brackets — cheap well-formedness check given
         // the serializer never emits braces inside strings.
@@ -570,6 +598,41 @@ mod tests {
                 semantic.matches(open).count(),
                 semantic.matches(close).count()
             );
+        }
+    }
+
+    #[test]
+    fn shuffle_execution_metadata_is_populated() {
+        // Every default grid point shuffles something, so the bytes-moved
+        // figure and occupancy histogram must be live, the histogram must
+        // total the round's pair count (bytes = pairs × a fixed per-pair
+        // width), and a sequential engine means exactly one partition.
+        let rep = sweep_all(&quick_config(2));
+        for fam in &rep.families {
+            for p in &fam.points {
+                let pairs: u64 = p.bucket_loads.iter().sum();
+                assert!(
+                    pairs > 0,
+                    "{} / {}: empty histogram",
+                    fam.family,
+                    p.algorithm
+                );
+                assert!(p.shuffle_bytes > 0, "{} / {}", fam.family, p.algorithm);
+                assert_eq!(
+                    p.shuffle_bytes % pairs,
+                    0,
+                    "{} / {}: bytes not a multiple of pairs",
+                    fam.family,
+                    p.algorithm
+                );
+                assert_eq!(
+                    p.bucket_loads.len(),
+                    1,
+                    "{} / {}: sequential engine must report one partition",
+                    fam.family,
+                    p.algorithm
+                );
+            }
         }
     }
 

@@ -119,6 +119,14 @@ pub struct FamilyPoint {
     pub gap: f64,
     /// Shuffle partition skew — execution metadata, like `wall`.
     pub partition_skew: f64,
+    /// Bytes the columnar shuffle moved — `pairs × (fingerprint + key +
+    /// value width)`, the paper's communication cost in bytes rather
+    /// than pairs. Execution metadata, like `wall`.
+    pub shuffle_bytes: u64,
+    /// Per-partition shuffle occupancy histogram (raw pair count of each
+    /// hash partition, in partition order) — execution metadata: its
+    /// length is the engine's partition count.
+    pub bucket_loads: Vec<u64>,
     /// Wall-clock time of the engine round (execution metadata).
     pub wall: Duration,
 }
@@ -197,6 +205,8 @@ where
         gap: bound_gap(measured.r, bound),
         bound,
         partition_skew: metrics.shuffle.partition_skew(),
+        shuffle_bytes: metrics.shuffle.bytes_moved,
+        bucket_loads: metrics.shuffle.bucket_loads.clone(),
         wall,
         measured,
     }

@@ -54,6 +54,13 @@ pub struct Plan {
     /// Predicted replication rate (for multi-round choices: total
     /// communication over `|I|`).
     pub predicted_r: f64,
+    /// Predicted shuffled key-value pairs (census pairs for grid points,
+    /// total §6.3 communication for the two-phase job). Exact, like the
+    /// other predictions — and threaded into execution as the engine's
+    /// [`pairs_hint`](mr_sim::EngineConfig::pairs_hint), so the emission
+    /// buffers of a planned run are sized right up front instead of
+    /// growing through doubling reallocations.
+    pub predicted_pairs: u64,
     /// Predicted cluster cost `a·r + b·q (+ c·q²)`.
     pub predicted_cost: f64,
     /// Why this point: the closed form used, the candidates priced, and
@@ -94,12 +101,22 @@ impl Plan {
     /// number. Predictions are exact by construction, so this is a
     /// self-check that every execution re-proves.
     ///
+    /// The prediction also feeds the engine's performance side:
+    /// `predicted_pairs` becomes the round's
+    /// [`pairs_hint`](EngineConfig::pairs_hint), pre-sizing the columnar
+    /// emission buffers exactly. (For the two-phase job the hint is the
+    /// *total* two-round communication — each round over-reserves a
+    /// little, which is harmless for a capacity hint.)
+    ///
     /// # Panics
     /// Panics if the predicted budget overflows (a planner bug by
     /// definition), or if the plan's family/point no longer exists in the
     /// registry.
     pub fn execute_with(&self, engine: &EngineConfig) -> PlanReport {
-        let budgeted = engine.clone().with_max_reducer_inputs(self.predicted_q);
+        let budgeted = engine
+            .clone()
+            .with_max_reducer_inputs(self.predicted_q)
+            .with_pairs_hint(self.predicted_pairs);
         match self.choice {
             Choice::Registry { scale, point } => {
                 let fam = family_by_name(self.family, scale)

@@ -158,6 +158,7 @@ fn cheapest_grid_plan(
         cluster: cluster.clone(),
         predicted_q: best.census.q,
         predicted_r: best.census.r,
+        predicted_pairs: best.census.pairs,
         predicted_cost: best.cost,
         rationale,
     })
@@ -361,6 +362,7 @@ impl Planner for MatMulPlanner {
                 cluster: cluster.clone(),
                 predicted_q,
                 predicted_r,
+                predicted_pairs: comm,
                 predicted_cost,
                 rationale: format!(
                     "§6 crossover: budget q={budget} < n²={n_sq}, where two-phase \
@@ -532,6 +534,26 @@ mod tests {
             plan.rationale
         );
         assert!(plan.rationale.contains("τ = 0.6667"), "{}", plan.rationale);
+    }
+
+    #[test]
+    fn predicted_pairs_match_the_census() {
+        // The pairs prediction (the execution path's pairs_hint) is exact
+        // for grid choices: it is the census's pair count, re-derivable
+        // from the chosen point. Two-phase matmul plans carry the §6.3
+        // closed-form total instead, which is nonzero by construction.
+        for family in plannable_families() {
+            let plan = plan_family(family, &ClusterSpec::default(), Scale::Small).unwrap();
+            assert!(plan.predicted_pairs > 0, "{family}: zero pairs predicted");
+            if let Choice::Registry { scale, point } = plan.choice {
+                let fam = registry_family(plan.family, scale);
+                assert_eq!(
+                    plan.predicted_pairs,
+                    fam.census(point).pairs,
+                    "{family}: pairs prediction diverged from the census"
+                );
+            }
+        }
     }
 
     #[test]

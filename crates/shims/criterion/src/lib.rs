@@ -13,6 +13,18 @@
 //! derived throughput when [`BenchmarkGroup::throughput`] was set. That is
 //! deliberately cruder than real Criterion but keeps `cargo bench` useful
 //! for relative comparisons with zero external dependencies.
+//!
+//! Two refinements mirror real Criterion's behaviour:
+//!
+//! * the reported **mean excludes Tukey outliers** (samples beyond 1.5×IQR
+//!   of the quartiles) when at least five samples were taken — on shared
+//!   machines a background burst otherwise drags the mean of a 10-sample
+//!   run far from the typical iteration. The min and max stay raw, so the
+//!   full spread remains visible.
+//! * passing **`--test`** (as `cargo bench -- --test` does) runs every
+//!   benchmark exactly once with no warm-up and reports `(smoke test)`
+//!   instead of timings — CI uses this to prove the bench targets still
+//!   *run*, not just compile, without paying for timed samples.
 
 use std::fmt::Display;
 use std::hint::black_box;
@@ -54,13 +66,18 @@ pub enum Throughput {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Runs `f` once to warm up, then `sample_size` timed iterations.
+    /// In `--test` smoke mode: one untimed iteration, nothing recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f());
         self.samples.clear();
+        black_box(f());
+        if self.test_mode {
+            return;
+        }
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(f());
@@ -74,6 +91,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -99,9 +117,16 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        report(&self.name, &id.into_label(), &b.samples, self.throughput);
+        report(
+            &self.name,
+            &id.into_label(),
+            &b.samples,
+            self.throughput,
+            self.test_mode,
+        );
         self
     }
 
@@ -115,9 +140,16 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b, input);
-        report(&self.name, &id.into_label(), &b.samples, self.throughput);
+        report(
+            &self.name,
+            &id.into_label(),
+            &b.samples,
+            self.throughput,
+            self.test_mode,
+        );
         self
     }
 
@@ -151,9 +183,21 @@ impl IntoLabel for String {
 }
 
 /// The benchmark driver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 0,
+            // `cargo bench -- --test` forwards `--test` to the bench
+            // binary; real Criterion treats it as "run once, don't time".
+            test_mode: std::env::args().skip(1).any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -167,6 +211,7 @@ impl Criterion {
                 self.default_sample_size
             },
             throughput: None,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -177,29 +222,68 @@ impl Criterion {
         id: impl IntoLabel,
         mut f: F,
     ) -> &mut Self {
+        let test_mode = self.test_mode;
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: 10,
+            test_mode,
         };
         f(&mut b);
-        report("", &id.into_label(), &b.samples, None);
+        report("", &id.into_label(), &b.samples, None, test_mode);
         self
     }
 }
 
-fn report(group: &str, label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+/// The mean over samples inside the Tukey fences `[Q1 − 1.5·IQR,
+/// Q3 + 1.5·IQR]`, matching real Criterion's outlier classification.
+/// With fewer than five samples the quartiles are meaningless, so the
+/// raw mean is returned.
+fn tukey_mean(samples: &[Duration]) -> Duration {
+    let raw_mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    if samples.len() < 5 {
+        return raw_mean;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let q1 = sorted[sorted.len() / 4];
+    let q3 = sorted[(3 * sorted.len()) / 4];
+    let fence = (q3 - q1).mul_f64(1.5);
+    let lo = q1.checked_sub(fence).unwrap_or(Duration::ZERO);
+    let hi = q3 + fence;
+    let kept: Vec<Duration> = sorted
+        .into_iter()
+        .filter(|d| *d >= lo && *d <= hi)
+        .collect();
+    if kept.is_empty() {
+        raw_mean
+    } else {
+        kept.iter().sum::<Duration>() / kept.len() as u32
+    }
+}
+
+fn report(
+    group: &str,
+    label: &str,
+    samples: &[Duration],
+    throughput: Option<Throughput>,
+    test_mode: bool,
+) {
     let full = if group.is_empty() {
         label.to_string()
     } else {
         format!("{group}/{label}")
     };
+    if test_mode {
+        println!("{full:<48} (smoke test: ran once, untimed)");
+        return;
+    }
     if samples.is_empty() {
         println!("{full:<48} (no samples — did the bench call iter?)");
         return;
     }
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
-    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let mean = tukey_mean(samples);
     print!(
         "{full:<48} time: [{} {} {}]",
         fmt_duration(min),
@@ -282,5 +366,37 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).into_label(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").into_label(), "x");
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion {
+            default_sample_size: 0,
+            test_mode: true,
+        };
+        let mut grp = c.benchmark_group("smoke");
+        grp.sample_size(10);
+        let mut ran = 0u32;
+        grp.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        grp.finish();
+        // No warm-up, no samples: one iteration total.
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn tukey_mean_discards_a_background_burst() {
+        // Nine quiet 10ms samples and one 100ms burst: the raw mean would
+        // be 19ms, the Tukey-filtered mean stays at the typical 10ms.
+        let mut samples = vec![Duration::from_millis(10); 9];
+        samples.push(Duration::from_millis(100));
+        assert_eq!(tukey_mean(&samples), Duration::from_millis(10));
+        // Below five samples the raw mean is reported unchanged.
+        let few = vec![Duration::from_millis(10), Duration::from_millis(100)];
+        assert_eq!(tukey_mean(&few), Duration::from_millis(55));
     }
 }

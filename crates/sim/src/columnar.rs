@@ -1,0 +1,1014 @@
+//! The columnar shuffle data plane.
+//!
+//! This module is the engine's hot path. Instead of inserting every
+//! `(K, V)` emission into a per-partition `BTreeMap` (comparison-bound,
+//! pointer-chasing, one allocation per distinct key), the shuffle moves
+//! flat **columns**:
+//!
+//! 1. **Fingerprint at emit.** Every key is hashed exactly once, as the
+//!    mapper emits it, to a seed-free 64-bit fingerprint
+//!    ([`fingerprint_of`]). Emissions land in [`ColumnBuf`]s — three
+//!    parallel arrays `(hashes, keys, vals)` — so the map phase is pure
+//!    appends.
+//! 2. **Radix partition by hash bits.** The *top* fingerprint bits route a
+//!    pair to its shuffle partition ([`partition_of_hash`], one partition
+//!    per worker); inside a partition the *low* bits select a cache-sized
+//!    radix bucket ([`bucket_count`] of them). A key's pairs always share
+//!    a fingerprint, so they always share a partition and a bucket. The
+//!    sequential engine routes emissions straight into bucket columns;
+//!    the parallel engine scatters per-partition columns into buckets
+//!    afterwards ([`group_partition`]).
+//! 3. **Group each bucket with an open-addressing table.** A small
+//!    linear-probing table (bucket-sized, cache-resident) maps each
+//!    fingerprint to a group id in one `O(n)` pass — no per-pair sort at
+//!    all ([`group_buckets`]). Groups are discovered in first-arrival
+//!    order, so a prefix sum over group sizes places every value with one
+//!    more pass. Distinct keys that collide on the full 64-bit
+//!    fingerprint (possible, vanishingly rare) are detected during
+//!    probing and that bucket falls back to an exact sort-based path
+//!    (`(fingerprint, arrival)` code sort plus a key-compare repair), so
+//!    grouping is exact for *any* `Hash` impl.
+//!
+//! The result is a [`GroupedRun`]: a flat `values` column holding every
+//! group's values contiguously (arrival order within a group) plus one
+//! [`Group`] descriptor per distinct key — no per-key `Vec`, no tree
+//! nodes. Sorting the group *descriptors* by key
+//! ([`GroupedRun::sort_groups_by_key`]) then restores the engine's
+//! determinism contract — outputs in ascending key order, values in
+//! emission order within a key — at the cost of one comparison sort over
+//! distinct keys instead of one over all pairs. The retained
+//! [`naive`](crate::naive) module implements the old `BTreeMap` pipeline
+//! and is the regression oracle proving the two paths byte-identical.
+
+use std::hash::{Hash, Hasher};
+
+/// Multiplier of the MUM fingerprint mix (the splitmix64 increment — an
+/// odd constant with well-spread bits).
+const MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Nonzero seed state so the all-zero input does not fix-point to zero.
+const SEED: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// A deterministic, seed-free fingerprint hasher.
+///
+/// `std`'s `RandomState` is randomly seeded per process, which would make
+/// partition loads — and the committed bench baselines — irreproducible;
+/// this hasher produces the same fingerprint for the same key bytes on
+/// every run. Each integer write is one MUM step (wyhash's primitive: a
+/// 64×64→128 multiply whose halves are folded together with xor — a
+/// single widening multiply instruction, yet every input bit reaches both
+/// the top output bits that route partitions and the low bits that select
+/// radix buckets). The hash runs once per mapper emission, so its latency
+/// is map-phase hot; this is deliberately the cheapest mix that still
+/// passes the spread tests below.
+struct FingerprintHasher(u64);
+
+impl FingerprintHasher {
+    #[inline]
+    fn mix(&mut self, x: u64) {
+        let m = u128::from(self.0 ^ x).wrapping_mul(u128::from(MUL));
+        self.0 = (m >> 64) as u64 ^ m as u64;
+    }
+}
+
+impl Hasher for FingerprintHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.mix(u64::from(x));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, x: u16) {
+        self.mix(u64::from(x));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.mix(u64::from(x));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.mix(x);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, x: u128) {
+        self.mix(x as u64);
+        self.mix((x >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, x: i8) {
+        self.mix(x as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, x: i16) {
+        self.mix(x as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, x: i32) {
+        self.mix(x as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, x: i64) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Every write already ran a full MUM avalanche; no extra
+        // finalisation pass is needed.
+        self.0
+    }
+}
+
+/// The key's 64-bit shuffle fingerprint, computed once at emit time.
+#[inline]
+pub(crate) fn fingerprint_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = FingerprintHasher(SEED);
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// The shuffle partition (in `0..partitions`) that owns fingerprint `h`:
+/// a multiply-shift on the **top** hash bits, so any partition count —
+/// not just powers of two — radix-partitions the fingerprint space into
+/// contiguous ranges. Every pair of a given key lands in the same
+/// partition, which is what lets grouping and budget checks run
+/// per-partition without cross-talk.
+#[inline]
+pub(crate) fn partition_of_hash(h: u64, partitions: usize) -> usize {
+    ((u128::from(h) * partitions as u128) >> 64) as usize
+}
+
+/// Flat, append-only emission storage: three parallel columns
+/// `(hashes, keys, vals)` of equal length. This is the unit the map
+/// phase fills, the radix scatter routes, and the grouping stage
+/// consumes — `(K, V)` pairs never exist as boxed or tree-resident
+/// values anywhere in the data plane.
+pub(crate) struct ColumnBuf<K, V> {
+    /// Per-emission key fingerprints (computed once, at emit).
+    pub hashes: Vec<u64>,
+    /// Emitted keys, in emission order.
+    pub keys: Vec<K>,
+    /// Emitted values, in emission order.
+    pub vals: Vec<V>,
+}
+
+impl<K, V> ColumnBuf<K, V> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty buffer with all three columns preallocated for `n`
+    /// emissions — the reallocation fix for the map phase: a worker that
+    /// knows (or can bound) its emission count never grows mid-map.
+    pub fn with_capacity(n: usize) -> Self {
+        ColumnBuf {
+            hashes: Vec::with_capacity(n),
+            keys: Vec::with_capacity(n),
+            vals: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of buffered emissions.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Appends a pair whose fingerprint is already known.
+    #[inline]
+    pub fn push(&mut self, hash: u64, key: K, val: V) {
+        self.hashes.push(hash);
+        self.keys.push(key);
+        self.vals.push(val);
+    }
+
+    /// Appends all of `other`'s emissions (in order) to `self`.
+    pub fn append(&mut self, mut other: ColumnBuf<K, V>) {
+        self.hashes.append(&mut other.hashes);
+        self.keys.append(&mut other.keys);
+        self.vals.append(&mut other.vals);
+    }
+
+    /// Splits the buffer into `parts` buffers routed by `route(hash)`,
+    /// preserving arrival order within each part. A counting pass sizes
+    /// every part exactly before a single move pass fills them — no
+    /// growth reallocation, the second half of the map-scatter
+    /// reallocation fix.
+    pub fn scatter(self, parts: usize, route: impl Fn(u64) -> usize) -> Vec<ColumnBuf<K, V>> {
+        let mut counts = vec![0usize; parts];
+        for &h in &self.hashes {
+            counts[route(h)] += 1;
+        }
+        let mut out: Vec<ColumnBuf<K, V>> =
+            counts.into_iter().map(ColumnBuf::with_capacity).collect();
+        let ColumnBuf { hashes, keys, vals } = self;
+        for ((h, k), v) in hashes.into_iter().zip(keys).zip(vals) {
+            out[route(h)].push(h, k, v);
+        }
+        out
+    }
+}
+
+impl<K: Hash, V> ColumnBuf<K, V> {
+    /// Appends a mapper emission, fingerprinting the key exactly once.
+    #[inline]
+    pub fn emit(&mut self, key: K, val: V) {
+        let h = fingerprint_of(&key);
+        self.push(h, key, val);
+    }
+}
+
+/// One reduce group: a distinct key and the `values[start..start + len]`
+/// slice of its [`GroupedRun`]. Deliberately *without* the key's
+/// fingerprint: the hash has done its routing and grouping work by the
+/// time a descriptor exists, and dropping it keeps the directory — the
+/// thing [`GroupedRun::sort_groups_by_key`] moves around — as small as
+/// possible (16 bytes for `u64` keys instead of 24).
+pub(crate) struct Group<K> {
+    /// The distinct reduce key.
+    pub key: K,
+    /// Offset of the group's first value in the run's `values` column.
+    pub start: u32,
+    /// Number of values in the group — the reducer's load.
+    pub len: u32,
+}
+
+/// A grouped shuffle partition: one flat `values` column holding every
+/// group's values contiguously (emission order within a group), plus one
+/// [`Group`] descriptor per distinct key. Produced in deterministic
+/// (bucket, first-arrival) order by [`group_buckets`];
+/// [`sort_groups_by_key`](Self::sort_groups_by_key) reorders the
+/// descriptors (not the values) into ascending key order.
+pub(crate) struct GroupedRun<K, V> {
+    /// Group descriptors. Keys are distinct within a run.
+    pub groups: Vec<Group<K>>,
+    /// Every group's values, concatenated.
+    pub values: Vec<V>,
+}
+
+impl<K, V> GroupedRun<K, V> {
+    /// Number of distinct keys (reducers) in the run.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The value slice of group `i`.
+    #[cfg(test)]
+    pub fn values_of(&self, i: usize) -> &[V] {
+        let g = &self.groups[i];
+        &self.values[g.start as usize..(g.start + g.len) as usize]
+    }
+}
+
+impl<K: Ord, V> GroupedRun<K, V> {
+    /// Sorts the group descriptors into ascending key order. Values stay
+    /// put — descriptors carry their `(start, len)` windows with them —
+    /// so this costs one unstable sort over *distinct keys*, not over
+    /// pairs. Keys are distinct within a run, so the order is total and
+    /// deterministic.
+    pub fn sort_groups_by_key(&mut self) {
+        self.groups.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+    }
+}
+
+/// Cache-sizing policy for the radix bucketing: aim for ~1024-pair
+/// buckets (columns plus probe table stay L1/L2 resident), power-of-two
+/// so the selector is a mask, capped at 256 buckets per partition. The
+/// bucket of fingerprint `h` is `h & (bucket_count - 1)` — the *low*
+/// bits, independent of the top bits that select the partition, so
+/// buckets refine partitions.
+pub(crate) fn bucket_count(n: usize) -> usize {
+    (n / 1024).next_power_of_two().clamp(1, 256)
+}
+
+/// Reusable scratch for [`group_buckets`]: every vector is cleared and
+/// refilled per bucket, so one partition's grouping performs O(buckets)
+/// allocations total instead of O(buckets × vectors).
+#[derive(Default)]
+struct GroupScratch {
+    /// Open-addressing probe table: fingerprint → local group id
+    /// (`u32::MAX` = empty). Sized to 2× the bucket, power of two.
+    table: Vec<u32>,
+    /// Local group id of each bucket position.
+    group_of: Vec<u32>,
+    /// First-arrival bucket position of each local group (ascending).
+    reps: Vec<u32>,
+    /// Member count of each local group.
+    lens: Vec<u32>,
+    /// Prefix sums of `lens`: each group's offset in the bucket's value
+    /// segment. Consumed as write cursors by the value scatter.
+    starts: Vec<u32>,
+}
+
+/// Groups every bucket of one shuffle partition, appending to a single
+/// [`GroupedRun`]. Buckets must refine the partition by fingerprint
+/// (all pairs of one key in one bucket, e.g. routed by
+/// `hash & (bucket_count - 1)`); within each bucket pairs must be in
+/// emission order. Group descriptors come out in deterministic
+/// (bucket, first-arrival) order — callers that need the engine's
+/// ascending-key contract follow with
+/// [`GroupedRun::sort_groups_by_key`]. Within every group, values are in
+/// arrival (= emission) order.
+pub(crate) fn group_buckets<K: Ord, V>(buckets: Vec<ColumnBuf<K, V>>) -> GroupedRun<K, V> {
+    let total: usize = buckets.iter().map(ColumnBuf::len).sum();
+    assert!(
+        total <= u32::MAX as usize,
+        "a shuffle partition exceeds the u32 index space ({total} pairs)"
+    );
+    let mut run = GroupedRun {
+        // Sized for the key-heavy extreme (every key distinct would be
+        // `total` groups; half that covers the common word-count-like
+        // shape without doubling-realloc copies of a six-figure
+        // directory). Duplicate-heavy workloads leave the excess
+        // capacity unused — it is transient and O(total) either way.
+        groups: Vec::with_capacity((total / 2).max(16)),
+        values: Vec::with_capacity(total),
+    };
+    let mut scratch = GroupScratch::default();
+    for bucket in buckets {
+        group_bucket_hashed(bucket, &mut run, &mut scratch);
+    }
+    run
+}
+
+/// Groups one shuffle partition that is not yet bucketed: radix-scatter
+/// by low fingerprint bits, then [`group_buckets`].
+pub(crate) fn group_partition<K: Ord, V>(buf: ColumnBuf<K, V>) -> GroupedRun<K, V> {
+    let bc = bucket_count(buf.len());
+    if bc <= 1 {
+        group_buckets(vec![buf])
+    } else {
+        let mask = (bc - 1) as u64;
+        group_buckets(buf.scatter(bc, |h| (h & mask) as usize))
+    }
+}
+
+/// Groups one radix bucket with a linear-probing fingerprint table —
+/// `O(n)`, no sorting — and appends its groups to `out`.
+///
+/// The probe pass assigns each pair a local group id (first-arrival
+/// order) and compares keys whenever two pairs share a fingerprint; if
+/// any such pair has *different* keys (a full 64-bit collision), the
+/// bucket is handed to the exact sort-based cold path instead.
+fn group_bucket_hashed<K: Ord, V>(
+    bucket: ColumnBuf<K, V>,
+    out: &mut GroupedRun<K, V>,
+    scratch: &mut GroupScratch,
+) {
+    let n = bucket.len();
+    if n == 0 {
+        return;
+    }
+    let GroupScratch {
+        table,
+        group_of,
+        reps,
+        lens,
+        starts,
+    } = scratch;
+    let ColumnBuf {
+        hashes,
+        keys,
+        mut vals,
+    } = bucket;
+
+    // Probe: one pass assigns local group ids in first-arrival order.
+    // The table holds group ids; a slot's fingerprint lives in
+    // `hashes[reps[id]]`, keeping the table itself 4 bytes per slot so
+    // a whole bucket's table stays cache-resident. The probe start skips
+    // the low 8 bits — those selected the bucket and are constant here.
+    let tsize = (n * 2).next_power_of_two();
+    let tmask = tsize - 1;
+    table.clear();
+    table.resize(tsize, u32::MAX);
+    group_of.clear();
+    reps.clear();
+    lens.clear();
+    let mut collided = false;
+    for (j, &h) in hashes.iter().enumerate() {
+        let mut idx = (h >> 8) as usize & tmask;
+        // SAFETY for the unchecked reads below: `idx` is always masked by
+        // `tmask = table.len() - 1`; any non-empty slot holds a group id
+        // `< reps.len()` (assigned from `reps.len()` at insertion); every
+        // `reps` entry is a bucket position `< n = hashes.len()`. All
+        // three invariants are established by this loop itself.
+        let gid = loop {
+            let slot = unsafe { *table.get_unchecked(idx) };
+            if slot == u32::MAX {
+                let g = reps.len() as u32;
+                unsafe { *table.get_unchecked_mut(idx) = g };
+                reps.push(j as u32);
+                lens.push(0);
+                break g;
+            }
+            let rep = unsafe { *reps.get_unchecked(slot as usize) } as usize;
+            if unsafe { *hashes.get_unchecked(rep) } == h {
+                if keys[rep] != keys[j] {
+                    collided = true;
+                }
+                break slot;
+            }
+            idx = (idx + 1) & tmask;
+        };
+        unsafe { *lens.get_unchecked_mut(gid as usize) += 1 };
+        group_of.push(gid);
+    }
+    if collided {
+        // A full 64-bit fingerprint collision between distinct keys:
+        // essentially never for a real hash, but correctness cannot
+        // depend on that. Regroup this bucket exactly by sorting.
+        group_bucket_sorted(ColumnBuf { hashes, keys, vals }, out);
+        return;
+    }
+
+    // Prefix-sum the group sizes into per-group value offsets (relative
+    // to this bucket's segment of the output column).
+    let g = reps.len();
+    starts.clear();
+    starts.reserve(g);
+    let mut acc = 0u32;
+    for &l in lens.iter() {
+        starts.push(acc);
+        acc += l;
+    }
+
+    // Directory: move exactly one key per group out of the key column.
+    // Reps ascend (first-arrival order), so a single forward consume of
+    // the iterator visits each key once, dropping non-representatives.
+    let base = out.values.len() as u32;
+    out.groups.reserve(g);
+    let mut key_it = keys.into_iter();
+    let mut consumed: u32 = 0;
+    for ((&rep, &len), &start) in reps.iter().zip(lens.iter()).zip(starts.iter()) {
+        while consumed < rep {
+            key_it.next();
+            consumed += 1;
+        }
+        let key = key_it.next().expect("rep indexes a live key");
+        consumed += 1;
+        out.groups.push(Group {
+            key,
+            start: base + start,
+            len,
+        });
+    }
+    drop(key_it);
+
+    // Values: one scatter pass moves every value directly to its final
+    // slot in the output column, advancing its group's cursor.
+    let old_len = out.values.len();
+    out.values.reserve(n);
+    // SAFETY: `starts` are prefix sums of `lens`, and each position
+    // advances its own group's cursor, so the n destinations are exactly
+    // the distinct offsets 0..n — every output slot in the reserved
+    // region is written once, every source slot is read once. `vals`'
+    // length is zeroed first so its elements are never dropped in place
+    // (a panic in the safe indexing below would leak, not double-drop),
+    // and the output length is raised only after all n writes.
+    unsafe {
+        let dst = out.values.as_mut_ptr().add(old_len);
+        let src = vals.as_ptr();
+        vals.set_len(0);
+        for (j, &gid) in group_of.iter().enumerate() {
+            // Every gid is < g = starts.len() (assigned by the probe pass).
+            let cursor = starts.get_unchecked_mut(gid as usize);
+            let d = *cursor;
+            *cursor = d + 1;
+            std::ptr::copy_nonoverlapping(src.add(j), dst.add(d as usize), 1);
+        }
+        out.values.set_len(old_len + n);
+    }
+}
+
+/// Exact sort-based grouping of one bucket — the cold path for full
+/// fingerprint collisions (and the reference the hot path must match):
+/// sort `(fingerprint, arrival)` codes, gather the columns, repair
+/// collision runs by key, run-scan the boundaries.
+fn group_bucket_sorted<K: Ord, V>(bucket: ColumnBuf<K, V>, out: &mut GroupedRun<K, V>) {
+    let n = bucket.len();
+    if n == 0 {
+        return;
+    }
+    let ColumnBuf { hashes, keys, vals } = bucket;
+
+    // Pack (fingerprint, arrival) into one integer and pdqsort it: equal
+    // fingerprints become adjacent, arrival order survives inside them,
+    // and the sort never touches a key.
+    let mut codes: Vec<u128> = hashes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (u128::from(h) << 32) | i as u128)
+        .collect();
+    codes.sort_unstable();
+    let mut order: Vec<u32> = codes.iter().map(|&c| c as u32).collect();
+    let hash_at = |j: usize| (codes[j] >> 32) as u64;
+
+    let mut keys = take_in_order(keys, &order);
+    let mut vals = take_in_order(vals, &order);
+
+    // Collision repair: a run of equal fingerprints holding more than one
+    // distinct key is re-sorted by (key, arrival) so the boundary scan
+    // below cuts exact per-key groups.
+    let mut j = 0;
+    while j < n {
+        let mut end = j + 1;
+        while end < n && hash_at(end) == hash_at(j) {
+            end += 1;
+        }
+        if keys[j + 1..end].iter().any(|k| *k != keys[j]) {
+            co_sort_by_key(&mut keys[j..end], &mut vals[j..end], &mut order[j..end]);
+        }
+        j = end;
+    }
+
+    // Run-scan: one pass cuts group boundaries (fingerprint change, or —
+    // inside a repaired collision run — key change).
+    let mut bounds: Vec<(u64, u32)> = Vec::new();
+    for j in 0..n {
+        if j == 0 || hash_at(j) != hash_at(j - 1) || keys[j] != keys[j - 1] {
+            bounds.push((hash_at(j), 1));
+        } else {
+            bounds.last_mut().expect("non-empty at j > 0").1 += 1;
+        }
+    }
+
+    // Append: the whole value column moves once; exactly one key per
+    // group survives (the duplicates drop here).
+    let mut start = out.values.len() as u32;
+    out.values.append(&mut vals);
+    let mut key_it = keys.into_iter();
+    for (_hash, len) in bounds {
+        let key = key_it.next().expect("every group has a first key");
+        for _ in 1..len {
+            key_it.next();
+        }
+        out.groups.push(Group { key, start, len });
+        start += len;
+    }
+}
+
+/// Reorders `keys`, `vals`, and `arrivals` jointly so they ascend by
+/// `(key, arrival)`. Used only to repair fingerprint-collision runs;
+/// `O(m log m)` via an index sort plus cycle-following swaps, so even an
+/// adversarial `Hash` impl that collides everything degrades gracefully.
+fn co_sort_by_key<K: Ord, V>(keys: &mut [K], vals: &mut [V], arrivals: &mut [u32]) {
+    let m = keys.len();
+    let mut perm: Vec<u32> = (0..m as u32).collect();
+    {
+        let keys: &[K] = keys;
+        let arrivals: &[u32] = arrivals;
+        perm.sort_unstable_by(|&a, &b| {
+            keys[a as usize]
+                .cmp(&keys[b as usize])
+                .then_with(|| arrivals[a as usize].cmp(&arrivals[b as usize]))
+        });
+    }
+    // Apply the permutation in place with swaps: position i receives the
+    // element that started at perm[i]; indices already passed are chased
+    // to wherever earlier swaps moved their element.
+    for i in 0..m {
+        let mut from = perm[i] as usize;
+        while from < i {
+            from = perm[from] as usize;
+        }
+        keys.swap(i, from);
+        vals.swap(i, from);
+        arrivals.swap(i, from);
+        perm[i] = from as u32;
+    }
+}
+
+/// Consumes `src` and returns its elements reordered so slot `i` holds
+/// `src[order[i]]` — the move-gather that realises a sort permutation
+/// over a column without cloning.
+///
+/// `order` must be a permutation of `0..src.len()`; this is verified up
+/// front (cheap next to the sort that produced `order`), so the unsafe
+/// block below is sound for every caller: each source slot is read
+/// exactly once, and the source vector's length is zeroed first so its
+/// elements are never dropped in place.
+pub(crate) fn take_in_order<T>(mut src: Vec<T>, order: &[u32]) -> Vec<T> {
+    let n = src.len();
+    assert_eq!(order.len(), n, "order length must match the column length");
+    let mut seen = vec![false; n];
+    for &i in order {
+        let i = i as usize;
+        assert!(
+            i < n && !seen[i],
+            "order is not a permutation of 0..{n} (index {i})"
+        );
+        seen[i] = true;
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let base = src.as_mut_ptr();
+    // SAFETY: `order` is a verified permutation of 0..n, so every slot of
+    // `src` is moved out exactly once. Setting src's length to 0 first
+    // transfers drop responsibility for all n elements to this loop (and
+    // then to `out`); `src`'s allocation is still freed normally. No
+    // operation between `set_len` and the final push can panic.
+    unsafe {
+        src.set_len(0);
+        for &i in order {
+            out.push(std::ptr::read(base.add(i as usize)));
+        }
+    }
+    out
+}
+
+/// The merged view over every partition's [`GroupedRun`]: a global
+/// ascending-key order across runs, without moving any values.
+///
+/// Keys are disjoint across runs (hash partitioning), so a P-way merge of
+/// the per-run ascending key sequences yields the exact global key order
+/// a single sorted map would have produced. The merge materialises only
+/// `(run, group)` index pairs — and for the common single-partition case
+/// not even that: one run's directory already *is* the global order, so
+/// the view indexes it directly.
+pub(crate) struct Shuffled<K, V> {
+    /// One grouped run per shuffle partition, groups ascending by key.
+    runs: Vec<GroupedRun<K, V>>,
+    /// `(run index, group index)` pairs in global ascending key order;
+    /// `None` when there is exactly one run (identity order).
+    order: Option<Vec<(u32, u32)>>,
+}
+
+impl<K: Ord, V> Shuffled<K, V> {
+    /// Merges per-partition runs (each with groups already ascending by
+    /// key, keys disjoint across runs) into one globally key-ordered
+    /// view.
+    pub fn merge(runs: Vec<GroupedRun<K, V>>) -> Self {
+        if runs.len() == 1 {
+            return Shuffled { runs, order: None };
+        }
+        let total: usize = runs.iter().map(GroupedRun::len).sum();
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(total);
+        let mut heads: Vec<usize> = vec![0; runs.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (ri, run) in runs.iter().enumerate() {
+                if heads[ri] < run.len() {
+                    best = Some(match best {
+                        None => ri,
+                        Some(b) => {
+                            if run.groups[heads[ri]].key < runs[b].groups[heads[b]].key {
+                                ri
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+            }
+            let Some(b) = best else { break };
+            order.push((b as u32, heads[b] as u32));
+            heads[b] += 1;
+        }
+        Shuffled {
+            runs,
+            order: Some(order),
+        }
+    }
+}
+
+impl<K, V> Shuffled<K, V> {
+    /// Total number of reduce groups.
+    pub fn len(&self) -> usize {
+        match &self.order {
+            Some(order) => order.len(),
+            None => self.runs[0].len(),
+        }
+    }
+
+    /// The `i`-th group in global key order: `(key, values)`. Random
+    /// access twin of [`for_each_in`](Self::for_each_in), which the
+    /// engine's batch loops use instead.
+    #[cfg(test)]
+    pub fn entry(&self, i: usize) -> (&K, &[V]) {
+        let (run, g) = match &self.order {
+            Some(order) => {
+                let (r, g) = order[i];
+                (&self.runs[r as usize], g as usize)
+            }
+            None => (&self.runs[0], i),
+        };
+        (&run.groups[g].key, run.values_of(g))
+    }
+
+    /// Applies `f` to every group in `range` of the global key order —
+    /// the reduce phase's inner loop. Dispatching on the order
+    /// representation once per *range* (instead of once per entry, as
+    /// [`entry`](Self::entry) must) keeps the single-run fast path a
+    /// straight directory walk.
+    pub fn for_each_in(&self, range: std::ops::Range<usize>, mut f: impl FnMut(&K, &[V])) {
+        match &self.order {
+            None => {
+                let run = &self.runs[0];
+                for g in &run.groups[range] {
+                    f(
+                        &g.key,
+                        &run.values[g.start as usize..(g.start + g.len) as usize],
+                    );
+                }
+            }
+            Some(order) => {
+                for &(r, gi) in &order[range] {
+                    let run = &self.runs[r as usize];
+                    let g = &run.groups[gi as usize];
+                    f(
+                        &g.key,
+                        &run.values[g.start as usize..(g.start + g.len) as usize],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-group loads (value counts) in global key order.
+    pub fn loads(&self) -> Vec<u64> {
+        match &self.order {
+            Some(order) => order
+                .iter()
+                .map(|&(r, g)| u64::from(self.runs[r as usize].groups[g as usize].len))
+                .collect(),
+            None => self.runs[0]
+                .groups
+                .iter()
+                .map(|g| u64::from(g.len))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_spread() {
+        for k in 0u64..500 {
+            assert_eq!(fingerprint_of(&k), fingerprint_of(&k));
+        }
+        // 500 distinct keys must reach every one of 8 partitions.
+        let mut seen = [false; 8];
+        for k in 0u64..500 {
+            seen[partition_of_hash(fingerprint_of(&k), 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash failed to reach a partition");
+        // And every one of 16 low-bit buckets.
+        let mut low = [false; 16];
+        for k in 0u64..500 {
+            low[(fingerprint_of(&k) & 15) as usize] = true;
+        }
+        assert!(low.iter().all(|&s| s), "low bits are not spread");
+    }
+
+    #[test]
+    fn partition_of_hash_is_in_range_for_any_count() {
+        for p in [1usize, 2, 3, 7, 8, 1000] {
+            for h in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+                assert!(partition_of_hash(h, p) < p);
+            }
+        }
+    }
+
+    #[test]
+    fn take_in_order_moves_each_element_once() {
+        let src = vec!["a".to_string(), "b".into(), "c".into(), "d".into()];
+        let out = take_in_order(src, &[2, 0, 3, 1]);
+        assert_eq!(out, vec!["c", "a", "d", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn take_in_order_rejects_duplicates() {
+        take_in_order(vec![1, 2, 3], &[0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn take_in_order_rejects_out_of_range() {
+        take_in_order(vec![1, 2, 3], &[0, 1, 3]);
+    }
+
+    #[test]
+    fn co_sort_matches_reference_sort() {
+        // Reference: sort (key, arrival, val) tuples directly.
+        let keys0 = [3u64, 1, 3, 2, 1, 1, 2];
+        let vals0 = ["a", "b", "c", "d", "e", "f", "g"];
+        let arr0: Vec<u32> = (0..keys0.len() as u32).collect();
+        let mut expect: Vec<(u64, u32, &str)> = keys0
+            .iter()
+            .zip(&arr0)
+            .zip(&vals0)
+            .map(|((&k, &a), &v)| (k, a, v))
+            .collect();
+        expect.sort();
+        let mut keys = keys0.to_vec();
+        let mut vals = vals0.to_vec();
+        let mut arr = arr0.clone();
+        co_sort_by_key(&mut keys, &mut vals, &mut arr);
+        let got: Vec<(u64, u32, &str)> = keys
+            .iter()
+            .zip(&arr)
+            .zip(&vals)
+            .map(|((&k, &a), &v)| (k, a, v))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Builds a ColumnBuf with *fabricated* fingerprints, to drive the
+    /// collision paths that real 64-bit fingerprints essentially never
+    /// hit.
+    fn buf_with_hashes(rows: &[(u64, u64, u64)]) -> ColumnBuf<u64, u64> {
+        let mut buf = ColumnBuf::with_capacity(rows.len());
+        for &(h, k, v) in rows {
+            buf.push(h, k, v);
+        }
+        buf
+    }
+
+    fn groups_of(run: &GroupedRun<u64, u64>) -> Vec<(u64, Vec<u64>)> {
+        (0..run.len())
+            .map(|i| (run.groups[i].key, run.values_of(i).to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn grouping_splits_full_fingerprint_collisions_by_key() {
+        // Three distinct keys share one fingerprint; values interleave.
+        // The probe pass must detect the collision and fall back to the
+        // exact sort-based path.
+        let mut run = group_partition(buf_with_hashes(&[
+            (7, 100, 0),
+            (7, 200, 1),
+            (7, 100, 2),
+            (7, 300, 3),
+            (7, 200, 4),
+            (7, 100, 5),
+        ]));
+        run.sort_groups_by_key();
+        assert_eq!(
+            groups_of(&run),
+            vec![(100, vec![0, 2, 5]), (200, vec![1, 4]), (300, vec![3]),]
+        );
+    }
+
+    #[test]
+    fn collision_bucket_coexists_with_clean_buckets() {
+        // One fabricated collision among ordinary pairs: only the
+        // affected bucket takes the cold path; the rest group by table.
+        let mut rows: Vec<(u64, u64, u64)> = (0..5_000u64)
+            .map(|i| (fingerprint_of(&(i % 50)), i % 50, i))
+            .collect();
+        assert!(bucket_count(rows.len()) > 1, "need several buckets");
+        rows.push((fingerprint_of(&3u64), 1_000, 777)); // same print, new key
+        let mut run = group_partition(buf_with_hashes(&rows));
+        run.sort_groups_by_key();
+        assert_eq!(run.len(), 51);
+        let by_key = groups_of(&run);
+        assert_eq!(by_key[50], (1_000, vec![777]));
+        let expect3: Vec<u64> = (0..5_000).filter(|v| v % 50 == 3).collect();
+        assert_eq!(by_key[3], (3, expect3));
+    }
+
+    #[test]
+    fn grouping_preserves_arrival_order_within_key() {
+        let rows: Vec<(u64, u64, u64)> = (0..100)
+            .map(|i| (fingerprint_of(&(i % 7)), i % 7, i))
+            .collect();
+        let mut run = group_partition(buf_with_hashes(&rows));
+        run.sort_groups_by_key();
+        assert_eq!(run.len(), 7);
+        for gi in 0..run.len() {
+            let k = run.groups[gi].key;
+            let expect: Vec<u64> = (0..100).filter(|v| v % 7 == k).collect();
+            assert_eq!(run.values_of(gi), expect.as_slice(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn grouping_large_partition_uses_buckets_and_stays_exact() {
+        // Big enough that bucket_count > 1: 20_000 pairs over 5_000 keys.
+        let rows: Vec<(u64, u64, u64)> = (0..20_000u64)
+            .map(|i| {
+                let k = (i * 2_654_435_761) % 5_000;
+                (fingerprint_of(&k), k, i)
+            })
+            .collect();
+        assert!(bucket_count(rows.len()) > 1);
+        let mut run = group_partition(buf_with_hashes(&rows));
+        run.sort_groups_by_key();
+        assert_eq!(run.len(), 5_000);
+        // Keys ascend and every value is in arrival order.
+        for w in run.groups.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        for gi in 0..run.len() {
+            let vs = run.values_of(gi);
+            assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(run.values.len(), 20_000);
+    }
+
+    #[test]
+    fn hot_and_cold_grouping_agree() {
+        // The table path and the sort path must produce identical groups
+        // (after the key sort) on the same pairs.
+        let rows: Vec<(u64, u64, u64)> = (0..2_000u64)
+            .map(|i| {
+                let k = (i * 7 + 1) % 311;
+                (fingerprint_of(&k), k, i)
+            })
+            .collect();
+        let mut hot = GroupedRun {
+            groups: Vec::new(),
+            values: Vec::new(),
+        };
+        group_bucket_hashed(
+            buf_with_hashes(&rows),
+            &mut hot,
+            &mut GroupScratch::default(),
+        );
+        hot.sort_groups_by_key();
+        let mut cold = GroupedRun {
+            groups: Vec::new(),
+            values: Vec::new(),
+        };
+        group_bucket_sorted(buf_with_hashes(&rows), &mut cold);
+        cold.sort_groups_by_key();
+        assert_eq!(groups_of(&hot), groups_of(&cold));
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_runs_in_key_order() {
+        let mut a = group_partition(buf_with_hashes(&[
+            (fingerprint_of(&1u64), 1, 10),
+            (fingerprint_of(&5u64), 5, 50),
+        ]));
+        a.sort_groups_by_key();
+        let mut b = group_partition(buf_with_hashes(&[
+            (fingerprint_of(&2u64), 2, 20),
+            (fingerprint_of(&4u64), 4, 40),
+        ]));
+        b.sort_groups_by_key();
+        let shuffled = Shuffled::merge(vec![a, b]);
+        let keys: Vec<u64> = (0..shuffled.len()).map(|i| *shuffled.entry(i).0).collect();
+        assert_eq!(keys, vec![1, 2, 4, 5]);
+        assert_eq!(shuffled.loads(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_run_merge_is_identity() {
+        let mut run = group_partition(buf_with_hashes(&[
+            (fingerprint_of(&3u64), 3, 30),
+            (fingerprint_of(&1u64), 1, 10),
+            (fingerprint_of(&2u64), 2, 20),
+        ]));
+        run.sort_groups_by_key();
+        let shuffled = Shuffled::merge(vec![run]);
+        assert_eq!(shuffled.len(), 3);
+        let keys: Vec<u64> = (0..shuffled.len()).map(|i| *shuffled.entry(i).0).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(shuffled.loads(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn scatter_preserves_arrival_order_and_counts() {
+        let rows: Vec<(u64, u64, u64)> = (0..1000u64).map(|i| (i % 16, i, i)).collect();
+        let parts = buf_with_hashes(&rows).scatter(4, |h| (h % 4) as usize);
+        assert_eq!(parts.iter().map(ColumnBuf::len).sum::<usize>(), 1000);
+        for (pi, part) in parts.iter().enumerate() {
+            assert!(part.hashes.iter().all(|&h| (h % 4) as usize == pi));
+            // Within a part, values (== arrival stamps) strictly ascend.
+            assert!(part.vals.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bucket_count_policy() {
+        assert_eq!(bucket_count(1), 1);
+        assert_eq!(bucket_count(1024), 1);
+        assert_eq!(bucket_count(4096), 4);
+        assert_eq!(bucket_count(300_000), 256);
+        assert_eq!(bucket_count(10_000_000), 256);
+    }
+}

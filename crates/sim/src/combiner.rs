@@ -7,11 +7,21 @@
 //! combining lowers the *wire* communication below `r·|I|` without
 //! changing the mapping schema. [`run_round_combined`] measures both
 //! numbers so the gap is visible.
+//!
+//! The combine stage rides the columnar data plane end to end: each map
+//! worker emits into a fingerprint column buffer, groups it with the same
+//! radix/code-sort pass the engine's shuffle uses (key order is not
+//! needed pre-shuffle, so the per-partition key sort is skipped), and
+//! folds every group to one combined value. Each group's retained
+//! fingerprint then routes the combined pair through the partitioned
+//! shuffle without rehashing the key.
 
-use crate::engine::{partition_of, reduce_phase, shuffle_partitioned, EngineConfig, EngineError};
+use crate::columnar::{group_partition, partition_of_hash, ColumnBuf};
+use crate::engine::{
+    pair_bytes, reduce_phase, run_chunked, shuffle_columns, EngineConfig, EngineError,
+};
 use crate::mapper::{Mapper, Reducer};
-use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
-use std::collections::BTreeMap;
+use crate::metrics::{LoadStats, RoundMetrics};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -65,15 +75,17 @@ impl CombinedMetrics {
 ///
 /// Each map worker combines its own emissions per key before they enter
 /// the shuffle, exactly like Hadoop's combiner running on mapper output.
-/// The reduce function then sees one value per (worker, key) pair.
+/// The reduce function then sees one value per (worker, key) pair, in
+/// worker order.
 ///
 /// With `workers > 1` the post-combine shuffle is hash-partitioned like
-/// the plain engine's: every worker scatters its combined map into
-/// `P = workers` buckets, partitions are group-sorted and budget-checked
-/// concurrently, and the merged result is reduced in key order. Combiner
-/// accounting stays exact under partitioning — `pre_combine_pairs` is
-/// summed per worker before the scatter, and the wire pair count is the
-/// sum of partition loads, so neither depends on how keys hash.
+/// the plain engine's: every worker's combined column is scattered into
+/// `P = workers` partitions by the retained fingerprints, partitions are
+/// grouped and budget-checked concurrently, and the merged result is
+/// reduced in key order. Combiner accounting stays exact under
+/// partitioning — `pre_combine_pairs` is summed per worker before the
+/// scatter, and the wire pair count is the sum of partition loads, so
+/// neither depends on how keys hash.
 pub fn run_round_combined<I, K, V, O>(
     inputs: &[I],
     mapper: &dyn Mapper<I, K, V>,
@@ -95,82 +107,85 @@ where
     } else {
         inputs.chunks(chunk).collect()
     };
+    let hint_for = |chunk_len: usize| -> usize {
+        config
+            .pairs_hint
+            .map(|h| (h as usize).div_ceil(workers))
+            .unwrap_or(chunk_len)
+    };
 
-    // Map + combine per worker.
-    let combine_chunk = |c: &[I]| -> (u64, BTreeMap<K, V>) {
+    // Map + combine per worker: emit into a column buffer, group it in
+    // fingerprint order (no key sort — the shuffle re-sorts anyway), and
+    // fold each group's contiguous value run into one combined value.
+    // Values arrive in emission order, so the fold order matches the old
+    // incremental map-based combine exactly.
+    let combine_chunk = |c: &[I]| -> (u64, ColumnBuf<K, V>) {
         let mut emitted = 0u64;
-        let mut acc: BTreeMap<K, V> = BTreeMap::new();
+        let mut buf = ColumnBuf::with_capacity(hint_for(c.len()));
         for input in c {
             mapper.map(input, &mut |k, v| {
                 emitted += 1;
-                match acc.get_mut(&k) {
-                    Some(slot) => combiner.combine(&k, slot, v),
-                    None => {
-                        acc.insert(k, v);
-                    }
-                }
+                buf.emit(k, v);
             });
         }
-        (emitted, acc)
+        let run = group_partition(buf);
+        let mut combined = ColumnBuf::with_capacity(run.len());
+        let mut vals = run.values.into_iter();
+        for g in run.groups {
+            let mut acc = vals.next().expect("every group has a first value");
+            for _ in 1..g.len {
+                combiner.combine(&g.key, &mut acc, vals.next().expect("group length"));
+            }
+            // Re-fingerprint the surviving key: the descriptor no longer
+            // carries its hash (keeping the directory small for the far
+            // hotter plain-shuffle sort), and one hash per *distinct* key
+            // is noise next to the per-pair work the combiner just saved.
+            combined.emit(g.key, acc);
+        }
+        (emitted, combined)
     };
 
-    let per_worker: Vec<(u64, BTreeMap<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
-        chunks.iter().map(|c| combine_chunk(c)).collect()
+    let per_worker: Vec<(u64, ColumnBuf<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
+        chunks.into_iter().map(combine_chunk).collect()
     } else {
-        crate::engine::run_chunked(chunks, combine_chunk)
+        run_chunked(chunks, combine_chunk)
     };
 
     // Pre-combine accounting happens per worker, before any partitioning:
     // the paper's replication numerator is independent of the shuffle.
     let pre_combine_pairs: u64 = per_worker.iter().map(|(e, _)| *e).sum();
 
-    let (entries, wire_pairs, shuffle_stats) = if configured_workers <= 1 {
-        // Sequential shuffle: one partition, one combined value per
-        // (worker, key).
-        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        let mut wire_pairs = 0u64;
-        for (_, map) in per_worker {
-            for (k, v) in map {
-                wire_pairs += 1;
-                groups.entry(k).or_default().push(v);
+    // Post-combine shuffle: scatter each worker's combined column (worker
+    // order — so a key's values arrive one-per-worker in worker order)
+    // into P partitions by the retained fingerprints. P reuses the
+    // input-clamped worker count so a huge worker count over a tiny input
+    // stays cheap.
+    let p = if configured_workers <= 1 { 1 } else { workers };
+    let mut partitions: Vec<ColumnBuf<K, V>> = (0..p).map(|_| ColumnBuf::new()).collect();
+    for (_, buf) in per_worker {
+        if p <= 1 {
+            partitions[0].append(buf);
+        } else {
+            for (pi, part) in buf
+                .scatter(p, |h| partition_of_hash(h, p))
+                .into_iter()
+                .enumerate()
+            {
+                partitions[pi].append(part);
             }
         }
-        if let Some(q) = config.max_reducer_inputs {
-            for (k, vs) in &groups {
-                if vs.len() as u64 > q {
-                    return Err(EngineError::ReducerOverflow {
-                        key: format!("{k:?}"),
-                        load: vs.len() as u64,
-                        limit: q,
-                    });
-                }
-            }
-        }
-        let stats = ShuffleStats::from_partition_loads(&[wire_pairs]);
-        let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
-        (entries, wire_pairs, stats)
-    } else {
-        // Partitioned shuffle: scatter each worker's combined map (in
-        // worker order, ascending keys within a worker — the same order
-        // the sequential shuffle consumes) into P hash buckets. P reuses
-        // the input-clamped worker count so a huge worker count over a
-        // tiny input stays cheap.
-        let p = workers;
-        let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
-        let mut wire_pairs = 0u64;
-        for (_, map) in per_worker {
-            for (k, v) in map {
-                wire_pairs += 1;
-                partitions[partition_of(&k, p)].push((k, v));
-            }
-        }
-        let (entries, stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
-        (entries, wire_pairs, stats)
-    };
+    }
+    let wire_pairs: u64 = partitions.iter().map(|part| part.len() as u64).sum();
+    let (shuffled, shuffle_stats) = shuffle_columns(
+        partitions,
+        config.max_reducer_inputs,
+        configured_workers,
+        pair_bytes::<K, V>(),
+    )?;
 
-    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
-    let reducers = entries.len() as u64;
-    let outputs = reduce_phase(&entries, reducer, configured_workers);
+    let loads = shuffled.loads();
+    let reducers = loads.len() as u64;
+    let outputs = reduce_phase(&shuffled, reducer, configured_workers);
 
     let metrics = CombinedMetrics {
         round: RoundMetrics {

@@ -9,18 +9,28 @@
 //!
 //! # Shuffle architecture
 //!
-//! With `workers <= 1` the shuffle is a single `BTreeMap` insertion pass.
-//! With `workers > 1` the engine runs a **parallel hash-partitioned
-//! shuffle**: map workers scatter each emission into one of
-//! `P = min(workers, inputs)` hash buckets as they run (the map-scatter
-//! phase), every partition is group-sorted and `q`-budget-checked on its
-//! own scoped thread (the partitioned shuffle), and the per-partition
-//! sorted runs are merged in ascending key order. Because a key's pairs all hash to the same
-//! partition and worker buckets are concatenated in chunk (= input) order,
-//! the merged groups — and therefore outputs and semantic metrics — are
-//! identical to the sequential path for every worker count. Only the
-//! [`ShuffleStats`] execution metadata (partition count and balance)
-//! differs, and that is excluded from metric equality by design.
+//! The shuffle is the **columnar radix-partitioned data plane** of the
+//! internal `columnar` module: every emission is fingerprinted once at
+//! emit time into flat `(hash, key, value)` columns, the top fingerprint
+//! bits route pairs to `P = min(workers, inputs)` partitions, the low bits
+//! scatter each partition into cache-sized radix buckets, and each bucket
+//! is grouped in `O(n)` by a small open-addressing fingerprint table (an
+//! exact sort-based path catches full 64-bit collisions) — no `BTreeMap`,
+//! no per-key allocation. Sorting the per-partition group *directories* by
+//! key and P-way-merging them (keys are disjoint across partitions)
+//! restores the exact output the old map-based shuffle produced.
+//!
+//! With `workers <= 1` the same pipeline runs on the calling thread with a
+//! single partition; with `workers > 1` each map chunk and each partition
+//! group-sort runs on its own `std::thread::scope` thread. Because worker
+//! emission buffers are concatenated per partition in chunk (= input)
+//! order and the group sort ties on arrival order, outputs and semantic
+//! metrics are identical at every worker count; the retained
+//! [`naive`](crate::naive) module keeps the original `BTreeMap` pipeline
+//! as the oracle for exactly that claim. Only the [`ShuffleStats`]
+//! execution metadata (partition count, balance, bytes moved, bucket
+//! histogram) varies with the worker count, and that is excluded from
+//! metric equality by design.
 //!
 //! The engine enforces the paper's central constraint when asked: if
 //! [`EngineConfig::max_reducer_inputs`] (the paper's `q`) is set and any
@@ -30,11 +40,14 @@
 //! concurrently but reports the same offender as the sequential path: the
 //! smallest over-budget key in key order.
 
+use crate::columnar::{
+    bucket_count, fingerprint_of, group_buckets, group_partition, partition_of_hash, ColumnBuf,
+    GroupedRun, Shuffled,
+};
 use crate::mapper::{Mapper, Reducer};
 use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
-use std::collections::BTreeMap;
 use std::fmt::Debug;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
 /// Engine configuration for one round.
 #[derive(Debug, Clone)]
@@ -49,6 +62,12 @@ pub struct EngineConfig {
     /// The paper's reducer-size bound `q`: if set, a reducer receiving more
     /// than this many values aborts the round.
     pub max_reducer_inputs: Option<u64>,
+    /// Expected total mapper emissions for the round (the paper's
+    /// `r · |I|`), used to preallocate per-worker emission columns so the
+    /// map phase never reallocates mid-chunk. Purely a performance hint:
+    /// any value (or `None`) yields identical outputs and metrics.
+    /// `mr-plan` threads its census-exact pair prediction through here.
+    pub pairs_hint: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +75,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 1,
             max_reducer_inputs: None,
+            pairs_hint: None,
         }
     }
 }
@@ -75,6 +95,7 @@ impl EngineConfig {
         EngineConfig {
             workers,
             max_reducer_inputs: None,
+            pairs_hint: None,
         }
     }
 
@@ -89,6 +110,13 @@ impl EngineConfig {
     /// Sets the reducer-size bound `q`.
     pub fn with_max_reducer_inputs(mut self, q: u64) -> Self {
         self.max_reducer_inputs = Some(q);
+        self
+    }
+
+    /// Sets the expected-emission capacity hint (see
+    /// [`pairs_hint`](EngineConfig::pairs_hint)).
+    pub fn with_pairs_hint(mut self, pairs: u64) -> Self {
+        self.pairs_hint = Some(pairs);
         self
     }
 }
@@ -120,6 +148,12 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Bytes one `(fingerprint, key, value)` triple occupies in the shuffle
+/// columns — the unit behind [`ShuffleStats::bytes_moved`].
+pub(crate) fn pair_bytes<K, V>() -> u64 {
+    (std::mem::size_of::<u64>() + std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64
+}
+
 /// Executes one map-reduce round.
 ///
 /// Returns the reduce outputs (in ascending key order, emission order
@@ -141,10 +175,10 @@ impl std::error::Error for EngineError {}
 /// assert_eq!(out, vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)]);
 /// assert_eq!(metrics.kv_pairs, 5); // five word occurrences crossed the shuffle
 /// ```
-pub fn run_round<I, K, V, O>(
+pub fn run_round<I, K, V, O, M, R>(
     inputs: &[I],
-    mapper: &dyn Mapper<I, K, V>,
-    reducer: &dyn Reducer<K, V, O>,
+    mapper: &M,
+    reducer: &R,
     config: &EngineConfig,
 ) -> Result<(Vec<O>, RoundMetrics), EngineError>
 where
@@ -152,116 +186,264 @@ where
     K: Ord + Hash + Debug + Send + Sync,
     V: Send + Sync,
     O: Send,
+    M: Mapper<I, K, V> + ?Sized,
+    R: Reducer<K, V, O> + ?Sized,
 {
     let workers = config.effective_workers();
-    if workers <= 1 {
-        run_round_sequential(inputs, mapper, reducer, config)
-    } else {
-        run_round_partitioned(inputs, mapper, reducer, config, workers)
-    }
-}
-
-/// The fully sequential path: one shuffle partition, everything on the
-/// calling thread.
-fn run_round_sequential<I, K, V, O>(
-    inputs: &[I],
-    mapper: &dyn Mapper<I, K, V>,
-    reducer: &dyn Reducer<K, V, O>,
-    config: &EngineConfig,
-) -> Result<(Vec<O>, RoundMetrics), EngineError>
-where
-    K: Ord + Debug,
-{
-    let mut pairs = Vec::new();
-    for input in inputs {
-        mapper.map(input, &mut |k, v| pairs.push((k, v)));
-    }
-    let kv_pairs = pairs.len() as u64;
-    let shuffle_stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
-    let groups = shuffle(pairs);
-
-    // Enforce the reducer-size budget before reducing.
-    if let Some(q) = config.max_reducer_inputs {
-        for (k, vs) in &groups {
-            if vs.len() as u64 > q {
-                return Err(EngineError::ReducerOverflow {
-                    key: format!("{k:?}"),
-                    load: vs.len() as u64,
-                    limit: q,
-                });
-            }
-        }
-    }
-
-    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
-    let mut outputs = Vec::new();
-    for (k, vs) in &entries {
-        reducer.reduce(k, vs, &mut |o| outputs.push(o));
-    }
-    let metrics = round_metrics(
-        inputs.len(),
-        kv_pairs,
-        &entries,
-        outputs.len(),
-        shuffle_stats,
-    );
-    Ok((outputs, metrics))
-}
-
-/// The parallel path: scatter → per-partition group/check → key-order
-/// merge → chunked reduce.
-fn run_round_partitioned<I, K, V, O>(
-    inputs: &[I],
-    mapper: &dyn Mapper<I, K, V>,
-    reducer: &dyn Reducer<K, V, O>,
-    config: &EngineConfig,
-    workers: usize,
-) -> Result<(Vec<O>, RoundMetrics), EngineError>
-where
-    I: Sync,
-    K: Ord + Hash + Debug + Send + Sync,
-    V: Send + Sync,
-    O: Send,
-{
     // Partition count: P = workers, clamped to the input size so a huge
     // worker count over a tiny input never spawns more threads (or
     // allocates more buckets) than there are inputs — the same envelope
     // the chunked map and reduce phases have always had.
-    let p = workers.min(inputs.len()).max(1);
-    let partitions = map_scatter_phase(inputs, mapper, workers, p);
-    let kv_pairs: u64 = partitions.iter().map(|p| p.len() as u64).sum();
-    let (entries, shuffle_stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
-    let outputs = reduce_phase(&entries, reducer, workers);
+    let p = if workers <= 1 {
+        1
+    } else {
+        workers.min(inputs.len()).max(1)
+    };
+    let (shuffled, stats, kv_pairs) = if p == 1 {
+        // Single-partition fast path: the map phase routes each emission
+        // straight into its radix bucket — the flat per-worker columns
+        // and the partition scatter disappear entirely.
+        let est = config
+            .pairs_hint
+            .map(|h| h as usize)
+            .unwrap_or(inputs.len());
+        let buckets = map_bucketed_phase(inputs, mapper, est);
+        let kv_pairs: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+        let (shuffled, stats) = shuffle_bucketed(
+            buckets,
+            kv_pairs,
+            config.max_reducer_inputs,
+            pair_bytes::<K, V>(),
+        )?;
+        (shuffled, stats, kv_pairs)
+    } else {
+        let partitions = map_columnar_phase(inputs, mapper, workers, p, config.pairs_hint);
+        let kv_pairs: u64 = partitions.iter().map(|part| part.len() as u64).sum();
+        let (shuffled, stats) = shuffle_columns(
+            partitions,
+            config.max_reducer_inputs,
+            workers,
+            pair_bytes::<K, V>(),
+        )?;
+        (shuffled, stats, kv_pairs)
+    };
+    let outputs = reduce_phase(&shuffled, reducer, workers);
     let metrics = round_metrics(
         inputs.len(),
         kv_pairs,
-        &entries,
+        shuffled.loads(),
         outputs.len(),
-        shuffle_stats,
+        stats,
     );
     Ok((outputs, metrics))
 }
 
-/// Assembles [`RoundMetrics`] from key-sorted groups.
-fn round_metrics<K, V>(
+/// Map phase of the single-partition fast path: emissions are
+/// fingerprinted and routed straight into per-bucket columns, so the
+/// grouping stage starts from cache-sized buckets without any
+/// intermediate flat column or scatter pass. `estimated_pairs` (the
+/// caller's [`pairs_hint`](EngineConfig::pairs_hint) or the input count)
+/// sizes the bucket fan-out and preallocates each bucket with ~25%
+/// headroom; a wrong estimate only costs reallocation, never
+/// correctness.
+fn map_bucketed_phase<I, K, V, M>(
+    inputs: &[I],
+    mapper: &M,
+    estimated_pairs: usize,
+) -> Vec<ColumnBuf<K, V>>
+where
+    K: Hash,
+    M: Mapper<I, K, V> + ?Sized,
+{
+    let bc = bucket_count(estimated_pairs);
+    let mask = (bc - 1) as u64;
+    let cap = if bc > 1 {
+        estimated_pairs / bc + estimated_pairs / (bc * 4) + 8
+    } else {
+        estimated_pairs
+    };
+    let mut buckets: Vec<ColumnBuf<K, V>> =
+        (0..bc).map(|_| ColumnBuf::with_capacity(cap)).collect();
+    for input in inputs {
+        mapper.map(input, &mut |k, v| {
+            let h = fingerprint_of(&k);
+            // SAFETY: `mask == bc - 1` with `bc == buckets.len()`, so
+            // `h & mask` is always in bounds.
+            let bucket = unsafe { buckets.get_unchecked_mut((h & mask) as usize) };
+            bucket.push(h, k, v);
+        });
+    }
+    buckets
+}
+
+/// Shuffle back half of the single-partition fast path: group the
+/// pre-bucketed columns, key-sort the directory, budget-check, and wrap
+/// the single run as the (identity-order) merged view.
+fn shuffle_bucketed<K, V>(
+    buckets: Vec<ColumnBuf<K, V>>,
+    kv_pairs: u64,
+    q: Option<u64>,
+    bytes_per_pair: u64,
+) -> Result<(Shuffled<K, V>, ShuffleStats), EngineError>
+where
+    K: Ord + Debug,
+{
+    let mut stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
+    stats.bytes_moved = kv_pairs * bytes_per_pair;
+    let mut run = group_buckets(buckets);
+    run.sort_groups_by_key();
+    let runs = vec![run];
+    check_budget(&runs, q)?;
+    Ok((Shuffled::merge(runs), stats))
+}
+
+/// Runs the map phase into per-worker emission columns, scattering each
+/// worker's column into `p` partitions by the top fingerprint bits and
+/// concatenating worker sub-columns per partition in chunk (= input)
+/// order — so within any partition, pairs appear in global emission order.
+///
+/// Each worker's column is preallocated from the caller's
+/// [`pairs_hint`](EngineConfig::pairs_hint) (split evenly across workers)
+/// or, absent a hint, from its chunk length; the partition scatter sizes
+/// its targets with an exact counting pass. Together these remove the
+/// growth reallocations that made the old map-scatter *slower* at high
+/// worker counts than at low ones.
+fn map_columnar_phase<I, K, V, M>(
+    inputs: &[I],
+    mapper: &M,
+    workers: usize,
+    p: usize,
+    pairs_hint: Option<u64>,
+) -> Vec<ColumnBuf<K, V>>
+where
+    I: Sync,
+    K: Hash + Send,
+    V: Send,
+    M: Mapper<I, K, V> + ?Sized,
+{
+    if inputs.is_empty() {
+        return (0..p).map(|_| ColumnBuf::new()).collect();
+    }
+    let map_workers = workers.min(inputs.len());
+    let hint_for = |chunk_len: usize| -> usize {
+        pairs_hint
+            .map(|h| (h as usize).div_ceil(map_workers))
+            .unwrap_or(chunk_len)
+    };
+    let map_chunk = |c: &[I]| -> Vec<ColumnBuf<K, V>> {
+        let mut buf = ColumnBuf::with_capacity(hint_for(c.len()));
+        for input in c {
+            mapper.map(input, &mut |k, v| buf.emit(k, v));
+        }
+        if p <= 1 {
+            vec![buf]
+        } else {
+            buf.scatter(p, |h| partition_of_hash(h, p))
+        }
+    };
+    let chunk = inputs.len().div_ceil(map_workers);
+    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+    let per_worker: Vec<Vec<ColumnBuf<K, V>>> = if map_workers <= 1 {
+        chunks.into_iter().map(map_chunk).collect()
+    } else {
+        run_chunked(chunks, map_chunk)
+    };
+    let mut partitions: Vec<ColumnBuf<K, V>> = (0..p).map(|_| ColumnBuf::new()).collect();
+    for worker_bufs in per_worker {
+        for (pi, buf) in worker_bufs.into_iter().enumerate() {
+            partitions[pi].append(buf);
+        }
+    }
+    partitions
+}
+
+/// Groups, key-sorts, budget-checks, and merges columnar partitions — the
+/// shared back half of the shuffle used by both [`run_round`] and the
+/// combined path.
+///
+/// Every partition is radix-bucketed, code-sorted, run-scanned into a
+/// [`GroupedRun`], and its group directory key-sorted — on its own scoped
+/// thread when `workers > 1` and there is more than one partition. If any
+/// group exceeds `q`, the error names the globally smallest over-budget
+/// key — exactly the key the sequential in-key-order scan would have
+/// reported, even when several partitions overflow concurrently. The
+/// surviving runs are merged into a [`Shuffled`] view in global ascending
+/// key order (keys are disjoint across partitions, so a P-way merge of the
+/// sorted directories is exact).
+pub(crate) fn shuffle_columns<K, V>(
+    partitions: Vec<ColumnBuf<K, V>>,
+    q: Option<u64>,
+    workers: usize,
+    bytes_per_pair: u64,
+) -> Result<(Shuffled<K, V>, ShuffleStats), EngineError>
+where
+    K: Ord + Debug + Send,
+    V: Send,
+{
+    let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
+    let mut stats = ShuffleStats::from_partition_loads(&partition_loads);
+    stats.bytes_moved = partition_loads.iter().sum::<u64>() * bytes_per_pair;
+
+    let group_one = |buf: ColumnBuf<K, V>| -> GroupedRun<K, V> {
+        let mut run = group_partition(buf);
+        run.sort_groups_by_key();
+        run
+    };
+    let runs: Vec<GroupedRun<K, V>> = if workers <= 1 || partitions.len() <= 1 {
+        partitions.into_iter().map(group_one).collect()
+    } else {
+        run_owned(partitions, group_one)
+    };
+
+    check_budget(&runs, q)?;
+    Ok((Shuffled::merge(runs), stats))
+}
+
+/// Enforces the reducer-size budget `q` over key-sorted runs. Each run's
+/// directory ascends by key, so the first over-budget group in a run is
+/// that run's smallest offender; the globally smallest offender — the
+/// exact key a sequential in-key-order scan would report — is the
+/// minimum over runs.
+fn check_budget<K: Ord + Debug, V>(
+    runs: &[GroupedRun<K, V>],
+    q: Option<u64>,
+) -> Result<(), EngineError> {
+    let Some(q) = q else { return Ok(()) };
+    let mut worst: Option<(&K, u64)> = None;
+    for run in runs {
+        if let Some(g) = run.groups.iter().find(|g| u64::from(g.len) > q) {
+            if worst.is_none_or(|(wk, _)| g.key < *wk) {
+                worst = Some((&g.key, u64::from(g.len)));
+            }
+        }
+    }
+    match worst {
+        Some((k, load)) => Err(EngineError::ReducerOverflow {
+            key: format!("{k:?}"),
+            load,
+            limit: q,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Assembles [`RoundMetrics`] from per-reducer loads in key order: one
+/// sort serves both the summary statistics and the retained raw vector.
+fn round_metrics(
     inputs: usize,
     kv_pairs: u64,
-    entries: &[(K, Vec<V>)],
+    mut loads: Vec<u64>,
     outputs: usize,
     shuffle: ShuffleStats,
 ) -> RoundMetrics {
-    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
+    loads.sort_unstable();
     RoundMetrics {
         inputs: inputs as u64,
         kv_pairs,
-        reducers: entries.len() as u64,
+        reducers: loads.len() as u64,
         outputs: outputs as u64,
-        load: LoadStats::from_loads(loads.clone()),
-        loads: {
-            let mut l = loads;
-            l.sort_unstable();
-            l
-        },
+        load: LoadStats::from_sorted(&loads),
+        loads,
         shuffle,
     }
 }
@@ -299,199 +481,40 @@ pub(crate) fn run_owned<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sy
     })
 }
 
-/// Key-sorted reduce groups: one `(key, values)` entry per distinct key,
-/// ascending by key, values in arrival order.
-pub(crate) type Groups<K, V> = Vec<(K, Vec<V>)>;
-
-/// A deterministic, seed-free multiply-rotate hasher (FxHash-style) for
-/// partition routing. `std`'s `RandomState` is randomly seeded per
-/// process, which would make partition loads — and the committed bench
-/// baselines — irreproducible; this one hashes identically on every run.
-struct PartitionHasher(u64);
-
-impl Hasher for PartitionHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// The hash partition (in `0..partitions`) that owns `key`. Every pair of
-/// a given key lands in the same partition, which is what lets grouping
-/// and budget checks run per-partition without cross-talk.
-pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = PartitionHasher(0);
-    key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
-}
-
-/// Runs the map phase, scattering emissions into `p` hash buckets as they
-/// are produced. Each map worker fills its own bucket set; bucket sets are
-/// then concatenated per partition in chunk order, so within any partition
-/// pairs appear in global input order.
-fn map_scatter_phase<I, K, V>(
-    inputs: &[I],
-    mapper: &dyn Mapper<I, K, V>,
-    workers: usize,
-    p: usize,
-) -> Vec<Vec<(K, V)>>
-where
-    I: Sync,
-    K: Hash + Send,
-    V: Send,
-{
-    let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
-    if inputs.is_empty() {
-        return partitions;
-    }
-    let map_workers = workers.min(inputs.len());
-    let chunk = inputs.len().div_ceil(map_workers);
-    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
-    let per_worker = run_chunked(chunks, |c| {
-        let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
-        for input in c {
-            mapper.map(input, &mut |k, v| {
-                let b = partition_of(&k, p);
-                buckets[b].push((k, v));
-            });
-        }
-        buckets
-    });
-    for worker_buckets in per_worker {
-        for (pi, mut bucket) in worker_buckets.into_iter().enumerate() {
-            partitions[pi].append(&mut bucket);
-        }
-    }
-    partitions
-}
-
-/// Group-sorts and budget-checks every partition concurrently, then merges
-/// the per-partition sorted runs into one globally key-sorted group list.
-///
-/// Each partition is grouped into its own `BTreeMap` (preserving arrival
-/// order within a key) and scanned for over-budget keys on its own scoped
-/// thread. If any partition overflowed, the error names the globally
-/// smallest over-budget key — exactly the key the sequential path's
-/// in-key-order scan would have reported, even when several partitions
-/// overflow concurrently.
-pub(crate) fn shuffle_partitioned<K, V>(
-    partitions: Vec<Vec<(K, V)>>,
-    q: Option<u64>,
-) -> Result<(Groups<K, V>, ShuffleStats), EngineError>
-where
-    K: Ord + Debug + Send,
-    V: Send,
-{
-    let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
-    let stats = ShuffleStats::from_partition_loads(&partition_loads);
-
-    let grouped: Vec<(BTreeMap<K, Vec<V>>, bool)> = run_owned(partitions, |pairs| {
-        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for (k, v) in pairs {
-            groups.entry(k).or_default().push(v);
-        }
-        let over_budget = q.is_some_and(|q| groups.values().any(|vs| vs.len() as u64 > q));
-        (groups, over_budget)
-    });
-
-    if let Some(q) = q {
-        if grouped.iter().any(|(_, over)| *over) {
-            // Cold path: find the smallest over-budget key across the
-            // flagged partitions (each map iterates in ascending key
-            // order, so `find` yields its partition's smallest offender).
-            let mut worst: Option<(&K, u64)> = None;
-            for (groups, over) in &grouped {
-                if !over {
-                    continue;
-                }
-                if let Some((k, vs)) = groups.iter().find(|(_, vs)| vs.len() as u64 > q) {
-                    if worst.is_none_or(|(wk, _)| k < wk) {
-                        worst = Some((k, vs.len() as u64));
-                    }
-                }
-            }
-            let (k, load) = worst.expect("a flagged partition must contain an offender");
-            return Err(EngineError::ReducerOverflow {
-                key: format!("{k:?}"),
-                load,
-                limit: q,
-            });
-        }
-    }
-
-    // P-way merge of the ascending per-partition runs. Keys are disjoint
-    // across partitions, so picking the smallest head each step yields the
-    // exact sequence a single global BTreeMap would have produced.
-    let expected: usize = grouped.iter().map(|(g, _)| g.len()).sum();
-    let mut iters: Vec<_> = grouped.into_iter().map(|(g, _)| g.into_iter()).collect();
-    let mut heads: Vec<Option<(K, Vec<V>)>> = iters.iter_mut().map(|it| it.next()).collect();
-    let mut entries: Vec<(K, Vec<V>)> = Vec::with_capacity(expected);
-    loop {
-        let mut best: Option<usize> = None;
-        for (i, head) in heads.iter().enumerate() {
-            if let Some((k, _)) = head {
-                best = Some(match best {
-                    None => i,
-                    Some(b) => {
-                        let (bk, _) = heads[b].as_ref().expect("best head is occupied");
-                        if k < bk {
-                            i
-                        } else {
-                            b
-                        }
-                    }
-                });
-            }
-        }
-        let Some(b) = best else { break };
-        entries.push(heads[b].take().expect("selected head is occupied"));
-        heads[b] = iters[b].next();
-    }
-    Ok((entries, stats))
-}
-
-/// Groups emissions by key, preserving emission order within each key —
-/// the single-partition shuffle used by the sequential path.
-fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
-    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-    for (k, v) in pairs {
-        groups.entry(k).or_default().push(v);
-    }
-    groups
-}
-
-/// Runs the reduce phase over key-sorted groups, concatenating outputs in
-/// ascending key order.
-pub(crate) fn reduce_phase<K, V, O>(
-    entries: &[(K, Vec<V>)],
-    reducer: &dyn Reducer<K, V, O>,
+/// Runs the reduce phase over the merged shuffle view, concatenating
+/// outputs in ascending key order. With `workers > 1` the global key
+/// order is chunked and each chunk reduced on its own scoped thread;
+/// chunk-order concatenation keeps the output identical to sequential.
+pub(crate) fn reduce_phase<K, V, O, R>(
+    shuffled: &Shuffled<K, V>,
+    reducer: &R,
     workers: usize,
 ) -> Vec<O>
 where
     K: Send + Sync,
     V: Send + Sync,
     O: Send,
+    R: Reducer<K, V, O> + ?Sized,
 {
-    if workers <= 1 || entries.len() < 2 {
-        let mut outputs = Vec::new();
-        for (k, vs) in entries {
-            reducer.reduce(k, vs, &mut |o| outputs.push(o));
-        }
+    let n = shuffled.len();
+    if workers <= 1 || n < 2 {
+        let mut outputs = Vec::with_capacity(n);
+        shuffled.for_each_in(0..n, |k, vs| {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o))
+        });
         return outputs;
     }
-    let workers = workers.min(entries.len());
-    let chunk = entries.len().div_ceil(workers);
-    let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
-    let results = run_chunked(chunks, |c| {
-        let mut outputs = Vec::new();
-        for (k, vs) in c {
-            reducer.reduce(k, vs, &mut |o| outputs.push(o));
-        }
+    let workers = workers.min(n);
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(n)))
+        .collect();
+    let results = run_owned(ranges, |(s, e)| {
+        let mut outputs = Vec::with_capacity(e - s);
+        shuffled.for_each_in(s..e, |k, vs| {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o))
+        });
         outputs
     });
     results.into_iter().flatten().collect()
@@ -630,6 +653,7 @@ mod tests {
         let zero = EngineConfig {
             workers: 0,
             max_reducer_inputs: None,
+            pairs_hint: None,
         };
         let (out, m) = wordcount(&docs, &zero);
         let (seq_out, seq_m) = wordcount(&docs, &EngineConfig::sequential());
@@ -648,6 +672,7 @@ mod tests {
         let hand = EngineConfig {
             workers: 0,
             max_reducer_inputs: None,
+            pairs_hint: None,
         };
         assert_eq!(hand.effective_workers(), 1);
         assert_eq!(EngineConfig::parallel(6).effective_workers(), 6);
@@ -658,6 +683,25 @@ mod tests {
             let (out, m) = wordcount(&docs, &cfg);
             assert_eq!(out, seq_out);
             assert_eq!(m, seq_m);
+        }
+    }
+
+    #[test]
+    fn pairs_hint_is_a_pure_performance_knob() {
+        // Any hint value — exact, absurdly large, or zero — must leave
+        // outputs and metrics untouched at every worker count.
+        let docs: Vec<String> = (0..64)
+            .map(|i| format!("k{} k{} x", i % 9, i % 4))
+            .collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let (base_out, base_m) = wordcount(&doc_refs, &EngineConfig::parallel(4));
+        for hint in [0u64, 1, 192, 1 << 20] {
+            for workers in [1usize, 4] {
+                let cfg = EngineConfig::parallel(workers).with_pairs_hint(hint);
+                let (out, m) = wordcount(&doc_refs, &cfg);
+                assert_eq!(base_out, out, "hint={hint} workers={workers}");
+                assert_eq!(base_m, m, "hint={hint} workers={workers}");
+            }
         }
     }
 
@@ -778,24 +822,6 @@ mod tests {
     }
 
     #[test]
-    fn partition_of_is_stable_and_in_range() {
-        for p in [1usize, 2, 3, 8, 16] {
-            for k in 0u64..500 {
-                let a = partition_of(&k, p);
-                assert!(a < p, "partition {a} out of range for p={p}");
-                assert_eq!(a, partition_of(&k, p), "routing must be stable");
-            }
-        }
-        // The hash must actually spread keys: with 8 partitions and 500
-        // distinct keys, every partition should own at least one key.
-        let mut seen = [false; 8];
-        for k in 0u64..500 {
-            seen[partition_of(&k, 8)] = true;
-        }
-        assert!(seen.iter().all(|&s| s), "hash failed to reach a partition");
-    }
-
-    #[test]
     fn shuffle_stats_reflect_partitioning() {
         let inputs: Vec<u64> = (0..4_000).collect();
         let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*x % 997, *x));
@@ -818,6 +844,22 @@ mod tests {
             // 997 well-spread keys over ≤8 partitions: skew stays modest.
             assert!(par.shuffle.partition_skew() >= 1.0);
             assert!(par.shuffle.partition_skew() < 2.0, "unexpectedly skewed");
+        }
+    }
+
+    #[test]
+    fn shuffle_stats_report_bytes_and_buckets() {
+        // bytes_moved = pairs × (8-byte fingerprint + key + value), and the
+        // bucket histogram partitions the pair count.
+        let inputs: Vec<u64> = (0..4_000).collect();
+        let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*x % 997, *x));
+        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
+        for workers in [1usize, 4] {
+            let (_, m) =
+                run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(workers)).unwrap();
+            assert_eq!(m.shuffle.bytes_moved, m.kv_pairs * (8 + 8 + 8));
+            assert_eq!(m.shuffle.bucket_loads.iter().sum::<u64>(), m.kv_pairs);
+            assert_eq!(m.shuffle.bucket_loads.len() as u64, m.shuffle.partitions);
         }
     }
 

@@ -21,9 +21,14 @@
 //! * [`mapper`] — the `Mapper` and
 //!   `Reducer` traits (and closure adapters),
 //! * [`engine`] — single-round execution with an enforcable reducer-size
-//!   budget and a parallel hash-partitioned shuffle (`P = workers`
+//!   budget, built on a columnar radix-partitioned shuffle (`P = workers`
 //!   partitions, clamped to the input size, merged in key order so
 //!   results never depend on the worker count),
+//! * `columnar` (internal) — the flat data plane under the shuffle:
+//!   fingerprint columns, radix bucket scatter, code-sort grouping,
+//!   merged views,
+//! * [`naive`] — the original `BTreeMap` shuffle, retained as the
+//!   test-only regression oracle for the columnar path,
 //! * [`combiner`] — optional map-side combining with pre-/post-combine
 //!   communication accounting,
 //! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
@@ -32,11 +37,13 @@
 //! * [`schema`] — running an abstract *mapping schema* (assignment of
 //!   inputs to reducers) as a map-reduce job.
 
+pub(crate) mod columnar;
 pub mod combiner;
 pub mod engine;
 pub mod job;
 pub mod mapper;
 pub mod metrics;
+pub mod naive;
 pub mod schema;
 
 pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};

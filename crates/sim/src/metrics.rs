@@ -27,10 +27,21 @@ pub struct LoadStats {
 impl LoadStats {
     /// Computes statistics from raw per-reducer loads.
     pub fn from_loads(mut loads: Vec<u64>) -> Self {
+        loads.sort_unstable();
+        Self::from_sorted(&loads)
+    }
+
+    /// Computes statistics from loads already sorted ascending — the
+    /// engine sorts its load vector once and shares it between these
+    /// statistics and [`RoundMetrics::loads`].
+    pub(crate) fn from_sorted(loads: &[u64]) -> Self {
+        debug_assert!(
+            loads.windows(2).all(|w| w[0] <= w[1]),
+            "loads must be sorted ascending"
+        );
         if loads.is_empty() {
             return LoadStats::default();
         }
-        loads.sort_unstable();
         let total: u64 = loads.iter().sum();
         let n = loads.len();
         let pct = |p: f64| -> u64 {
@@ -83,10 +94,22 @@ pub struct ShuffleStats {
     pub max_partition_load: u64,
     /// Mean partition load.
     pub mean_partition_load: f64,
+    /// Total bytes the shuffle's columns moved:
+    /// `pairs × (8-byte fingerprint + size_of::<K>() + size_of::<V>())`.
+    /// An in-process estimate of the paper's communication cost in bytes
+    /// rather than pairs. Filled by the engine; 0 when constructed from
+    /// raw loads.
+    pub bytes_moved: u64,
+    /// Per-partition occupancy histogram: the raw pair count of every
+    /// shuffle partition, in partition order. `partitions`, `min/max/mean`
+    /// above are summaries of this vector; it is retained so skew is
+    /// inspectable bucket by bucket (surfaced in `repro frontier`).
+    pub bucket_loads: Vec<u64>,
 }
 
 impl ShuffleStats {
     /// Computes statistics from raw per-partition pair counts.
+    /// `bytes_moved` is left 0 — only the engine knows the pair width.
     pub fn from_partition_loads(loads: &[u64]) -> Self {
         if loads.is_empty() {
             return ShuffleStats::default();
@@ -97,6 +120,8 @@ impl ShuffleStats {
             min_partition_load: *loads.iter().min().unwrap(),
             max_partition_load: *loads.iter().max().unwrap(),
             mean_partition_load: total as f64 / loads.len() as f64,
+            bytes_moved: 0,
+            bucket_loads: loads.to_vec(),
         }
     }
 
@@ -252,6 +277,10 @@ mod tests {
         assert_eq!(s.max_partition_load, 30);
         assert!((s.mean_partition_load - 15.0).abs() < 1e-12);
         assert!((s.partition_skew() - 2.0).abs() < 1e-12);
+        // The raw histogram is retained in partition order; bytes are
+        // unknown at this layer.
+        assert_eq!(s.bucket_loads, vec![10, 30, 20, 0]);
+        assert_eq!(s.bytes_moved, 0);
     }
 
     #[test]

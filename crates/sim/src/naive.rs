@@ -1,0 +1,476 @@
+//! The original `BTreeMap`-centric shuffle, retained as a **test-only
+//! regression oracle** for the columnar data plane.
+//!
+//! This module is a faithful copy of the engine's pre-columnar pipeline:
+//! map workers scatter `(K, V)` pairs into `P = min(workers, inputs)`
+//! hash buckets (routed by a byte-at-a-time FxHash-style hasher and a
+//! modulo), each partition is grouped into its own `BTreeMap`, and the
+//! per-partition sorted runs are merged by smallest head key. It is
+//! comparison-bound and allocation-heavy — that is the point: the
+//! columnar engine in [`engine`](crate::engine) must produce
+//! byte-identical outputs and semantic metrics on every workload at
+//! every worker count, including the same smallest-key overflow
+//! offender, and the `columnar_oracle` battery asserts exactly that
+//! against this module. Do **not** use it in production paths.
+
+use crate::combiner::{CombinedMetrics, Combiner};
+use crate::engine::{pair_bytes, run_chunked, run_owned, EngineConfig, EngineError};
+use crate::mapper::{Mapper, Reducer};
+use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// Key-sorted reduce groups: one `(key, values)` entry per distinct key,
+/// ascending by key, values in arrival order.
+type Groups<K, V> = Vec<(K, Vec<V>)>;
+
+/// The pre-columnar deterministic, seed-free multiply-rotate hasher
+/// (FxHash-style byte loop) used for partition routing.
+struct PartitionHasher(u64);
+
+impl Hasher for PartitionHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The hash partition (in `0..partitions`) that owns `key`, by modulo on
+/// the byte-loop hash — the old routing function.
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = PartitionHasher(0);
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Executes one round through the naive `BTreeMap` pipeline. Same
+/// contract as [`run_round`](crate::run_round): outputs in ascending key
+/// order, emission order within a key, identical at every worker count.
+pub fn run_round_naive<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    let workers = config.effective_workers();
+    if workers <= 1 {
+        run_round_sequential(inputs, mapper, reducer, config)
+    } else {
+        run_round_partitioned(inputs, mapper, reducer, config, workers)
+    }
+}
+
+/// The fully sequential naive path: one `BTreeMap`, everything on the
+/// calling thread.
+fn run_round_sequential<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    K: Ord + Debug,
+{
+    let mut pairs = Vec::new();
+    for input in inputs {
+        mapper.map(input, &mut |k, v| pairs.push((k, v)));
+    }
+    let kv_pairs = pairs.len() as u64;
+    let mut shuffle_stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
+    shuffle_stats.bytes_moved = kv_pairs * pair_bytes::<K, V>();
+    let groups = shuffle(pairs);
+
+    if let Some(q) = config.max_reducer_inputs {
+        for (k, vs) in &groups {
+            if vs.len() as u64 > q {
+                return Err(EngineError::ReducerOverflow {
+                    key: format!("{k:?}"),
+                    load: vs.len() as u64,
+                    limit: q,
+                });
+            }
+        }
+    }
+
+    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    let mut outputs = Vec::new();
+    for (k, vs) in &entries {
+        reducer.reduce(k, vs, &mut |o| outputs.push(o));
+    }
+    let metrics = round_metrics(
+        inputs.len(),
+        kv_pairs,
+        &entries,
+        outputs.len(),
+        shuffle_stats,
+    );
+    Ok((outputs, metrics))
+}
+
+/// The parallel naive path: map-scatter → per-partition `BTreeMap`
+/// group/check → key-order merge → chunked reduce.
+fn run_round_partitioned<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+    workers: usize,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    let p = workers.min(inputs.len()).max(1);
+    let partitions = map_scatter_phase(inputs, mapper, workers, p);
+    let kv_pairs: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+    let (entries, mut shuffle_stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+    shuffle_stats.bytes_moved = kv_pairs * pair_bytes::<K, V>();
+    let outputs = naive_reduce_phase(&entries, reducer, workers);
+    let metrics = round_metrics(
+        inputs.len(),
+        kv_pairs,
+        &entries,
+        outputs.len(),
+        shuffle_stats,
+    );
+    Ok((outputs, metrics))
+}
+
+/// Assembles [`RoundMetrics`] from key-sorted groups.
+fn round_metrics<K, V>(
+    inputs: usize,
+    kv_pairs: u64,
+    entries: &[(K, Vec<V>)],
+    outputs: usize,
+    shuffle: ShuffleStats,
+) -> RoundMetrics {
+    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
+    RoundMetrics {
+        inputs: inputs as u64,
+        kv_pairs,
+        reducers: entries.len() as u64,
+        outputs: outputs as u64,
+        load: LoadStats::from_loads(loads.clone()),
+        loads: {
+            let mut l = loads;
+            l.sort_unstable();
+            l
+        },
+        shuffle,
+    }
+}
+
+/// Runs the map phase, scattering emissions into `p` hash buckets as they
+/// are produced — including the unhinted, zero-capacity bucket `Vec`s
+/// whose growth reallocations the columnar plane was built to eliminate.
+fn map_scatter_phase<I, K, V>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    workers: usize,
+    p: usize,
+) -> Vec<Vec<(K, V)>>
+where
+    I: Sync,
+    K: Hash + Send,
+    V: Send,
+{
+    let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+    if inputs.is_empty() {
+        return partitions;
+    }
+    let map_workers = workers.min(inputs.len());
+    let chunk = inputs.len().div_ceil(map_workers);
+    let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+    let per_worker = run_chunked(chunks, |c| {
+        let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+        for input in c {
+            mapper.map(input, &mut |k, v| {
+                let b = partition_of(&k, p);
+                buckets[b].push((k, v));
+            });
+        }
+        buckets
+    });
+    for worker_buckets in per_worker {
+        for (pi, mut bucket) in worker_buckets.into_iter().enumerate() {
+            partitions[pi].append(&mut bucket);
+        }
+    }
+    partitions
+}
+
+/// Group-sorts and budget-checks every partition concurrently in its own
+/// `BTreeMap`, then merges the per-partition sorted runs by smallest head
+/// key. On overflow, reports the globally smallest over-budget key.
+fn shuffle_partitioned<K, V>(
+    partitions: Vec<Vec<(K, V)>>,
+    q: Option<u64>,
+) -> Result<(Groups<K, V>, ShuffleStats), EngineError>
+where
+    K: Ord + Debug + Send,
+    V: Send,
+{
+    let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
+    let stats = ShuffleStats::from_partition_loads(&partition_loads);
+
+    let grouped: Vec<(BTreeMap<K, Vec<V>>, bool)> = run_owned(partitions, |pairs| {
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in pairs {
+            groups.entry(k).or_default().push(v);
+        }
+        let over_budget = q.is_some_and(|q| groups.values().any(|vs| vs.len() as u64 > q));
+        (groups, over_budget)
+    });
+
+    if let Some(q) = q {
+        if grouped.iter().any(|(_, over)| *over) {
+            let mut worst: Option<(&K, u64)> = None;
+            for (groups, over) in &grouped {
+                if !over {
+                    continue;
+                }
+                if let Some((k, vs)) = groups.iter().find(|(_, vs)| vs.len() as u64 > q) {
+                    if worst.is_none_or(|(wk, _)| k < wk) {
+                        worst = Some((k, vs.len() as u64));
+                    }
+                }
+            }
+            let (k, load) = worst.expect("a flagged partition must contain an offender");
+            return Err(EngineError::ReducerOverflow {
+                key: format!("{k:?}"),
+                load,
+                limit: q,
+            });
+        }
+    }
+
+    // P-way merge of the ascending per-partition runs. Keys are disjoint
+    // across partitions, so picking the smallest head each step yields the
+    // exact sequence a single global BTreeMap would have produced.
+    let expected: usize = grouped.iter().map(|(g, _)| g.len()).sum();
+    let mut iters: Vec<_> = grouped.into_iter().map(|(g, _)| g.into_iter()).collect();
+    let mut heads: Vec<Option<(K, Vec<V>)>> = iters.iter_mut().map(|it| it.next()).collect();
+    let mut entries: Vec<(K, Vec<V>)> = Vec::with_capacity(expected);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let (bk, _) = heads[b].as_ref().expect("best head is occupied");
+                        if k < bk {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let Some(b) = best else { break };
+        entries.push(heads[b].take().expect("selected head is occupied"));
+        heads[b] = iters[b].next();
+    }
+    Ok((entries, stats))
+}
+
+/// Groups emissions by key, preserving emission order within each key —
+/// the single-partition shuffle used by the sequential naive path.
+fn shuffle<K: Ord, V>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    groups
+}
+
+/// Runs the reduce phase over key-sorted groups, concatenating outputs in
+/// ascending key order.
+fn naive_reduce_phase<K, V, O>(
+    entries: &[(K, Vec<V>)],
+    reducer: &dyn Reducer<K, V, O>,
+    workers: usize,
+) -> Vec<O>
+where
+    K: Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    if workers <= 1 || entries.len() < 2 {
+        let mut outputs = Vec::new();
+        for (k, vs) in entries {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o));
+        }
+        return outputs;
+    }
+    let workers = workers.min(entries.len());
+    let chunk = entries.len().div_ceil(workers);
+    let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
+    let results = run_chunked(chunks, |c| {
+        let mut outputs = Vec::new();
+        for (k, vs) in c {
+            reducer.reduce(k, vs, &mut |o| outputs.push(o));
+        }
+        outputs
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Executes map → (per-worker `BTreeMap` combine) → naive shuffle →
+/// reduce: the pre-columnar combined path, same contract as
+/// [`run_round_combined`](crate::run_round_combined).
+pub fn run_round_combined_naive<I, K, V, O>(
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    combiner: &dyn Combiner<K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, CombinedMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Clone + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    let configured_workers = config.effective_workers();
+    let workers = configured_workers.min(inputs.len().max(1));
+    let chunk = inputs.len().div_ceil(workers);
+    let chunks: Vec<&[I]> = if inputs.is_empty() {
+        Vec::new()
+    } else {
+        inputs.chunks(chunk).collect()
+    };
+
+    // Map + combine per worker.
+    let combine_chunk = |c: &[I]| -> (u64, BTreeMap<K, V>) {
+        let mut emitted = 0u64;
+        let mut acc: BTreeMap<K, V> = BTreeMap::new();
+        for input in c {
+            mapper.map(input, &mut |k, v| {
+                emitted += 1;
+                match acc.get_mut(&k) {
+                    Some(slot) => combiner.combine(&k, slot, v),
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            });
+        }
+        (emitted, acc)
+    };
+
+    let per_worker: Vec<(u64, BTreeMap<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
+        chunks.iter().map(|c| combine_chunk(c)).collect()
+    } else {
+        run_chunked(chunks, combine_chunk)
+    };
+
+    let pre_combine_pairs: u64 = per_worker.iter().map(|(e, _)| *e).sum();
+
+    let (entries, wire_pairs, shuffle_stats) = if configured_workers <= 1 {
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        let mut wire_pairs = 0u64;
+        for (_, map) in per_worker {
+            for (k, v) in map {
+                wire_pairs += 1;
+                groups.entry(k).or_default().push(v);
+            }
+        }
+        if let Some(q) = config.max_reducer_inputs {
+            for (k, vs) in &groups {
+                if vs.len() as u64 > q {
+                    return Err(EngineError::ReducerOverflow {
+                        key: format!("{k:?}"),
+                        load: vs.len() as u64,
+                        limit: q,
+                    });
+                }
+            }
+        }
+        let stats = ShuffleStats::from_partition_loads(&[wire_pairs]);
+        let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+        (entries, wire_pairs, stats)
+    } else {
+        let p = workers;
+        let mut partitions: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut wire_pairs = 0u64;
+        for (_, map) in per_worker {
+            for (k, v) in map {
+                wire_pairs += 1;
+                partitions[partition_of(&k, p)].push((k, v));
+            }
+        }
+        let (entries, stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+        (entries, wire_pairs, stats)
+    };
+
+    let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
+    let reducers = entries.len() as u64;
+    let outputs = naive_reduce_phase(&entries, reducer, configured_workers);
+
+    let metrics = CombinedMetrics {
+        round: RoundMetrics {
+            inputs: inputs.len() as u64,
+            kv_pairs: wire_pairs,
+            reducers,
+            outputs: outputs.len() as u64,
+            load: LoadStats::from_loads(loads.clone()),
+            loads: {
+                let mut l = loads;
+                l.sort_unstable();
+                l
+            },
+            shuffle: shuffle_stats,
+        },
+        pre_combine_pairs,
+    };
+    Ok((outputs, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{FnMapper, FnReducer};
+
+    #[test]
+    fn naive_path_still_works_standalone() {
+        // The oracle must stay healthy on its own, or oracle-vs-columnar
+        // comparisons would be vacuous.
+        let docs = ["a b a", "b c", "a"];
+        let mapper = FnMapper(|doc: &&str, emit: &mut dyn FnMut(String, u64)| {
+            for w in doc.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        });
+        let reducer = FnReducer(
+            |k: &String, vs: &[u64], emit: &mut dyn FnMut((String, u64))| {
+                emit((k.clone(), vs.iter().sum()))
+            },
+        );
+        let (seq, seq_m) =
+            run_round_naive(&docs, &mapper, &reducer, &EngineConfig::sequential()).unwrap();
+        assert_eq!(seq, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
+        for workers in [2usize, 3, 8] {
+            let (par, par_m) =
+                run_round_naive(&docs, &mapper, &reducer, &EngineConfig::parallel(workers))
+                    .unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(seq_m, par_m);
+        }
+    }
+}

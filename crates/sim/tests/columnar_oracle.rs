@@ -1,0 +1,260 @@
+//! Oracle battery: the columnar radix-partitioned data plane against the
+//! retained naive `BTreeMap` pipeline.
+//!
+//! [`mr_sim::naive`] is the pre-columnar shuffle, kept precisely so this
+//! suite can exist: for any workload and any worker count, the columnar
+//! engine must produce byte-identical outputs, equal semantic metrics,
+//! the same overflow verdict (down to the reported offender key), and the
+//! same combiner accounting. The battery drives that equivalence over the
+//! four adversarial key distributions (uniform, Zipf-skewed via
+//! `mr-graph`'s Chung–Lu generator, all-one-key, all-distinct), random
+//! proptest workloads, and budget sweeps.
+
+use mr_sim::naive::{run_round_combined_naive, run_round_naive};
+use mr_sim::{
+    run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer, RoundMetrics,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Worker counts the battery sweeps on both paths.
+const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs one round through the columnar engine with an order-sensitive
+/// reducer (rotate-xor value chaining), so any within-key reordering or
+/// cross-key leakage relative to the oracle changes the output.
+fn columnar_round(
+    inputs: &[(u64, u64)],
+    config: &EngineConfig,
+) -> (Vec<(u64, u64, u64)>, RoundMetrics) {
+    let (mapper, reducer) = (digest_mapper(), digest_reducer());
+    run_round(inputs, &mapper, &reducer, config).expect("no q bound set")
+}
+
+/// The same round through the naive `BTreeMap` oracle.
+fn naive_round(
+    inputs: &[(u64, u64)],
+    config: &EngineConfig,
+) -> (Vec<(u64, u64, u64)>, RoundMetrics) {
+    let (mapper, reducer) = (digest_mapper(), digest_reducer());
+    run_round_naive(inputs, &mapper, &reducer, config).expect("no q bound set")
+}
+
+type DigestMapper = FnMapper<fn(&(u64, u64), &mut dyn FnMut(u64, u64))>;
+type DigestReducer = FnReducer<fn(&u64, &[u64], &mut dyn FnMut((u64, u64, u64)))>;
+
+fn digest_mapper() -> DigestMapper {
+    FnMapper(|&(idx, key), emit| emit(key, idx))
+}
+
+fn digest_reducer() -> DigestReducer {
+    FnReducer(|k, vs, emit| {
+        emit((
+            *k,
+            vs.len() as u64,
+            vs.iter().fold(0u64, |acc, v| acc.rotate_left(7) ^ v),
+        ))
+    })
+}
+
+/// Indexes a key sequence into `(position, key)` inputs.
+fn indexed(keys: &[u64]) -> Vec<(u64, u64)> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (i as u64, k))
+        .collect()
+}
+
+/// The core assertion: the columnar engine is indistinguishable from the
+/// naive oracle at every worker count — on both engines' own worker
+/// sweeps, pinned to the naive sequential run as ground truth.
+fn assert_oracle_case(name: &str, keys: &[u64]) {
+    let inputs = indexed(keys);
+    let (oracle_out, oracle_m) = naive_round(&inputs, &EngineConfig::sequential());
+    for workers in WORKER_COUNTS {
+        let cfg = EngineConfig::parallel(workers);
+        let (col_out, col_m) = columnar_round(&inputs, &cfg);
+        assert_eq!(
+            oracle_out, col_out,
+            "[{name}] columnar outputs diverged from the oracle at workers={workers}"
+        );
+        assert_eq!(
+            oracle_m, col_m,
+            "[{name}] columnar metrics diverged from the oracle at workers={workers}"
+        );
+        // The oracle itself is worker-count independent too — the two
+        // pipelines must agree at *matching* worker counts, not just
+        // against the sequential baseline.
+        let (naive_out, naive_m) = naive_round(&inputs, &cfg);
+        assert_eq!(oracle_out, naive_out, "[{name}] oracle drifted");
+        assert_eq!(oracle_m, naive_m, "[{name}] oracle metrics drifted");
+    }
+}
+
+#[test]
+fn uniform_keys_match_the_oracle() {
+    let mut rng = TestRng::deterministic("columnar-oracle-uniform");
+    let keys: Vec<u64> = (0..6_000).map(|_| rng.below(1_024)).collect();
+    assert_oracle_case("uniform", &keys);
+}
+
+#[test]
+fn zipf_skewed_keys_match_the_oracle() {
+    // Chung–Lu power-law edge endpoints: a few heavy hub keys and a long
+    // thin tail — the §1.4 skew regime, where the columnar path's radix
+    // buckets fill very unevenly.
+    let g = mr_graph::gen::power_law(400, 2.2, 40.0, 7);
+    let keys: Vec<u64> = g
+        .edges()
+        .iter()
+        .flat_map(|e| [u64::from(e.u), u64::from(e.v)])
+        .collect();
+    assert!(keys.len() > 300, "degenerate power-law instance");
+    assert_oracle_case("zipf", &keys);
+}
+
+#[test]
+fn one_key_workloads_match_the_oracle() {
+    // Every pair in one group: a single radix bucket carries everything
+    // and the open-addressing table holds exactly one entry.
+    let keys = vec![17u64; 4_000];
+    assert_oracle_case("one-key", &keys);
+}
+
+#[test]
+fn all_distinct_keys_match_the_oracle() {
+    // Reversed so arrival order and key order disagree; every group has
+    // exactly one value, maximising directory-sort work.
+    let keys: Vec<u64> = (0..4_000u64).rev().collect();
+    assert_oracle_case("all-distinct", &keys);
+}
+
+#[test]
+fn full_64_bit_keys_match_the_oracle() {
+    // Keys spanning the whole u64 range (including u64::MAX) exercise the
+    // fingerprint path far from the small-integer regime of the other
+    // cases.
+    let mut rng = TestRng::deterministic("columnar-oracle-wide");
+    let mut keys: Vec<u64> = (0..3_000).map(|_| rng.next_u64()).collect();
+    keys.push(u64::MAX);
+    keys.push(0);
+    assert_oracle_case("wide", &keys);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random workloads: outputs and semantic metrics equal between the
+    /// columnar engine and the naive oracle at any worker count.
+    #[test]
+    fn random_workloads_match_the_oracle(
+        keys in proptest::collection::vec(0u64..5_000, 0..600),
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let cfg = EngineConfig::parallel(workers);
+        let (naive_out, naive_m) = naive_round(&inputs, &cfg);
+        let (col_out, col_m) = columnar_round(&inputs, &cfg);
+        prop_assert_eq!(naive_out, col_out);
+        prop_assert_eq!(naive_m, col_m);
+    }
+
+    /// The overflow verdict is identical between the engines for random
+    /// budgets: both succeed, or both fail with the same offender (the
+    /// smallest over-budget key in key order), at any worker count.
+    #[test]
+    fn random_budget_verdicts_match_the_oracle(
+        keys in proptest::collection::vec(0u64..40, 1..300),
+        q in 1u64..12,
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+            emit(key, idx);
+        });
+        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
+        let cfg = EngineConfig::parallel(workers).with_max_reducer_inputs(q);
+        let naive = run_round_naive(&inputs, &mapper, &reducer, &cfg);
+        let col = run_round(&inputs, &mapper, &reducer, &cfg);
+        match (naive, col) {
+            (Ok((no, nm)), Ok((co, cm))) => {
+                prop_assert_eq!(no, co);
+                prop_assert_eq!(nm, cm);
+            }
+            (Err(ne), Err(ce)) => prop_assert_eq!(ne, ce),
+            (n, c) => prop_assert!(
+                false,
+                "verdicts diverged: naive ok={} columnar ok={}",
+                n.is_ok(),
+                c.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn overflow_offender_parity_on_scattered_hot_keys() {
+    // 64 hot keys spread across the key space so, at 16 workers, many
+    // partitions hold an over-budget key at once. Both pipelines must
+    // report the *same* offender — the smallest in key order — and they
+    // must agree at every worker count.
+    let mut keys: Vec<u64> = Vec::new();
+    for hot in 0..64u64 {
+        keys.extend(std::iter::repeat_n(hot * 1_000_003 + 11, 8));
+    }
+    keys.extend((0..500u64).map(|x| x * 17 + 3));
+    let inputs = indexed(&keys);
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {
+        panic!("reducer must not run on an over-budget round")
+    });
+    let cfg = |w: usize| EngineConfig::parallel(w).with_max_reducer_inputs(5);
+    let oracle_err = run_round_naive(&inputs, &mapper, &reducer, &cfg(1)).unwrap_err();
+    for workers in WORKER_COUNTS {
+        let col_err = run_round(&inputs, &mapper, &reducer, &cfg(workers)).unwrap_err();
+        assert_eq!(
+            oracle_err, col_err,
+            "offender diverged at workers={workers}"
+        );
+        let naive_err = run_round_naive(&inputs, &mapper, &reducer, &cfg(workers)).unwrap_err();
+        assert_eq!(oracle_err, naive_err, "oracle offender drifted");
+    }
+}
+
+#[test]
+fn combiner_accounting_matches_the_oracle() {
+    // The combined paths chunk inputs identically, so not just outputs
+    // and pre-combine pairs but the post-combine wire pairs (and with
+    // them the full semantic RoundMetrics) must agree at every worker
+    // count.
+    let g = mr_graph::gen::power_law(400, 2.2, 40.0, 13);
+    let inputs: Vec<u64> = g
+        .edges()
+        .iter()
+        .flat_map(|e| [u64::from(e.u), u64::from(e.v)])
+        .collect();
+    let mapper = FnMapper(|k: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, 1));
+    let combiner = FnCombiner(|_: &u64, acc: &mut u64, v: u64| *acc += v);
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.iter().sum()))
+    });
+    for workers in WORKER_COUNTS {
+        let cfg = EngineConfig::parallel(workers);
+        let (naive_out, naive_m) =
+            run_round_combined_naive(&inputs, &mapper, &combiner, &reducer, &cfg).unwrap();
+        let (col_out, col_m) =
+            run_round_combined(&inputs, &mapper, &combiner, &reducer, &cfg).unwrap();
+        assert_eq!(naive_out, col_out, "outputs diverged at workers={workers}");
+        assert_eq!(
+            naive_m.pre_combine_pairs, col_m.pre_combine_pairs,
+            "pre-combine accounting diverged at workers={workers}"
+        );
+        assert_eq!(
+            naive_m.round, col_m.round,
+            "post-combine round metrics diverged at workers={workers}"
+        );
+        assert_eq!(naive_m.pairs_saved(), col_m.pairs_saved());
+    }
+}
