@@ -1,0 +1,91 @@
+//! Incremental-execution microbenchmark: serving a changing instance
+//! from a retained [`mr_sim::DeltaJob`] versus re-running it from
+//! scratch.
+//!
+//! The workload is `mr_bench::baseline::delta_schema()` — 200k resident
+//! inputs fanned over 32k reducers at replication rate 3, so each
+//! reducer holds ~18 inputs and a small churn dirties a small fraction
+//! of them. Two groups:
+//! * `full_rerun` — the non-incremental alternative: execute the whole
+//!   instance through `run_schema` every time it changes,
+//! * `steady_churn` — one `DeltaJob::apply` per iteration, removing the
+//!   256 previously-added inputs and adding 256 fresh ones (the
+//!   instance size never drifts), so only the dirty reducers
+//!   re-execute.
+//!
+//! `record_bench` re-times the same shapes in process when refreshing
+//! the committed `BENCH_delta.json` baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mr_bench::baseline::delta_schema;
+use mr_sim::{run_schema, run_schema_retained, Delta, EngineConfig, Pipeline, Seq};
+use std::hint::black_box;
+
+/// Resident instance size — matches `BENCH_delta.json`'s workload.
+const N: u64 = 200_000;
+
+/// Inputs removed and added per churn step.
+const K: u64 = 256;
+
+fn config(workers: usize) -> EngineConfig {
+    if workers == 1 {
+        EngineConfig::sequential()
+    } else {
+        EngineConfig::parallel(workers)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = delta_schema();
+    let inputs: Vec<u64> = (0..N).collect();
+
+    let mut grp = c.benchmark_group("engine_delta/full_rerun");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(N));
+    for workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, &workers| {
+                let cfg = config(workers);
+                bencher.iter(|| {
+                    run_schema(black_box(&inputs), &schema, &cfg)
+                        .unwrap()
+                        .1
+                        .reducers
+                })
+            },
+        );
+    }
+    grp.finish();
+
+    let mut grp = c.benchmark_group("engine_delta/steady_churn");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(2 * K));
+    for workers in [1usize, 2, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, &workers| {
+                let cfg = config(workers);
+                let mut job = run_schema_retained(&inputs, schema, Pipeline::Columnar, &cfg)
+                    .expect("no budget configured");
+                let mut last: Vec<Seq> = (0..K).collect();
+                let mut next_value = N;
+                bencher.iter(|| {
+                    let fresh: Vec<u64> = (next_value..next_value + K).collect();
+                    next_value += K;
+                    let outcome = job
+                        .apply(&Delta::new(fresh, std::mem::take(&mut last)))
+                        .expect("no budget configured");
+                    last = outcome.added_seqs.collect();
+                    black_box(outcome.metrics.dirty_reducers)
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

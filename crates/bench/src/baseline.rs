@@ -1,12 +1,12 @@
 //! Re-recordable benchmark baselines with an automatic machine stamp.
 //!
-//! The workspace root carries three committed baselines —
-//! `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json` — that
-//! pin what the engine benchmarks measured on a known machine. They used
-//! to be transcribed by hand from `cargo bench` output, which is exactly
-//! the kind of step that silently rots: the numbers change, the machine
-//! description doesn't, and nobody can tell which container a baseline
-//! came from.
+//! The workspace root carries four committed baselines —
+//! `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json`,
+//! `BENCH_delta.json` — that pin what the engine benchmarks measured on
+//! a known machine. They used to be transcribed by hand from
+//! `cargo bench` output, which is exactly the kind of step that silently
+//! rots: the numbers change, the machine description doesn't, and nobody
+//! can tell which container a baseline came from.
 //!
 //! This module makes re-recording a single command:
 //!
@@ -15,12 +15,19 @@
 //! ```
 //!
 //! Each recorder re-runs its bench workload in process (same shapes as
-//! `benches/engine_shuffle.rs`, `engine_frontier.rs`, `engine_plan.rs`:
-//! one warm-up plus ten timed samples per configuration) and emits the
-//! baseline JSON with a [`MachineStamp`] captured at run time — logical
-//! core count from [`std::thread::available_parallelism`] and the UTC
-//! date from the system clock — plus the workload parameters, so every
-//! baseline records the machine and workload it actually measured.
+//! `benches/engine_shuffle.rs`, `engine_frontier.rs`, `engine_plan.rs`,
+//! `engine_delta.rs`: one warm-up plus ten timed samples per
+//! configuration) and emits the baseline JSON with a [`MachineStamp`]
+//! captured at run time — logical core count from
+//! [`std::thread::available_parallelism`] and the UTC date from the
+//! system clock — plus the workload parameters, so every baseline
+//! records the machine and workload it actually measured.
+//!
+//! Every recorder is split into a *measure* half (the only part that
+//! reads a clock) and a pure *render* half, so the round-trip tests can
+//! prove the contract the committed files rely on: identical
+//! measurements render byte-identically, and everything rendered parses
+//! back through [`crate::json::parse`] with the stamp fields present.
 //!
 //! Like the offline criterion shim, the reported mean excludes Tukey
 //! outliers (beyond 1.5×IQR): on shared machines one background burst
@@ -30,7 +37,12 @@
 use crate::sweep::{sweep_all, SweepConfig};
 use mr_core::family::Scale;
 use mr_plan::{plan_all, ClusterSpec};
-use mr_sim::{run_round, EngineConfig, FnMapper, FnReducer};
+use mr_sim::schema::ReducerId;
+use mr_sim::{
+    run_round, run_schema, run_schema_retained, Delta, EngineConfig, FnMapper, FnReducer, Pipeline,
+    SchemaJob, Seq,
+};
+use std::collections::BTreeSet;
 use std::hint::black_box;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -215,6 +227,16 @@ pub fn record_shuffle(stamp: &MachineStamp) -> (String, f64) {
             (w, t)
         })
         .collect();
+    render_shuffle(stamp, &uniform, &hot)
+}
+
+/// The pure render half of [`record_shuffle`]: baseline JSON from
+/// already-taken measurements.
+fn render_shuffle(
+    stamp: &MachineStamp,
+    uniform: &[(usize, Timing)],
+    hot: &[(usize, Timing)],
+) -> (String, f64) {
     let uniform_w1 = uniform[0].1.mean_ms;
     let mut rows: Vec<String> = uniform
         .iter()
@@ -278,6 +300,11 @@ pub fn record_frontier(stamp: &MachineStamp) -> (String, f64) {
             (w, t)
         })
         .collect();
+    render_frontier(stamp, &timings)
+}
+
+/// The pure render half of [`record_frontier`].
+fn render_frontier(stamp: &MachineStamp, timings: &[(usize, Timing)]) -> (String, f64) {
     let mean1 = timings[0].1.mean_ms;
     let mean8 = timings.last().unwrap().1.mean_ms;
     let rows: Vec<String> = timings
@@ -335,6 +362,16 @@ pub fn record_plan(stamp: &MachineStamp, frontier_mean1_ms: f64) -> String {
         let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
         black_box(plans.iter().map(|p| p.execute().outputs).sum::<u64>());
     });
+    render_plan(stamp, plan_default, plan_exec, frontier_mean1_ms)
+}
+
+/// The pure render half of [`record_plan`].
+fn render_plan(
+    stamp: &MachineStamp,
+    plan_default: Timing,
+    plan_exec: Timing,
+    frontier_mean1_ms: f64,
+) -> String {
     let row = |group: &str, t: Timing| {
         format!(
             "    {{ \"group\": \"{group}\", \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \
@@ -377,6 +414,168 @@ pub fn record_plan(stamp: &MachineStamp, frontier_mean1_ms: f64) -> String {
         ratio = plan_default.mean_ms / frontier_mean1_ms,
         plan = plan_default.mean_ms,
         frontier = frontier_mean1_ms,
+    )
+}
+
+/// Resident inputs in the delta baseline's instance.
+const DELTA_N: u64 = 200_000;
+
+/// Reducers the delta workload fans over.
+const DELTA_GROUPS: u64 = 32_768;
+
+/// Assignments per input (the workload's replication rate, paper §2.2).
+const DELTA_REPS: u64 = 3;
+
+/// Inputs removed *and* added per churn step (~0.26% of the instance).
+const DELTA_K: u64 = 256;
+
+/// The delta workload's mapping schema, shared with
+/// `benches/engine_delta.rs`: input `x` lands on [`FanSchema::reps`]
+/// distinct reducers out of [`FanSchema::groups`] (odd multipliers so
+/// assignments spread), and reduce folds an order-sensitive rotate-xor
+/// digest — a mis-merged or mis-ordered retained input list changes the
+/// output, so the timed workload is also self-checking.
+#[derive(Debug, Clone, Copy)]
+pub struct FanSchema {
+    /// Number of reducers the schema fans over.
+    pub groups: u64,
+    /// Distinct reducers each input is assigned to.
+    pub reps: u64,
+}
+
+impl SchemaJob<u64, (u64, u64, u64)> for FanSchema {
+    fn assign(&self, x: &u64) -> Vec<ReducerId> {
+        let rids: BTreeSet<ReducerId> = (0..self.reps)
+            .map(|j| x.wrapping_mul(2 * j + 7).wrapping_add(j) % self.groups)
+            .collect();
+        rids.into_iter().collect()
+    }
+
+    fn reduce(&self, r: ReducerId, inputs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))) {
+        emit((
+            r,
+            inputs.len() as u64,
+            inputs.iter().fold(0u64, |acc, v| acc.rotate_left(9) ^ v),
+        ));
+    }
+}
+
+/// The `engine_delta` workload at its baseline parameters.
+pub fn delta_schema() -> FanSchema {
+    FanSchema {
+        groups: DELTA_GROUPS,
+        reps: DELTA_REPS,
+    }
+}
+
+/// Times one worker count of the delta workload: a full re-run of the
+/// resident instance, and one steady-state churn step against a retained
+/// [`mr_sim::DeltaJob`] (remove the previously-added [`DELTA_K`] inputs,
+/// add [`DELTA_K`] fresh ones — the instance size never drifts).
+fn delta_timings(workers: usize, samples: usize) -> (Timing, Timing) {
+    let schema = delta_schema();
+    let cfg = if workers == 1 {
+        EngineConfig::sequential()
+    } else {
+        EngineConfig::parallel(workers)
+    };
+    let base: Vec<u64> = (0..DELTA_N).collect();
+    let full = time_samples(samples, || {
+        black_box(
+            run_schema(black_box(&base), &schema, &cfg)
+                .unwrap()
+                .1
+                .reducers,
+        );
+    });
+    let mut job =
+        run_schema_retained(&base, schema, Pipeline::Columnar, &cfg).expect("no budget configured");
+    let mut last: Vec<Seq> = (0..DELTA_K).collect();
+    let mut next_value = DELTA_N;
+    let churn = time_samples(samples, || {
+        let fresh: Vec<u64> = (next_value..next_value + DELTA_K).collect();
+        next_value += DELTA_K;
+        let outcome = job
+            .apply(&Delta::new(fresh, std::mem::take(&mut last)))
+            .expect("no budget configured");
+        last = outcome.added_seqs.collect();
+        black_box(outcome.metrics.dirty_reducers);
+    });
+    (full, churn)
+}
+
+/// Records `BENCH_delta.json`: the `engine_delta` workload — a resident
+/// 200k-input instance churned incrementally versus re-run from scratch
+/// — timed at 1/2/4/8 workers on this machine.
+pub fn record_delta(stamp: &MachineStamp) -> String {
+    let timings: Vec<(usize, Timing, Timing)> = SHUFFLE_WORKERS
+        .iter()
+        .map(|&w| {
+            let (full, churn) = delta_timings(w, SAMPLES);
+            (w, full, churn)
+        })
+        .collect();
+    render_delta(stamp, &timings)
+}
+
+/// The pure render half of [`record_delta`]; `timings` rows are
+/// `(workers, full re-run, churn step)`.
+fn render_delta(stamp: &MachineStamp, timings: &[(usize, Timing, Timing)]) -> String {
+    let row = |group: &str, workers: usize, t: Timing| {
+        format!(
+            "    {{ \"group\": \"{group}\", \"workers\": {workers}, \"min_ms\": {:.3}, \
+             \"mean_ms\": {:.3}, \"max_ms\": {:.3} }}",
+            t.min_ms, t.mean_ms, t.max_ms
+        )
+    };
+    let mut rows: Vec<String> = timings
+        .iter()
+        .map(|&(w, full, _)| row("engine_delta/full_rerun", w, full))
+        .collect();
+    rows.extend(
+        timings
+            .iter()
+            .map(|&(w, _, churn)| row("engine_delta/steady_churn", w, churn)),
+    );
+    let (full1, churn1) = (timings[0].1.mean_ms, timings[0].2.mean_ms);
+    format!(
+        r#"{{
+  "bench": "engine_delta",
+  "command": "cargo bench -p mr-bench --bench engine_delta",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "resident_inputs": {n},
+    "reducers": {groups},
+    "replication_rate": {reps},
+    "churn_per_step": {k},
+    "description": "a 200k-input instance held resident in a retained DeltaJob (columnar pipeline); each steady_churn step removes the {k} previously-added inputs and adds {k} fresh ones, so only the reducers the changed inputs map to re-execute (§2.2 obliviousness). full_rerun executes the same instance from scratch."
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "delta_speedup_vs_full_rerun_workers1": {speedup:.1},
+    "basis": "mean_ms(full_rerun workers=1, {full1:.2}) / mean_ms(steady_churn workers=1, {churn1:.3}); the churn touches {k2} of {n} inputs per step",
+    "semantics": "each apply's retained result is byte-identical to a fresh full run of the live instance — crates/bench/tests/delta_battery.rs and crates/sim/tests/differential_fuzz.rs prove this for every registry family, delta kind, worker count 1-16, and both pipelines"
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        n = DELTA_N,
+        groups = DELTA_GROUPS,
+        reps = DELTA_REPS,
+        k = DELTA_K,
+        k2 = 2 * DELTA_K,
+        rows = rows.join(",\n"),
+        speedup = full1 / churn1,
+        full1 = full1,
+        churn1 = churn1,
     )
 }
 
@@ -434,5 +633,123 @@ mod tests {
         assert!(row.contains("\"workers\": 2"));
         assert!(row.contains("throughput_melem_s"));
         assert_eq!(row.matches('{').count(), row.matches('}').count());
+    }
+
+    /// A synthetic measurement around `ms` (monotone min ≤ mean ≤ max).
+    fn t(ms: f64) -> Timing {
+        Timing {
+            min_ms: ms * 0.9,
+            mean_ms: ms,
+            max_ms: ms * 1.2,
+        }
+    }
+
+    fn stamp() -> MachineStamp {
+        MachineStamp {
+            cores: 8,
+            date: "2026-08-08".to_string(),
+        }
+    }
+
+    /// Every baseline rendered from one fixed set of synthetic
+    /// measurements — the render halves take no clock, so this is the
+    /// whole input space.
+    fn all_rendered() -> Vec<(&'static str, String)> {
+        let s = stamp();
+        let sweep: Vec<(usize, Timing)> =
+            vec![(1, t(40.0)), (2, t(24.0)), (4, t(16.0)), (8, t(12.0))];
+        let delta: Vec<(usize, Timing, Timing)> = sweep
+            .iter()
+            .map(|&(w, full)| (w, full, t(full.mean_ms / 50.0)))
+            .collect();
+        vec![
+            ("shuffle", render_shuffle(&s, &sweep, &sweep).0),
+            ("frontier", render_frontier(&s, &sweep).0),
+            ("plan", render_plan(&s, t(3.0), t(9.0), 40.0)),
+            ("delta", render_delta(&s, &delta)),
+        ]
+    }
+
+    #[test]
+    fn rendered_baselines_parse_back_with_the_machine_stamp() {
+        for (name, text) in all_rendered() {
+            let v = crate::json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(
+                v.get("recorded").unwrap().as_str(),
+                Some("2026-08-08"),
+                "{name}"
+            );
+            let machine = v.get("machine").unwrap();
+            assert_eq!(machine.get("cores").unwrap().as_f64(), Some(8.0), "{name}");
+            assert!(
+                machine
+                    .get("note")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .contains("record_bench"),
+                "{name}: note must say how to re-record"
+            );
+            for field in ["bench", "command", "workload", "summary"] {
+                assert!(v.get(field).is_some(), "{name}: missing \"{field}\"");
+            }
+            let results = v.get("results").unwrap().as_array().unwrap();
+            assert!(!results.is_empty(), "{name}: empty results");
+            for r in results {
+                let mean = r.get("mean_ms").unwrap().as_f64().unwrap();
+                assert!(mean > 0.0, "{name}: non-positive mean_ms");
+            }
+        }
+    }
+
+    #[test]
+    fn re_recording_identical_measurements_is_byte_stable() {
+        for ((name, a), (_, b)) in all_rendered().iter().zip(&all_rendered()) {
+            assert_eq!(
+                a, b,
+                "{name}: render is not a pure function of its measurements"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_baselines_parse_back() {
+        // The actual recorded artifacts at the workspace root, not a
+        // re-render: whatever `record_bench` last wrote must still parse
+        // and carry the stamp.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for name in [
+            "BENCH_shuffle.json",
+            "BENCH_frontier.json",
+            "BENCH_plan.json",
+            "BENCH_delta.json",
+        ] {
+            let text = std::fs::read_to_string(root.join(name))
+                .unwrap_or_else(|e| panic!("reading {name}: {e}"));
+            let v = crate::json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let date = v.get("recorded").unwrap().as_str().unwrap();
+            assert!(
+                date.len() == 10 && date.starts_with("20"),
+                "{name}: implausible recording date {date}"
+            );
+            let cores = v.get("machine").unwrap().get("cores").unwrap().as_f64();
+            assert!(cores.unwrap() >= 1.0, "{name}: implausible core count");
+            assert!(
+                !v.get("results").unwrap().as_array().unwrap().is_empty(),
+                "{name}: no results"
+            );
+        }
+    }
+
+    #[test]
+    fn fan_schema_assignments_are_deterministic_and_in_range() {
+        let schema = delta_schema();
+        for x in [0u64, 1, 17, DELTA_N, u64::MAX] {
+            let rids = schema.assign(&x);
+            assert_eq!(rids, schema.assign(&x));
+            assert!(!rids.is_empty() && rids.len() <= DELTA_REPS as usize);
+            assert!(rids.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+            assert!(rids.iter().all(|&r| r < DELTA_GROUPS));
+        }
     }
 }

@@ -4,13 +4,15 @@
 //! cargo run --release -p mr-bench --bin record_bench [out_dir]
 //! ```
 //!
-//! Writes `BENCH_shuffle.json`, `BENCH_frontier.json` and
-//! `BENCH_plan.json` into `out_dir` (default: the current directory),
-//! each stamped with the recording machine's core count and the UTC
-//! date. Run it from the workspace root on a quiet machine to refresh
-//! the committed baselines.
+//! Writes `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json`
+//! and `BENCH_delta.json` into `out_dir` (default: the current
+//! directory), each stamped with the recording machine's core count and
+//! the UTC date. Run it from the workspace root on a quiet machine to
+//! refresh the committed baselines.
 
-use mr_bench::baseline::{record_frontier, record_plan, record_shuffle, MachineStamp};
+use mr_bench::baseline::{
+    record_delta, record_frontier, record_plan, record_shuffle, MachineStamp,
+};
 use std::path::Path;
 
 fn main() {
@@ -34,10 +36,15 @@ fn main() {
     let plan_json = record_plan(&stamp, frontier_w1);
     eprintln!("done");
 
+    eprint!("engine_delta ... ");
+    let delta_json = record_delta(&stamp);
+    eprintln!("done");
+
     for (name, json) in [
         ("BENCH_shuffle.json", &shuffle_json),
         ("BENCH_frontier.json", &frontier_json),
         ("BENCH_plan.json", &plan_json),
+        ("BENCH_delta.json", &delta_json),
     ] {
         let path = out_dir.join(name);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

@@ -8,14 +8,16 @@
 //! cargo run --release -p mr-bench --bin repro -- frontier triangles-gnm full
 //! cargo run --release -p mr-bench --bin repro -- plan     # cost-based planner
 //! cargo run --release -p mr-bench --bin repro -- plan matmul --q-budget 32
+//! cargo run --release -p mr-bench --bin repro -- delta    # incremental execution
+//! cargo run --release -p mr-bench --bin repro -- delta triangles small
 //! cargo run --release -p mr-bench --bin repro -- list    # ids + descriptions
 //! ```
 //!
 //! Tokens after `frontier`/`plan`-style selectors: any token naming an
 //! experiment id selects that experiment; any token naming a family (or a
 //! scale preset `small`/`default`/`full`) selects within the `frontier`
-//! experiment — or within `plan` when that experiment is chosen — and
-//! implies `frontier` otherwise. `--q-budget N` belongs to `plan` and
+//! experiment — or within `plan`/`delta` when one of those is chosen —
+//! and implies `frontier` otherwise. `--q-budget N` belongs to `plan` and
 //! implies it. Unknown tokens abort with the full vocabulary.
 
 use mr_bench::experiments::{self, plan, Experiment};
@@ -78,7 +80,11 @@ fn main() {
     if !plan_extra.is_empty() && !ids.contains(&"plan") {
         ids.push("plan");
     }
-    if !selectors.is_empty() && !ids.contains(&"plan") && !ids.contains(&"frontier") {
+    if !selectors.is_empty()
+        && !ids.contains(&"plan")
+        && !ids.contains(&"frontier")
+        && !ids.contains(&"delta")
+    {
         ids.push("frontier");
     }
 
@@ -90,7 +96,7 @@ fn main() {
 
     for e in selected {
         let extra: Vec<String> = match e.id {
-            "frontier" => selectors.clone(),
+            "frontier" | "delta" => selectors.clone(),
             "plan" => selectors.iter().chain(plan_extra.iter()).cloned().collect(),
             _ => Vec::new(),
         };

@@ -1,5 +1,6 @@
 //! One module per paper artifact. See `EXPERIMENTS.md` for the index.
 
+pub mod delta;
 pub mod e12_cost_model;
 pub mod e14_skew;
 pub mod e35_weight_ddim;
@@ -140,6 +141,13 @@ pub fn all() -> Vec<Experiment> {
                  cluster spec, predicted vs measured (q, r, cost); args select \
                  families/scale and `--q-budget N` (e.g. `plan matmul --q-budget 32`)",
             runner: Runner::WithArgs(crate::experiments::plan::report_args),
+        },
+        Experiment {
+            id: "delta",
+            description: "incremental execution: churn each resident family, dirty-reducer \
+                 count and delta-shuffle volume vs the full run; args select \
+                 families/scale (e.g. `delta triangles small`)",
+            runner: Runner::WithArgs(crate::experiments::delta::report_args),
         },
     ]
 }

@@ -1,0 +1,161 @@
+//! The registry-wide delta battery — the headline acceptance test for
+//! incremental execution: `full_run(I ∪ ΔI) == apply(delta_run(ΔI),
+//! retained)` **byte-identically** (outputs and semantic metrics) for
+//! every registry family, every delta kind (adds, removes, mixed, empty,
+//! full-churn), every worker count 1–16, through both the columnar and
+//! retained naive pipelines — with the map-side census exact and a small
+//! delta re-executing strictly fewer reducers than a full run uses.
+
+use mr_core::family::{extended_registry, DeltaSpec, DynFamily, Scale};
+use mr_sim::{EngineConfig, Pipeline};
+
+/// The delta shapes the battery drives per family. `n` is the family's
+/// instance size; every shape keeps indices in `0..n`.
+fn delta_kinds(n: usize) -> Vec<(&'static str, DeltaSpec)> {
+    let split = n - n / 5; // hold out ~20% of the instance
+    vec![
+        (
+            "empty",
+            DeltaSpec {
+                base: (0..n).collect(),
+                remove: vec![],
+                add: vec![],
+            },
+        ),
+        (
+            "adds",
+            DeltaSpec {
+                base: (0..split).collect(),
+                remove: vec![],
+                add: (split..n).collect(),
+            },
+        ),
+        (
+            "removes",
+            DeltaSpec {
+                base: (0..n).collect(),
+                remove: (0..n).step_by(5).collect(),
+                add: vec![],
+            },
+        ),
+        ("mixed", DeltaSpec::tail_churn(n)),
+        (
+            "full-churn",
+            DeltaSpec {
+                base: (0..split).collect(),
+                remove: (0..split).collect(),
+                add: (split..n).collect(),
+            },
+        ),
+    ]
+}
+
+/// One family × one spec × one engine × one pipeline: assert the two
+/// verdicts the typed layer computes (byte-identity against the fresh
+/// full run, census exactness) plus the census-bound on dirty reducers.
+fn assert_family_delta(
+    fam: &dyn DynFamily,
+    point: usize,
+    kind: &str,
+    spec: &DeltaSpec,
+    engine: &EngineConfig,
+    pipeline: Pipeline,
+) {
+    let census = fam.delta_census(point, spec);
+    let report = fam.delta_run(point, engine, pipeline, spec);
+    let label = format!(
+        "{} [{kind}] workers={} {}",
+        fam.name(),
+        engine.effective_workers(),
+        pipeline.name()
+    );
+    assert!(
+        report.matches_full_run,
+        "{label}: retained result diverged from the full run"
+    );
+    assert!(
+        report.prediction_exact,
+        "{label}: census mispredicted the delta"
+    );
+    assert_eq!(report.census, census, "{label}: census drifted");
+    assert!(
+        report.dirty_reducers <= census.dirty_reducers,
+        "{label}: dirty {} above the census bound {}",
+        report.dirty_reducers,
+        census.dirty_reducers
+    );
+}
+
+#[test]
+fn every_family_every_kind_every_worker_count_both_pipelines() {
+    for fam in extended_registry(Scale::Small) {
+        let n = fam.num_inputs();
+        for (kind, spec) in delta_kinds(n) {
+            for workers in 1..=16usize {
+                let engine = EngineConfig::parallel(workers);
+                for pipeline in Pipeline::ALL {
+                    assert_family_delta(fam.as_ref(), 0, kind, &spec, &engine, pipeline);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deltas_also_land_on_every_grid_point() {
+    // Worker-count and kind coverage above; here the grid axis — every
+    // point of every family, one mixed churn, both pipelines.
+    let engine = EngineConfig::parallel(4);
+    for fam in extended_registry(Scale::Small) {
+        let spec = DeltaSpec::tail_churn(fam.num_inputs());
+        for point in 0..fam.grid().len() {
+            for pipeline in Pipeline::ALL {
+                assert_family_delta(fam.as_ref(), point, "mixed", &spec, &engine, pipeline);
+            }
+        }
+    }
+}
+
+#[test]
+fn small_deltas_beat_full_runs_on_reducer_count_and_shuffle_volume() {
+    // The acceptance criterion's strict clause: a delta touching k ≪ n
+    // inputs re-executes strictly fewer reducers than the full run uses
+    // and ships strictly fewer pairs — measured at each family's
+    // most-partitioned grid point.
+    for fam in extended_registry(Scale::Small) {
+        let n = fam.num_inputs();
+        let point = (0..fam.grid().len())
+            .max_by_key(|&p| fam.census(p).reducers)
+            .unwrap();
+        let spec = DeltaSpec {
+            base: (0..n).collect(),
+            remove: vec![0, n / 2],
+            add: vec![],
+        };
+        let report = fam.delta_run(
+            point,
+            &EngineConfig::sequential(),
+            Pipeline::Columnar,
+            &spec,
+        );
+        assert!(
+            report.matches_full_run && report.prediction_exact,
+            "{}",
+            fam.name()
+        );
+        assert!(
+            report.dirty_reducers < report.full_reducers,
+            "{}: dirty {} not strictly below full {}",
+            fam.name(),
+            report.dirty_reducers,
+            report.full_reducers
+        );
+        assert!(
+            report.delta_pairs < report.full_pairs,
+            "{}: delta shuffle {} not strictly below full {}",
+            fam.name(),
+            report.delta_pairs,
+            report.full_pairs
+        );
+    }
+}

@@ -53,9 +53,11 @@ use crate::problems::two_path::{BucketPairSchema, PerNodeSchema, TwoPathProblem}
 use crate::recipe::LowerBoundRecipe;
 use mr_graph::{gen, patterns, subgraph, Graph};
 use mr_sim::schema::SchemaJob;
-use mr_sim::{run_schema_dyn, DynSchema, EngineConfig};
+use mr_sim::{
+    run_schema, run_schema_dyn, run_schema_retained, Delta, DynSchema, EngineConfig, Pipeline, Seq,
+};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Instance-size preset of the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +105,119 @@ pub struct AssignCensus {
     pub reducers: u64,
     /// Total key-value pairs the map phase would shuffle.
     pub pairs: u64,
+}
+
+/// An index-based delta request crossing the erased registry boundary:
+/// which of a family's instance inputs form the retained **base**, which
+/// base positions a delta removes, and which further instance inputs it
+/// adds.
+///
+/// Indices in `base` and `add` address the family's instance input slice
+/// (`0..num_inputs`); entries of `remove` are *positions within `base`*
+/// (equivalently, the [`Seq`] ids the retained run assigned,
+/// since the base receives seqs `0..base.len()` in order). Specs must be
+/// well-formed — in-range indices, no repeated removal position; the
+/// typed layer rejects malformed removals at apply time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// Instance-input indices forming the retained base, in order.
+    pub base: Vec<usize>,
+    /// Positions within `base` to remove.
+    pub remove: Vec<usize>,
+    /// Instance-input indices to add.
+    pub add: Vec<usize>,
+}
+
+impl DeltaSpec {
+    /// Number of changed inputs.
+    pub fn changes(&self) -> usize {
+        self.remove.len() + self.add.len()
+    }
+
+    /// The deterministic churn `repro delta` executes on an instance of
+    /// `num_inputs` inputs: the first ~90% form the retained base, every
+    /// 7th base position is removed, and the held-out tail is added.
+    /// No randomness — the spec (and so the whole report) is a pure
+    /// function of the instance size.
+    pub fn tail_churn(num_inputs: usize) -> DeltaSpec {
+        let split = num_inputs - num_inputs / 10;
+        DeltaSpec {
+            base: (0..split).collect(),
+            remove: (0..split).step_by(7).collect(),
+            add: (split..num_inputs).collect(),
+        }
+    }
+}
+
+/// The delta counterpart of [`AssignCensus`]: what a [`DeltaSpec`] *will*
+/// touch, computed from the schema's assignment function alone — no
+/// engine, no reduce work. Exact by §2.2 obliviousness, so
+/// [`delta_run`](DynFamily::delta_run) executes under `post_q` as a hard
+/// reducer budget and an under-prediction aborts loudly (the planner
+/// layer's honesty contract, extended to deltas).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCensus {
+    /// Maximum reducer load of the base instance.
+    pub base_q: u64,
+    /// Key-value pairs a full run of the base shuffles.
+    pub base_pairs: u64,
+    /// Reducers the base instance touches.
+    pub base_reducers: u64,
+    /// Reducers the delta dirties (the incremental path re-executes
+    /// exactly these).
+    pub dirty_reducers: u64,
+    /// Key-value pairs the delta round shuffles — `Σ |assign(i)|` over
+    /// the changed inputs only.
+    pub delta_pairs: u64,
+    /// Maximum reducer load after the delta (over all reducers).
+    pub post_q: u64,
+    /// Live reducers after the delta.
+    pub post_reducers: u64,
+}
+
+/// The result of one incremental execution through
+/// [`delta_run`](DynFamily::delta_run): the delta-path measurements next
+/// to their full-run equivalents, plus the two correctness verdicts the
+/// battery asserts per family.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Inputs in the retained base.
+    pub base_inputs: u64,
+    /// Inputs the delta added / removed.
+    pub added: u64,
+    /// Inputs the delta removed.
+    pub removed: u64,
+    /// Dirty reducers the delta path re-executed — vs
+    /// [`full_reducers`](DeltaReport::full_reducers) for the saving.
+    pub dirty_reducers: u64,
+    /// Key-value pairs the delta round shuffled — vs
+    /// [`full_pairs`](DeltaReport::full_pairs).
+    pub delta_pairs: u64,
+    /// Outputs the delta retracted.
+    pub outputs_retracted: u64,
+    /// Outputs the delta added.
+    pub outputs_added: u64,
+    /// Reducers a full run of the post-delta instance uses.
+    pub full_reducers: u64,
+    /// Key-value pairs a full run of the post-delta instance shuffles.
+    pub full_pairs: u64,
+    /// Maximum reducer load of the post-delta instance.
+    pub full_q: u64,
+    /// Outputs of the post-delta instance.
+    pub outputs_total: u64,
+    /// Whether the retained result equals the full run of the post-delta
+    /// instance **byte-identically** (outputs and semantic metrics) —
+    /// `full_run(I ∪ ΔI) == apply(delta_run(ΔI), retained)`.
+    pub matches_full_run: bool,
+    /// Whether the [`DeltaCensus`] predicted the measured dirty count,
+    /// delta pairs, post-`q`, and post-reducer count exactly.
+    pub prediction_exact: bool,
+    /// The census the run was priced (and budgeted) with.
+    pub census: DeltaCensus,
+    /// Wall-clock of the delta application (execution metadata).
+    pub wall_delta: Duration,
+    /// Wall-clock of the oracle full run (execution metadata).
+    pub wall_full: Duration,
 }
 
 /// The result of executing one grid point through the engine.
@@ -177,6 +292,36 @@ pub trait DynFamily: Send + Sync {
     /// matmul's `n` lets a planner place the §6 one- vs two-phase
     /// crossover at `q = n²`.
     fn params(&self) -> Vec<(&'static str, u64)>;
+
+    /// Number of inputs in the family's instance — the index space
+    /// [`DeltaSpec`]s address.
+    fn num_inputs(&self) -> usize;
+
+    /// Map-side prediction of what `spec` will touch at grid point
+    /// `point` — see [`DeltaCensus`]. Never runs the engine.
+    ///
+    /// # Panics
+    /// Panics if `point` is out of range or `spec` holds out-of-range
+    /// indices.
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus;
+
+    /// Executes `spec` incrementally at grid point `point`: retains the
+    /// base through the selected [`Pipeline`], applies the delta
+    /// (re-executing only the dirty reducers, under the census-predicted
+    /// post-`q` as a hard budget), runs the full-instance oracle, and
+    /// reports both sides — see [`DeltaReport`].
+    ///
+    /// # Panics
+    /// Panics if `point`/`spec` are out of range, if `spec.remove`
+    /// repeats a position, or if the census-predicted budget overflows
+    /// (a prediction bug by definition).
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport;
 }
 
 /// Executes one typed schema through the type-erased runner and packages
@@ -236,6 +381,142 @@ where
         },
         reducers: loads.len() as u64,
         pairs,
+    }
+}
+
+/// Prices a [`DeltaSpec`] with assignment passes alone — the registry
+/// counterpart of [`mr_sim::DeltaJob::predict`], plus the base-instance
+/// figures `delta_run` needs to budget the retained run. Every family's
+/// `delta_census` lands here.
+fn delta_census_of<I, O, S>(inputs: &[I], schema: &S, spec: &DeltaSpec) -> DeltaCensus
+where
+    S: SchemaJob<I, O>,
+{
+    let mut loads: HashMap<u64, u64> = HashMap::new();
+    let mut base_pairs = 0u64;
+    for &ix in &spec.base {
+        for rid in schema.assign(&inputs[ix]) {
+            *loads.entry(rid).or_insert(0) += 1;
+            base_pairs += 1;
+        }
+    }
+    let base_q = loads.values().copied().max().unwrap_or(0);
+    let base_reducers = loads.len() as u64;
+
+    // Per-dirty-reducer (removals, additions) change counts.
+    let mut touched: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut delta_pairs = 0u64;
+    for &pos in &spec.remove {
+        for rid in schema.assign(&inputs[spec.base[pos]]) {
+            touched.entry(rid).or_insert((0, 0)).0 += 1;
+            delta_pairs += 1;
+        }
+    }
+    for &ix in &spec.add {
+        for rid in schema.assign(&inputs[ix]) {
+            touched.entry(rid).or_insert((0, 0)).1 += 1;
+            delta_pairs += 1;
+        }
+    }
+
+    let mut post_q = 0u64;
+    let mut post_reducers = 0u64;
+    for (rid, load) in &loads {
+        if !touched.contains_key(rid) {
+            post_q = post_q.max(*load);
+            post_reducers += 1;
+        }
+    }
+    for (rid, (removed, added)) in &touched {
+        let load = loads.get(rid).copied().unwrap_or(0) - removed + added;
+        if load > 0 {
+            post_q = post_q.max(load);
+            post_reducers += 1;
+        }
+    }
+    DeltaCensus {
+        base_q,
+        base_pairs,
+        base_reducers,
+        dirty_reducers: touched.len() as u64,
+        delta_pairs,
+        post_q,
+        post_reducers,
+    }
+}
+
+/// Runs one [`DeltaSpec`] through the retained incremental path and the
+/// full-run oracle and packages the comparison — the delta counterpart
+/// of [`measure`]. Every family's `delta_run` lands here.
+fn delta_measure<I, O, S>(
+    inputs: &[I],
+    schema: S,
+    pipeline: Pipeline,
+    spec: &DeltaSpec,
+    engine: &EngineConfig,
+) -> DeltaReport
+where
+    I: Clone + Send + Sync,
+    O: Clone + Send + PartialEq,
+    S: SchemaJob<I, O>,
+{
+    let census = delta_census_of::<I, O, S>(inputs, &schema, spec);
+    let base: Vec<I> = spec.base.iter().map(|&ix| inputs[ix].clone()).collect();
+    // Removals can pull the maximum load below the base's, so the
+    // retained run is budgeted at the larger of the two censuses: tight
+    // enough to keep the honesty contract, loose enough that the base
+    // itself fits.
+    let retained_cfg = engine
+        .clone()
+        .with_max_reducer_inputs(census.base_q.max(census.post_q))
+        .with_pairs_hint(census.base_pairs);
+    let mut job = run_schema_retained(&base, schema, pipeline, &retained_cfg)
+        .expect("a census-budgeted base run cannot overflow");
+
+    let delta = Delta::new(
+        spec.add.iter().map(|&ix| inputs[ix].clone()).collect(),
+        spec.remove.iter().map(|&pos| pos as Seq).collect(),
+    );
+    let start = Instant::now();
+    let outcome = job
+        .apply(&delta)
+        .expect("a census-budgeted delta cannot overflow");
+    let wall_delta = start.elapsed();
+
+    // Oracle: a fresh full run of the post-delta instance, budgeted at
+    // the census-predicted post-q — an under-prediction aborts here.
+    let live = job.inputs();
+    let full_cfg = engine.clone().with_max_reducer_inputs(census.post_q);
+    let start = Instant::now();
+    let (full_out, full_m) = run_schema(&live, job.schema(), &full_cfg)
+        .expect("the census-predicted post-delta q cannot overflow");
+    let wall_full = start.elapsed();
+
+    let retained_m = job.metrics();
+    let matches_full_run = retained_m == full_m && job.outputs() == full_out;
+    let m = &outcome.metrics;
+    let prediction_exact = census.dirty_reducers == m.dirty_reducers
+        && census.delta_pairs == m.delta_pairs
+        && census.post_reducers == m.total_reducers
+        && census.post_q == retained_m.load.max;
+
+    DeltaReport {
+        base_inputs: spec.base.len() as u64,
+        added: m.inputs_added,
+        removed: m.inputs_removed,
+        dirty_reducers: m.dirty_reducers,
+        delta_pairs: m.delta_pairs,
+        outputs_retracted: m.outputs_retracted,
+        outputs_added: m.outputs_added,
+        full_reducers: full_m.reducers,
+        full_pairs: full_m.kv_pairs,
+        full_q: full_m.load.max,
+        outputs_total: full_out.len() as u64,
+        matches_full_run,
+        prediction_exact,
+        census,
+        wall_delta,
+        wall_full,
     }
 }
 
@@ -350,6 +631,30 @@ impl DynFamily for HammingD1 {
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("b", self.b as u64)]
     }
+
+    fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<u64, (u64, u64), _>(&self.inputs, &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<u64, (u64, u64), _>(
+            &self.inputs,
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -425,6 +730,30 @@ impl DynFamily for Triangles {
 
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("n", self.n as u64)]
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, [u32; 3], _>(self.graph.edges(), &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, [u32; 3], _>(
+            self.graph.edges(),
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
     }
 }
 
@@ -506,6 +835,30 @@ impl DynFamily for SampleC4 {
 
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("n", self.n as u64), ("s", self.pattern.num_nodes() as u64)]
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, Vec<(u32, u32)>, _>(
+            self.graph.edges(),
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
     }
 }
 
@@ -604,6 +957,52 @@ impl DynFamily for TwoPaths {
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("n", self.n as u64)]
     }
+
+    fn num_inputs(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        if point == 0 {
+            delta_census_of::<_, (u32, u32, u32), _>(
+                self.graph.edges(),
+                &PerNodeSchema { n: self.n },
+                spec,
+            )
+        } else {
+            delta_census_of::<_, (u32, u32, u32), _>(
+                self.graph.edges(),
+                &BucketPairSchema::new(self.n, self.bucket_ks[point - 1]),
+                spec,
+            )
+        }
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        if point == 0 {
+            delta_measure::<_, (u32, u32, u32), _>(
+                self.graph.edges(),
+                PerNodeSchema { n: self.n },
+                pipeline,
+                spec,
+                engine,
+            )
+        } else {
+            delta_measure::<_, (u32, u32, u32), _>(
+                self.graph.edges(),
+                BucketPairSchema::new(self.n, self.bucket_ks[point - 1]),
+                pipeline,
+                spec,
+                engine,
+            )
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -693,6 +1092,24 @@ impl DynFamily for JoinCycle3 {
             ("atoms", self.problem.query.atoms.len() as u64),
         ]
     }
+
+    fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, Vec<u32>, _>(&self.inputs, &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, Vec<u32>, _>(&self.inputs, self.schema(point), pipeline, spec, engine)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -770,6 +1187,30 @@ impl DynFamily for MatMul {
 
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("n", self.n as u64)]
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, (u32, u32, [u8; 8]), _>(&self.inputs, &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, (u32, u32, [u8; 8]), _>(
+            &self.inputs,
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
     }
 }
 
@@ -867,6 +1308,30 @@ impl DynFamily for SparseTriangles {
     fn params(&self) -> Vec<(&'static str, u64)> {
         vec![("n", self.n as u64), ("m", self.graph.num_edges() as u64)]
     }
+
+    fn num_inputs(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, [u32; 3], _>(self.graph.edges(), &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, [u32; 3], _>(
+            self.graph.edges(),
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
+    }
 }
 
 struct SparseSampleC4 {
@@ -956,6 +1421,30 @@ impl DynFamily for SparseSampleC4 {
             ("m", self.graph.num_edges() as u64),
             ("s", self.pattern.num_nodes() as u64),
         ]
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn delta_census(&self, point: usize, spec: &DeltaSpec) -> DeltaCensus {
+        delta_census_of::<_, Vec<(u32, u32)>, _>(self.graph.edges(), &self.schema(point), spec)
+    }
+
+    fn delta_run(
+        &self,
+        point: usize,
+        engine: &EngineConfig,
+        pipeline: Pipeline,
+        spec: &DeltaSpec,
+    ) -> DeltaReport {
+        delta_measure::<_, Vec<(u32, u32)>, _>(
+            self.graph.edges(),
+            self.schema(point),
+            pipeline,
+            spec,
+            engine,
+        )
     }
 }
 
@@ -1223,6 +1712,81 @@ mod tests {
         let c = census_of::<u64, u64, _>(&empty, &Nowhere);
         assert_eq!((c.q, c.reducers, c.pairs), (0, 0, 0));
         assert_eq!(c.r, 0.0);
+    }
+
+    #[test]
+    fn delta_run_matches_full_run_for_every_family() {
+        // The erased delta seam end to end: for each registry family, a
+        // mixed tail-churn delta at grid point 0 must reproduce the full
+        // post-delta run byte-identically, with the census exact.
+        for fam in extended_registry(Scale::Small) {
+            let spec = DeltaSpec::tail_churn(fam.num_inputs());
+            assert!(spec.changes() > 0, "{}: degenerate spec", fam.name());
+            let census = fam.delta_census(0, &spec);
+            for pipeline in Pipeline::ALL {
+                let report = fam.delta_run(0, &EngineConfig::parallel(4), pipeline, &spec);
+                assert!(
+                    report.matches_full_run,
+                    "{} / {}: retained result diverged from the full run",
+                    fam.name(),
+                    pipeline.name()
+                );
+                assert!(
+                    report.prediction_exact,
+                    "{} / {}: census mispredicted the delta",
+                    fam.name(),
+                    pipeline.name()
+                );
+                assert_eq!(report.census, census, "{}", fam.name());
+                assert_eq!(report.dirty_reducers, census.dirty_reducers);
+                assert!(report.dirty_reducers <= report.full_reducers);
+                assert!(report.delta_pairs <= report.full_pairs);
+                assert_eq!(report.full_q, census.post_q);
+            }
+        }
+    }
+
+    #[test]
+    fn small_deltas_touch_strictly_fewer_reducers_than_a_full_run() {
+        // The point of the whole subsystem: a delta touching k ≪ n
+        // inputs re-executes strictly fewer reducers than a full run
+        // uses. Measured at each family's most-partitioned grid point.
+        for fam in extended_registry(Scale::Small) {
+            let n = fam.num_inputs();
+            let point = (0..fam.grid().len())
+                .max_by_key(|&p| fam.census(p).reducers)
+                .unwrap();
+            let spec = DeltaSpec {
+                base: (0..n).collect(),
+                remove: vec![0],
+                add: vec![],
+            };
+            let report = fam.delta_run(
+                point,
+                &EngineConfig::sequential(),
+                Pipeline::Columnar,
+                &spec,
+            );
+            assert!(
+                report.matches_full_run && report.prediction_exact,
+                "{}",
+                fam.name()
+            );
+            assert!(
+                report.dirty_reducers < report.full_reducers,
+                "{}: dirty {} not strictly below full {}",
+                fam.name(),
+                report.dirty_reducers,
+                report.full_reducers
+            );
+            assert!(
+                report.delta_pairs < report.full_pairs,
+                "{}: delta shuffle {} not below full {}",
+                fam.name(),
+                report.delta_pairs,
+                report.full_pairs
+            );
+        }
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //! the empirically-cheapest sweep point for every registry family.
 
 pub mod cluster;
+pub mod delta;
 pub mod plan;
 pub mod planner;
 
 pub use cluster::ClusterSpec;
+pub use delta::{plan_delta, DeltaPlan};
 pub use plan::{Choice, Plan, PlanReport};
 pub use planner::{plan_all, plan_family, plannable_families, planners, PlanError, Planner};

@@ -1,0 +1,990 @@
+//! Incremental (delta) execution against retained reducer state.
+//!
+//! Mapping schemas are *oblivious* (§2.2): the reducer set an input maps
+//! to never depends on the other inputs in the instance. That property
+//! has a consequence the batch engine leaves on the table — when a
+//! retained instance gains or loses a few inputs, **only the reducers
+//! those inputs map to can change**. Every other reducer received exactly
+//! the same input list as before and, reduce being a pure function of
+//! that list, would emit exactly the same outputs.
+//!
+//! [`DeltaJob`] exploits this in the style of incremental view
+//! maintenance (DBSP, Differential Dataflow): [`run_schema_retained`] is
+//! the retained-state mode of [`run_schema`](crate::run_schema) — it
+//! executes the round through the real shuffle pipeline but keeps every
+//! reducer's input list and outputs resident. Applying a
+//! [`Delta`]`{ added, removed }` then
+//!
+//! 1. routes only the *changed* inputs through the shuffle (the
+//!    delta-shuffle volume is `Σ |assign(i)|` over changed inputs, not
+//!    over the instance),
+//! 2. re-executes only the **dirty** reducers — those any changed input
+//!    maps to, found by the same assignment census `mr-plan` prices plans
+//!    with,
+//! 3. emits the dirty reducers' old outputs as *retractions* and their
+//!    recomputed outputs as *additions*, merged into the retained result.
+//!
+//! The correctness contract, proven per registry family by the delta
+//! battery in `mr-bench`, is
+//! `full_run(I ∪ ΔI) == apply(delta_run(ΔI), retained)` — byte-identical
+//! outputs and equal semantic metrics, at every worker count, on both the
+//! columnar and the retained [`naive`](crate::naive) pipelines
+//! (selectable via [`Pipeline`]).
+//!
+//! The reducer budget `q` keeps its batch semantics: a delta whose
+//! post-delta reducer load would exceed
+//! [`max_reducer_inputs`](crate::EngineConfig::max_reducer_inputs) aborts
+//! with the same smallest-key offender a full run would report, and the
+//! retained state is left untouched.
+
+use crate::combiner::{run_round_combined, CombinedMetrics, Combiner};
+use crate::engine::{run_chunked, run_round, EngineConfig, EngineError};
+use crate::mapper::{FnMapper, FnReducer, Mapper, Reducer};
+use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
+use crate::naive::{run_round_combined_naive, run_round_naive};
+use crate::schema::{ReducerId, SchemaJob};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Stable identifier of one retained input. Assigned monotonically by
+/// [`DeltaJob`] (the initial instance gets `0..n` in input order) and
+/// never reused, so a removal names an input unambiguously even when
+/// values repeat.
+pub type Seq = u64;
+
+/// Which shuffle data plane a round executes on.
+///
+/// The engine's default is the columnar radix-partitioned plane; the
+/// original `BTreeMap` shuffle is retained in [`naive`](crate::naive) as
+/// the regression oracle. Both planes honour the same determinism
+/// contract, so everything built on rounds — including delta execution —
+/// is parameterised over the plane and differential tests can cross-check
+/// them in one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// The columnar radix-partitioned shuffle (the production plane).
+    Columnar,
+    /// The retained `BTreeMap` shuffle (the oracle plane).
+    Naive,
+}
+
+impl Pipeline {
+    /// Both planes, for exhaustive differential loops.
+    pub const ALL: [Pipeline; 2] = [Pipeline::Columnar, Pipeline::Naive];
+
+    /// Short display name (`"columnar"` / `"naive"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::Columnar => "columnar",
+            Pipeline::Naive => "naive",
+        }
+    }
+}
+
+/// Executes one round on the selected [`Pipeline`].
+///
+/// Dispatches to [`run_round`] (columnar) or
+/// [`run_round_naive`] — both satisfy the same
+/// determinism contract, so callers may treat the plane as an opaque
+/// execution detail.
+pub fn run_round_on<I, K, V, O>(
+    pipeline: Pipeline,
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, RoundMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    match pipeline {
+        Pipeline::Columnar => run_round(inputs, mapper, reducer, config),
+        Pipeline::Naive => run_round_naive(inputs, mapper, reducer, config),
+    }
+}
+
+/// Executes one combined round (map-side combining) on the selected
+/// [`Pipeline`] — the combiner-path twin of [`run_round_on`].
+pub fn run_round_combined_on<I, K, V, O>(
+    pipeline: Pipeline,
+    inputs: &[I],
+    mapper: &dyn Mapper<I, K, V>,
+    combiner: &dyn Combiner<K, V>,
+    reducer: &dyn Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> Result<(Vec<O>, CombinedMetrics), EngineError>
+where
+    I: Sync,
+    K: Ord + Hash + Clone + Debug + Send + Sync,
+    V: Send + Sync,
+    O: Send,
+{
+    match pipeline {
+        Pipeline::Columnar => run_round_combined(inputs, mapper, combiner, reducer, config),
+        Pipeline::Naive => run_round_combined_naive(inputs, mapper, combiner, reducer, config),
+    }
+}
+
+/// A batch of changes to a retained instance: values to add and the
+/// [`Seq`] ids of retained inputs to remove.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta<I> {
+    /// Values entering the instance (each gets a fresh [`Seq`]).
+    pub added: Vec<I>,
+    /// Sequence ids of retained inputs leaving the instance.
+    pub removed: Vec<Seq>,
+}
+
+impl<I> Delta<I> {
+    /// The empty delta (a no-op when applied).
+    pub fn empty() -> Self {
+        Delta {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// A pure-insertion delta.
+    pub fn add(added: Vec<I>) -> Self {
+        Delta {
+            added,
+            removed: Vec::new(),
+        }
+    }
+
+    /// A pure-removal delta.
+    pub fn remove(removed: Vec<Seq>) -> Self {
+        Delta {
+            added: Vec::new(),
+            removed,
+        }
+    }
+
+    /// A mixed delta.
+    pub fn new(added: Vec<I>, removed: Vec<Seq>) -> Self {
+        Delta { added, removed }
+    }
+
+    /// Number of changed inputs (additions plus removals).
+    pub fn changes(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Failure modes of delta application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An engine round failed — in practice a [`ReducerOverflow`]
+    /// (the post-delta load of some reducer exceeded the budget `q`).
+    /// The retained state is unchanged.
+    ///
+    /// [`ReducerOverflow`]: EngineError::ReducerOverflow
+    Engine(EngineError),
+    /// A removal named a [`Seq`] that is not live (never existed, already
+    /// removed, or repeated within one delta). The retained state is
+    /// unchanged.
+    UnknownSeq(Seq),
+}
+
+impl From<EngineError> for DeltaError {
+    fn from(e: EngineError) -> Self {
+        DeltaError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Engine(e) => write!(f, "{e}"),
+            DeltaError::UnknownSeq(seq) => {
+                write!(f, "delta removal names seq {seq}, which is not live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Measurements of one delta application, reported next to the full-run
+/// equivalents so the saving is inspectable: `dirty_reducers` vs the
+/// retained round's reducer count, `delta_pairs` vs its `kv_pairs`.
+#[derive(Debug, Clone)]
+pub struct DeltaMetrics {
+    /// Reducers whose input list changed (and were therefore re-executed).
+    pub dirty_reducers: u64,
+    /// Live reducers after the delta (the full-run equivalent count).
+    pub total_reducers: u64,
+    /// Inputs the delta added.
+    pub inputs_added: u64,
+    /// Inputs the delta removed.
+    pub inputs_removed: u64,
+    /// Key-value pairs the delta round shuffled: `Σ |assign(i)|` over the
+    /// *changed* inputs only — the delta-shuffle volume, vs the full
+    /// run's `kv_pairs` over the whole instance.
+    pub delta_pairs: u64,
+    /// Outputs retracted (everything the dirty reducers had emitted).
+    pub outputs_retracted: u64,
+    /// Outputs added (everything the dirty reducers re-emitted).
+    pub outputs_added: u64,
+    /// Engine metrics of the delta routing round (executed on the
+    /// retained pipeline over the changed inputs): its `kv_pairs` is
+    /// `delta_pairs`, its `reducers` is `dirty_reducers`, its `loads` are
+    /// per-dirty-reducer change counts.
+    pub routing: RoundMetrics,
+    /// Wall-clock time of the whole application (execution metadata).
+    pub wall: Duration,
+}
+
+/// The visible effect of applying one [`Delta`]: output retractions and
+/// additions, plus [`DeltaMetrics`]. Untouched (clean) reducers
+/// contribute to neither list — their retained outputs stand.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome<O> {
+    /// Outputs withdrawn from the result (the dirty reducers' previous
+    /// emissions, in ascending reducer order, emission order within a
+    /// reducer).
+    pub retracted: Vec<O>,
+    /// Outputs entering the result (the dirty reducers' recomputed
+    /// emissions, same order).
+    pub added: Vec<O>,
+    /// The [`Seq`] ids assigned to `delta.added`, in order.
+    pub added_seqs: Range<Seq>,
+    /// What the application measured.
+    pub metrics: DeltaMetrics,
+}
+
+/// What a delta *will* do, predicted from the schema's assignment alone —
+/// the same census arithmetic `mr-plan` prices plans with. Exact by
+/// obliviousness: [`DeltaJob::apply`] measures precisely these numbers,
+/// so running the application under `post_q` as the reducer budget is the
+/// delta analogue of `Plan::execute`'s self-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPrediction {
+    /// Reducers the delta will dirty.
+    pub dirty_reducers: u64,
+    /// Key-value pairs the delta round will shuffle.
+    pub delta_pairs: u64,
+    /// Maximum reducer load after the delta (over all reducers, clean
+    /// ones included) — the post-delta effective `q`.
+    pub post_q: u64,
+    /// Live reducers after the delta.
+    pub post_reducers: u64,
+}
+
+/// A dirty reducer's staged post-delta state — `(rid, seqs, values)` —
+/// held aside until validation and the budget check pass.
+type StagedReducer<I> = (ReducerId, Vec<Seq>, Vec<I>);
+
+/// One reducer's retained state: its input list (seq-sorted, the order
+/// the engine delivers) and the outputs it emitted for that list.
+#[derive(Debug, Clone)]
+struct ReducerState<I, O> {
+    seqs: Vec<Seq>,
+    values: Vec<I>,
+    outputs: Vec<O>,
+}
+
+/// A [`SchemaJob`] held resident for incremental execution: the schema,
+/// the live instance, and every reducer's input list and outputs.
+///
+/// Build one with [`run_schema_retained`] (or [`DeltaJob::new`] for an
+/// empty instance), then feed it [`Delta`]s via [`apply`](DeltaJob::apply).
+/// [`outputs`](DeltaJob::outputs) and [`metrics`](DeltaJob::metrics) always
+/// equal what a fresh [`run_schema`](crate::run_schema) of the live
+/// instance would produce.
+#[derive(Debug, Clone)]
+pub struct DeltaJob<I, O, S> {
+    schema: S,
+    pipeline: Pipeline,
+    config: EngineConfig,
+    next_seq: Seq,
+    live: BTreeMap<Seq, I>,
+    reducers: BTreeMap<ReducerId, ReducerState<I, O>>,
+}
+
+/// The retained-state mode of [`run_schema`](crate::run_schema): executes
+/// the schema over `inputs` through the selected [`Pipeline`], keeping
+/// per-reducer input lists and reduce outputs resident for incremental
+/// re-execution. Inputs receive [`Seq`] ids `0..inputs.len()` in order.
+///
+/// Equivalent to `DeltaJob::new` followed by an all-additions
+/// [`apply`](DeltaJob::apply); the budget `q` (if configured) is enforced
+/// with the batch path's offender semantics.
+pub fn run_schema_retained<I, O, S>(
+    inputs: &[I],
+    schema: S,
+    pipeline: Pipeline,
+    config: &EngineConfig,
+) -> Result<DeltaJob<I, O, S>, DeltaError>
+where
+    I: Clone + Send + Sync,
+    O: Clone + Send,
+    S: SchemaJob<I, O>,
+{
+    let mut job = DeltaJob::new(schema, pipeline, config.clone());
+    job.apply(&Delta::add(inputs.to_vec()))?;
+    Ok(job)
+}
+
+impl<I, O, S> DeltaJob<I, O, S>
+where
+    I: Clone + Send + Sync,
+    O: Clone + Send,
+    S: SchemaJob<I, O>,
+{
+    /// A retained job over the **empty** instance. `config`'s budget and
+    /// worker count govern every subsequent [`apply`](DeltaJob::apply).
+    pub fn new(schema: S, pipeline: Pipeline, config: EngineConfig) -> Self {
+        DeltaJob {
+            schema,
+            pipeline,
+            config,
+            next_seq: 0,
+            live: BTreeMap::new(),
+            reducers: BTreeMap::new(),
+        }
+    }
+
+    /// Applies one [`Delta`]: routes the changed inputs through the
+    /// shuffle, re-executes exactly the dirty reducers against their
+    /// updated input lists, and merges the result into the retained
+    /// state.
+    ///
+    /// On `Err` — an unknown removal [`Seq`], or a post-delta reducer
+    /// load over the configured budget `q` (reported with the batch
+    /// path's smallest-offender semantics) — the retained state is
+    /// **unchanged**: validation and the budget check run against staged
+    /// copies before anything commits.
+    pub fn apply(&mut self, delta: &Delta<I>) -> Result<DeltaOutcome<O>, DeltaError> {
+        let start = Instant::now();
+
+        // Resolve and validate the changed inputs. Removals are looked up
+        // in the live map (the mapper needs the removed *value* to know
+        // which reducers it had been assigned to — obliviousness
+        // guarantees the assignment is the same one the insertion used).
+        let mut staged_removed: BTreeSet<Seq> = BTreeSet::new();
+        let mut ops: Vec<(Seq, I, bool)> = Vec::with_capacity(delta.changes());
+        for &seq in &delta.removed {
+            let value = self.live.get(&seq).ok_or(DeltaError::UnknownSeq(seq))?;
+            if !staged_removed.insert(seq) {
+                return Err(DeltaError::UnknownSeq(seq));
+            }
+            ops.push((seq, value.clone(), false));
+        }
+        let added_seqs = self.next_seq..self.next_seq + delta.added.len() as Seq;
+        let mut added_values: BTreeMap<Seq, &I> = BTreeMap::new();
+        for (offset, value) in delta.added.iter().enumerate() {
+            let seq = self.next_seq + offset as Seq;
+            added_values.insert(seq, value);
+            ops.push((seq, value.clone(), true));
+        }
+
+        // Route the changed inputs through the retained pipeline: one
+        // engine round whose reduce merely *groups* the changes per dirty
+        // reducer. Its metrics are the delta's communication picture —
+        // `kv_pairs` is the delta-shuffle volume, `reducers` the dirty
+        // count. No budget here: this round's loads count *changes*, not
+        // retained inputs; the real `q` check runs on the staged
+        // post-delta loads below.
+        let schema = &self.schema;
+        let routing_config = EngineConfig {
+            max_reducer_inputs: None,
+            pairs_hint: None,
+            ..self.config.clone()
+        };
+        let mapper = FnMapper(
+            |op: &(Seq, I, bool), emit: &mut dyn FnMut(ReducerId, (Seq, bool))| {
+                for rid in schema.assign(&op.1) {
+                    emit(rid, (op.0, op.2));
+                }
+            },
+        );
+        type Grouped = (ReducerId, Vec<(Seq, bool)>);
+        let reducer = FnReducer(
+            |rid: &ReducerId, changes: &[(Seq, bool)], emit: &mut dyn FnMut(Grouped)| {
+                emit((*rid, changes.to_vec()))
+            },
+        );
+        let (groups, routing) =
+            run_round_on(self.pipeline, &ops, &mapper, &reducer, &routing_config)?;
+
+        // Stage every dirty reducer's post-delta input list. `groups`
+        // arrives in ascending reducer order (the engine's output
+        // contract), and additions arrive in emission = op order, so
+        // appending keeps the seq-sorted invariant (fresh seqs exceed all
+        // retained ones).
+        let mut staged: Vec<StagedReducer<I>> = Vec::with_capacity(groups.len());
+        for (rid, changes) in &groups {
+            let (mut seqs, mut values) = match self.reducers.get(rid) {
+                Some(state) => (state.seqs.clone(), state.values.clone()),
+                None => (Vec::new(), Vec::new()),
+            };
+            let removes: BTreeSet<Seq> = changes
+                .iter()
+                .filter(|(_, is_add)| !is_add)
+                .map(|(seq, _)| *seq)
+                .collect();
+            if !removes.is_empty() {
+                let mut kept_seqs = Vec::with_capacity(seqs.len());
+                let mut kept_values = Vec::with_capacity(values.len());
+                for (seq, value) in seqs.into_iter().zip(values) {
+                    if !removes.contains(&seq) {
+                        kept_seqs.push(seq);
+                        kept_values.push(value);
+                    }
+                }
+                seqs = kept_seqs;
+                values = kept_values;
+            }
+            for &(seq, is_add) in changes {
+                if is_add {
+                    seqs.push(seq);
+                    values.push((*added_values.get(&seq).expect("added seq is staged")).clone());
+                }
+            }
+            staged.push((*rid, seqs, values));
+        }
+
+        // Post-delta budget check, before anything commits. Clean
+        // reducers are within budget by invariant (every commit checked
+        // them while dirty), so the smallest over-budget *staged* reducer
+        // is the globally smallest — the same offender a full run of the
+        // post-delta instance reports.
+        if let Some(limit) = self.config.max_reducer_inputs {
+            for (rid, seqs, _) in &staged {
+                let load = seqs.len() as u64;
+                if load > limit {
+                    return Err(EngineError::ReducerOverflow {
+                        key: format!("{rid:?}"),
+                        load,
+                        limit,
+                    }
+                    .into());
+                }
+            }
+        }
+
+        // Re-execute exactly the dirty reducers. Chunk order in, chunk
+        // order out: deterministic at every worker count.
+        let workers = self.config.effective_workers().min(staged.len().max(1));
+        let new_outputs: Vec<Vec<O>> = if workers <= 1 {
+            staged
+                .iter()
+                .map(|(rid, _, values)| {
+                    let mut out = Vec::new();
+                    schema.reduce(*rid, values, &mut |o| out.push(o));
+                    out
+                })
+                .collect()
+        } else {
+            let chunk = staged.len().div_ceil(workers);
+            let chunks: Vec<&[StagedReducer<I>]> = staged.chunks(chunk).collect();
+            run_chunked(chunks, |chunk| {
+                chunk
+                    .iter()
+                    .map(|(rid, _, values)| {
+                        let mut out = Vec::new();
+                        schema.reduce(*rid, values, &mut |o| out.push(o));
+                        out
+                    })
+                    .collect::<Vec<Vec<O>>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Commit. Retractions are the dirty reducers' previous outputs
+        // (moved out of the state); additions are the recomputed ones.
+        let mut retracted: Vec<O> = Vec::new();
+        let mut added_out: Vec<O> = Vec::new();
+        for ((rid, seqs, values), outputs) in staged.into_iter().zip(new_outputs) {
+            if let Some(old) = self.reducers.remove(&rid) {
+                retracted.extend(old.outputs);
+            }
+            if !seqs.is_empty() {
+                added_out.extend(outputs.iter().cloned());
+                self.reducers.insert(
+                    rid,
+                    ReducerState {
+                        seqs,
+                        values,
+                        outputs,
+                    },
+                );
+            }
+        }
+        for seq in &staged_removed {
+            self.live.remove(seq);
+        }
+        for (seq, value) in delta
+            .added
+            .iter()
+            .enumerate()
+            .map(|(offset, value)| (added_seqs.start + offset as Seq, value))
+        {
+            self.live.insert(seq, value.clone());
+        }
+        self.next_seq = added_seqs.end;
+
+        let metrics = DeltaMetrics {
+            dirty_reducers: routing.reducers,
+            total_reducers: self.reducers.len() as u64,
+            inputs_added: delta.added.len() as u64,
+            inputs_removed: delta.removed.len() as u64,
+            delta_pairs: routing.kv_pairs,
+            outputs_retracted: retracted.len() as u64,
+            outputs_added: added_out.len() as u64,
+            routing,
+            wall: start.elapsed(),
+        };
+        Ok(DeltaOutcome {
+            retracted,
+            added: added_out,
+            added_seqs,
+            metrics,
+        })
+    }
+
+    /// Predicts what [`apply`](DeltaJob::apply) will measure for `delta`,
+    /// from the schema's assignment alone — no reducer runs. Exact by
+    /// obliviousness; see [`DeltaPrediction`].
+    ///
+    /// Fails with [`DeltaError::UnknownSeq`] on the same invalid removals
+    /// `apply` would reject. The prediction does **not** consult the
+    /// budget: callers use `post_q` to *choose* one (run the application
+    /// under `post_q` and an under-prediction aborts loudly).
+    pub fn predict(&self, delta: &Delta<I>) -> Result<DeltaPrediction, DeltaError> {
+        let mut staged_removed: BTreeSet<Seq> = BTreeSet::new();
+        // Per-dirty-reducer (removals, additions) counts.
+        let mut touched: BTreeMap<ReducerId, (u64, u64)> = BTreeMap::new();
+        let mut delta_pairs = 0u64;
+        for &seq in &delta.removed {
+            let value = self.live.get(&seq).ok_or(DeltaError::UnknownSeq(seq))?;
+            if !staged_removed.insert(seq) {
+                return Err(DeltaError::UnknownSeq(seq));
+            }
+            for rid in self.schema.assign(value) {
+                delta_pairs += 1;
+                touched.entry(rid).or_insert((0, 0)).0 += 1;
+            }
+        }
+        for value in &delta.added {
+            for rid in self.schema.assign(value) {
+                delta_pairs += 1;
+                touched.entry(rid).or_insert((0, 0)).1 += 1;
+            }
+        }
+        let mut post_q = 0u64;
+        let mut post_reducers = 0u64;
+        for (rid, state) in &self.reducers {
+            if !touched.contains_key(rid) {
+                post_q = post_q.max(state.seqs.len() as u64);
+                post_reducers += 1;
+            }
+        }
+        for (rid, &(removals, additions)) in &touched {
+            let current = self
+                .reducers
+                .get(rid)
+                .map_or(0, |state| state.seqs.len() as u64);
+            let post = current - removals + additions;
+            if post > 0 {
+                post_q = post_q.max(post);
+                post_reducers += 1;
+            }
+        }
+        Ok(DeltaPrediction {
+            dirty_reducers: touched.len() as u64,
+            delta_pairs,
+            post_q,
+            post_reducers,
+        })
+    }
+
+    /// The retained result: what a fresh
+    /// [`run_schema`](crate::run_schema) of the live instance would
+    /// output, byte for byte — ascending reducer order, emission order
+    /// within a reducer.
+    pub fn outputs(&self) -> Vec<O> {
+        self.reducers
+            .values()
+            .flat_map(|state| state.outputs.iter().cloned())
+            .collect()
+    }
+
+    /// Full-run-equivalent [`RoundMetrics`] of the retained state: equal
+    /// (under `RoundMetrics`' semantic equality) to what a fresh
+    /// [`run_schema`](crate::run_schema) of the live instance would
+    /// measure. The [`ShuffleStats`] are left empty — execution metadata
+    /// describes a run, and the retained state may be the work of many.
+    pub fn metrics(&self) -> RoundMetrics {
+        let mut loads: Vec<u64> = self
+            .reducers
+            .values()
+            .map(|state| state.seqs.len() as u64)
+            .collect();
+        loads.sort_unstable();
+        let outputs: u64 = self
+            .reducers
+            .values()
+            .map(|state| state.outputs.len() as u64)
+            .sum();
+        RoundMetrics {
+            inputs: self.live.len() as u64,
+            kv_pairs: loads.iter().sum(),
+            reducers: loads.len() as u64,
+            outputs,
+            load: LoadStats::from_loads(loads.clone()),
+            loads,
+            shuffle: ShuffleStats::default(),
+        }
+    }
+
+    /// The live instance in [`Seq`] order — exactly the input slice a
+    /// full run reproducing this state would be given.
+    pub fn inputs(&self) -> Vec<I> {
+        self.live.values().cloned().collect()
+    }
+
+    /// The live [`Seq`] ids in ascending order.
+    pub fn seqs(&self) -> Vec<Seq> {
+        self.live.keys().copied().collect()
+    }
+
+    /// Number of live inputs.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of live (non-empty) reducers.
+    pub fn num_reducers(&self) -> u64 {
+        self.reducers.len() as u64
+    }
+
+    /// The schema this job retains state for.
+    pub fn schema(&self) -> &S {
+        &self.schema
+    }
+
+    /// The shuffle plane deltas execute on.
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline
+    }
+
+    /// The engine configuration (budget, workers) applications run under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::run_schema;
+
+    /// All-pairs similarity toy schema: input `x` goes to reducer `x / 2`,
+    /// reducers emit every ordered pair they hold.
+    struct PairUp;
+
+    impl SchemaJob<u32, (u32, u32)> for PairUp {
+        fn assign(&self, input: &u32) -> Vec<ReducerId> {
+            vec![(*input / 2) as ReducerId]
+        }
+        fn reduce(&self, _r: ReducerId, inputs: &[u32], emit: &mut dyn FnMut((u32, u32))) {
+            for i in 0..inputs.len() {
+                for j in (i + 1)..inputs.len() {
+                    emit((inputs[i], inputs[j]));
+                }
+            }
+        }
+    }
+
+    /// Replicating schema: every input goes to `c` reducers (r = c).
+    struct Replicate(u64);
+
+    impl SchemaJob<u32, u64> for Replicate {
+        fn assign(&self, input: &u32) -> Vec<ReducerId> {
+            (0..self.0)
+                .map(|g| g * 100 + (*input as u64 % 10))
+                .collect()
+        }
+        fn reduce(&self, r: ReducerId, inputs: &[u32], emit: &mut dyn FnMut(u64)) {
+            emit(r * 1_000_000 + inputs.iter().map(|&x| x as u64).sum::<u64>());
+        }
+    }
+
+    fn assert_matches_full_run<S: SchemaJob<u32, (u32, u32)>>(
+        job: &DeltaJob<u32, (u32, u32), S>,
+        config: &EngineConfig,
+    ) {
+        let live = job.inputs();
+        let (full_out, full_m) = run_schema(&live, job.schema(), config).unwrap();
+        assert_eq!(job.outputs(), full_out, "retained outputs diverged");
+        assert_eq!(job.metrics(), full_m, "retained metrics diverged");
+    }
+
+    #[test]
+    fn retained_init_matches_full_run_on_both_pipelines() {
+        let inputs: Vec<u32> = (0..40).collect();
+        for pipeline in Pipeline::ALL {
+            for workers in [1usize, 4] {
+                let cfg = EngineConfig::parallel(workers);
+                let job = run_schema_retained(&inputs, PairUp, pipeline, &cfg).unwrap();
+                assert_eq!(job.len(), 40);
+                assert_eq!(job.seqs(), (0..40).collect::<Vec<Seq>>());
+                assert_matches_full_run(&job, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_delta_matches_full_rerun() {
+        let inputs: Vec<u32> = (0..30).collect();
+        for pipeline in Pipeline::ALL {
+            for workers in [1usize, 4] {
+                let cfg = EngineConfig::parallel(workers);
+                let mut job = run_schema_retained(&inputs, PairUp, pipeline, &cfg).unwrap();
+                let delta = Delta::new(vec![100, 101, 7], vec![4, 5, 17]);
+                let outcome = job.apply(&delta).unwrap();
+                // Removals dirty reducers {2, 8} (values 4, 5, 17);
+                // additions dirty {50, 3} (values 100, 101, 7).
+                assert_eq!(outcome.metrics.dirty_reducers, 4);
+                assert_eq!(outcome.metrics.delta_pairs, 6);
+                assert_eq!(outcome.added_seqs, 30..33);
+                assert_matches_full_run(&job, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn removal_retracts_and_drops_emptied_reducers() {
+        let mut job = run_schema_retained(
+            &[0u32, 1, 2, 3],
+            PairUp,
+            Pipeline::Columnar,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(job.num_reducers(), 2);
+        // Remove both inputs of reducer 0 (seqs 0 and 1 hold values 0, 1).
+        let outcome = job.apply(&Delta::remove(vec![0, 1])).unwrap();
+        assert_eq!(outcome.retracted, vec![(0, 1)]);
+        assert!(outcome.added.is_empty());
+        assert_eq!(outcome.metrics.dirty_reducers, 1);
+        assert_eq!(job.num_reducers(), 1);
+        assert_eq!(job.outputs(), vec![(2, 3)]);
+        assert_matches_full_run(&job, &EngineConfig::sequential());
+    }
+
+    #[test]
+    fn clean_reducers_are_not_reexecuted() {
+        let inputs: Vec<u32> = (0..100).collect();
+        let mut job = run_schema_retained(
+            &inputs,
+            PairUp,
+            Pipeline::Columnar,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        // One added input dirties exactly one of the 50 reducers.
+        let outcome = job.apply(&Delta::add(vec![42])).unwrap();
+        assert_eq!(outcome.metrics.dirty_reducers, 1);
+        assert_eq!(outcome.metrics.total_reducers, 50);
+        assert_eq!(outcome.metrics.delta_pairs, 1);
+        assert_eq!(outcome.retracted, vec![(42, 43)]);
+        assert_eq!(outcome.added, vec![(42, 43), (42, 42), (43, 42)]);
+        assert_matches_full_run(&job, &EngineConfig::sequential());
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let mut job = run_schema_retained(
+            &[0u32, 1, 2],
+            PairUp,
+            Pipeline::Naive,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        let before = job.outputs();
+        let outcome = job.apply(&Delta::empty()).unwrap();
+        assert!(outcome.retracted.is_empty() && outcome.added.is_empty());
+        assert_eq!(outcome.metrics.dirty_reducers, 0);
+        assert_eq!(outcome.metrics.delta_pairs, 0);
+        assert_eq!(job.outputs(), before);
+    }
+
+    #[test]
+    fn unknown_and_repeated_seqs_are_rejected_without_side_effects() {
+        let mut job = run_schema_retained(
+            &[0u32, 1, 2, 3],
+            PairUp,
+            Pipeline::Columnar,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        let before = job.outputs();
+        assert_eq!(
+            job.apply(&Delta::remove(vec![99])).unwrap_err(),
+            DeltaError::UnknownSeq(99)
+        );
+        assert_eq!(
+            job.apply(&Delta::remove(vec![1, 1])).unwrap_err(),
+            DeltaError::UnknownSeq(1)
+        );
+        // A failed delta must not half-apply: seq 1 is still live.
+        assert_eq!(job.outputs(), before);
+        assert_eq!(job.len(), 4);
+        job.apply(&Delta::remove(vec![1])).unwrap();
+        assert_eq!(job.len(), 3);
+    }
+
+    #[test]
+    fn budget_abort_reports_the_full_run_offender_and_preserves_state() {
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
+        let inputs: Vec<u32> = (0..8).collect();
+        let mut job = run_schema_retained(&inputs, PairUp, Pipeline::Columnar, &cfg).unwrap();
+        let before = job.outputs();
+        // Adding 4 and 9 would push reducers 2 and 4 to load 3 each; the
+        // smallest offender in key order is reducer 2 — exactly what a
+        // full run of the post-delta instance reports.
+        let delta = Delta::add(vec![4, 9]);
+        let err = job.apply(&delta).unwrap_err();
+        let mut post = inputs.clone();
+        post.extend([4, 9]);
+        let full_err = run_schema(&post, &PairUp, &cfg).unwrap_err();
+        assert_eq!(err, DeltaError::Engine(full_err));
+        match err {
+            DeltaError::Engine(EngineError::ReducerOverflow { key, load, limit }) => {
+                assert_eq!(key, "2");
+                assert_eq!(load, 3);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Abort left the state untouched; an in-budget delta still works.
+        assert_eq!(job.outputs(), before);
+        job.apply(&Delta::remove(vec![0])).unwrap();
+        assert_matches_full_run(&job, &cfg);
+    }
+
+    #[test]
+    fn prediction_is_exact() {
+        let inputs: Vec<u32> = (0..60).collect();
+        let mut job = run_schema_retained(
+            &inputs,
+            Replicate(3),
+            Pipeline::Columnar,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        let delta = Delta::new(vec![100, 103, 105], vec![2, 7, 19]);
+        let predicted = job.predict(&delta).unwrap();
+        let outcome = job.apply(&delta).unwrap();
+        assert_eq!(predicted.dirty_reducers, outcome.metrics.dirty_reducers);
+        assert_eq!(predicted.delta_pairs, outcome.metrics.delta_pairs);
+        assert_eq!(predicted.post_reducers, outcome.metrics.total_reducers);
+        assert_eq!(predicted.post_q, job.metrics().load.max);
+        // And the promised self-check: re-applying an identical-shape
+        // delta under the predicted q as a hard budget succeeds.
+        let mut budgeted_job = DeltaJob::new(
+            Replicate(3),
+            Pipeline::Columnar,
+            EngineConfig::sequential().with_max_reducer_inputs(predicted.post_q),
+        );
+        budgeted_job.apply(&Delta::add(job.inputs())).unwrap();
+    }
+
+    #[test]
+    fn seqs_stay_monotonic_across_applies() {
+        let mut job = DeltaJob::new(PairUp, Pipeline::Columnar, EngineConfig::sequential());
+        let first = job.apply(&Delta::add(vec![0, 1])).unwrap();
+        assert_eq!(first.added_seqs, 0..2);
+        job.apply(&Delta::remove(vec![0])).unwrap();
+        // A removed seq is never reused.
+        let second = job.apply(&Delta::add(vec![5])).unwrap();
+        assert_eq!(second.added_seqs, 2..3);
+        assert_eq!(job.seqs(), vec![1, 2]);
+    }
+
+    #[test]
+    fn repeated_values_are_distinct_inputs() {
+        // The same value twice is two inputs (multiset semantics); seqs
+        // disambiguate removal.
+        let mut job = run_schema_retained(
+            &[6u32, 6, 7],
+            PairUp,
+            Pipeline::Columnar,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(job.outputs(), vec![(6, 6), (6, 7), (6, 7)]);
+        job.apply(&Delta::remove(vec![0])).unwrap();
+        assert_eq!(job.outputs(), vec![(6, 7)]);
+        assert_matches_full_run(&job, &EngineConfig::sequential());
+    }
+
+    #[test]
+    fn pipeline_dispatch_planes_agree() {
+        // run_round_on / run_round_combined_on: both planes, same answer.
+        let inputs: Vec<u64> = (0..500).map(|x| x * 7 % 40).collect();
+        let mapper = FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*x % 16, *x));
+        let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+            emit((*k, vs.iter().sum()))
+        });
+        let cfg = EngineConfig::parallel(4);
+        let (col, col_m) =
+            run_round_on(Pipeline::Columnar, &inputs, &mapper, &reducer, &cfg).unwrap();
+        let (nai, nai_m) = run_round_on(Pipeline::Naive, &inputs, &mapper, &reducer, &cfg).unwrap();
+        assert_eq!(col, nai);
+        assert_eq!(col_m, nai_m);
+
+        let combiner = crate::combiner::FnCombiner(|_k: &u64, acc: &mut u64, next: u64| {
+            *acc += next;
+        });
+        let (ccol, ccol_m) = run_round_combined_on(
+            Pipeline::Columnar,
+            &inputs,
+            &mapper,
+            &combiner,
+            &reducer,
+            &cfg,
+        )
+        .unwrap();
+        let (cnai, cnai_m) =
+            run_round_combined_on(Pipeline::Naive, &inputs, &mapper, &combiner, &reducer, &cfg)
+                .unwrap();
+        assert_eq!(ccol, cnai);
+        assert_eq!(ccol_m.round, cnai_m.round);
+        assert_eq!(ccol_m.pre_combine_pairs, cnai_m.pre_combine_pairs);
+        assert_eq!(ccol, col);
+    }
+
+    #[test]
+    fn full_churn_replaces_the_instance() {
+        let inputs: Vec<u32> = (0..20).collect();
+        let cfg = EngineConfig::sequential();
+        let mut job = run_schema_retained(&inputs, PairUp, Pipeline::Columnar, &cfg).unwrap();
+        let replacement: Vec<u32> = (40..60).collect();
+        let delta = Delta::new(replacement.clone(), job.seqs());
+        job.apply(&delta).unwrap();
+        assert_eq!(job.inputs(), replacement);
+        assert_matches_full_run(&job, &cfg);
+    }
+}

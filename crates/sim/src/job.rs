@@ -8,9 +8,11 @@
 //! [`RoundMetrics`] per round so total communication can be compared across
 //! strategies.
 
+use crate::delta::{run_round_on, Pipeline};
 use crate::engine::{run_round, EngineConfig, EngineError};
-use crate::mapper::{Mapper, Reducer};
+use crate::mapper::{FnMapper, FnReducer, Mapper, Reducer};
 use crate::metrics::{JobMetrics, RoundMetrics};
+use crate::schema::{ReducerId, SchemaJob};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -36,6 +38,33 @@ impl<I: Sync + 'static, O: Send + 'static> Job<I, O> {
         Job {
             run_fn: Box::new(move |inputs, cfg| {
                 let (out, m) = run_round(&inputs, &mapper, &reducer, cfg)?;
+                Ok((out, vec![m]))
+            }),
+            rounds: 1,
+        }
+    }
+
+    /// A single-round job executing a [`SchemaJob`] on the selected
+    /// shuffle [`Pipeline`] — the `Job`-shaped view of
+    /// [`run_schema`](crate::run_schema), so mapping schemas compose with
+    /// [`then`](Job::then) chains and the delta subsystem's
+    /// plane-parameterisation threads through multi-round jobs.
+    pub fn from_schema<S>(schema: S, pipeline: Pipeline) -> Job<I, O>
+    where
+        I: Clone + Send + 'static,
+        S: SchemaJob<I, O> + 'static,
+    {
+        Job {
+            run_fn: Box::new(move |inputs, cfg| {
+                let mapper = FnMapper(|input: &I, emit: &mut dyn FnMut(ReducerId, I)| {
+                    for r in schema.assign(input) {
+                        emit(r, input.clone());
+                    }
+                });
+                let reducer = FnReducer(|rid: &ReducerId, vs: &[I], emit: &mut dyn FnMut(O)| {
+                    schema.reduce(*rid, vs, emit)
+                });
+                let (out, m) = run_round_on(pipeline, &inputs, &mapper, &reducer, cfg)?;
                 Ok((out, vec![m]))
             }),
             rounds: 1,
@@ -192,6 +221,33 @@ mod tests {
         );
         let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
         assert!(job.run_timed((0..5).collect(), &cfg).is_err());
+    }
+
+    #[test]
+    fn from_schema_matches_run_schema_on_both_planes() {
+        use crate::schema::run_schema;
+        struct PairUp;
+        impl SchemaJob<u32, (u32, u32)> for PairUp {
+            fn assign(&self, input: &u32) -> Vec<ReducerId> {
+                vec![(*input / 2) as ReducerId]
+            }
+            fn reduce(&self, _r: ReducerId, inputs: &[u32], emit: &mut dyn FnMut((u32, u32))) {
+                for i in 0..inputs.len() {
+                    for j in (i + 1)..inputs.len() {
+                        emit((inputs[i], inputs[j]));
+                    }
+                }
+            }
+        }
+        let inputs: Vec<u32> = (0..40).collect();
+        let (expect, expect_m) = run_schema(&inputs, &PairUp, &EngineConfig::sequential()).unwrap();
+        for pipeline in Pipeline::ALL {
+            let job: Job<u32, (u32, u32)> = Job::from_schema(PairUp, pipeline);
+            assert_eq!(job.num_rounds(), 1);
+            let (out, m) = job.run(inputs.clone(), &EngineConfig::parallel(4)).unwrap();
+            assert_eq!(out, expect, "{}", pipeline.name());
+            assert_eq!(m.rounds, vec![expect_m.clone()], "{}", pipeline.name());
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!   merged views,
 //! * [`naive`] — the original `BTreeMap` shuffle, retained as the
 //!   test-only regression oracle for the columnar path,
+//! * [`delta`] — incremental execution: schemas held resident with
+//!   per-reducer state, re-executing only the reducers a
+//!   `Delta { added, removed }` dirties (exploiting §2.2 obliviousness),
 //! * [`combiner`] — optional map-side combining with pre-/post-combine
 //!   communication accounting,
 //! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
@@ -39,6 +42,7 @@
 
 pub(crate) mod columnar;
 pub mod combiner;
+pub mod delta;
 pub mod engine;
 pub mod job;
 pub mod mapper;
@@ -47,6 +51,10 @@ pub mod naive;
 pub mod schema;
 
 pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};
+pub use delta::{
+    run_round_combined_on, run_round_on, run_schema_retained, Delta, DeltaError, DeltaJob,
+    DeltaMetrics, DeltaOutcome, DeltaPrediction, Pipeline, Seq,
+};
 pub use engine::{run_round, EngineConfig, EngineError};
 pub use job::Job;
 pub use mapper::{FnMapper, FnReducer, Mapper, Reducer};

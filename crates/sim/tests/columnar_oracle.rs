@@ -7,14 +7,15 @@
 //! the same overflow verdict (down to the reported offender key), and the
 //! same combiner accounting. The battery drives that equivalence over the
 //! four adversarial key distributions (uniform, Zipf-skewed via
-//! `mr-graph`'s Chung–Lu generator, all-one-key, all-distinct), random
-//! proptest workloads, and budget sweeps.
+//! `mr-graph`'s Chung–Lu generator, all-one-key, all-distinct) and the
+//! concurrent-offender and combiner fixtures; the *randomised*
+//! cross-checks (workloads, budgets, deltas) live in the unified
+//! `differential_fuzz.rs` battery.
 
 use mr_sim::naive::{run_round_combined_naive, run_round_naive};
 use mr_sim::{
     run_round, run_round_combined, EngineConfig, FnCombiner, FnMapper, FnReducer, RoundMetrics,
 };
-use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 
 /// Worker counts the battery sweeps on both paths.
@@ -139,57 +140,6 @@ fn full_64_bit_keys_match_the_oracle() {
     keys.push(u64::MAX);
     keys.push(0);
     assert_oracle_case("wide", &keys);
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random workloads: outputs and semantic metrics equal between the
-    /// columnar engine and the naive oracle at any worker count.
-    #[test]
-    fn random_workloads_match_the_oracle(
-        keys in proptest::collection::vec(0u64..5_000, 0..600),
-        workers in 1usize..17,
-    ) {
-        let inputs = indexed(&keys);
-        let cfg = EngineConfig::parallel(workers);
-        let (naive_out, naive_m) = naive_round(&inputs, &cfg);
-        let (col_out, col_m) = columnar_round(&inputs, &cfg);
-        prop_assert_eq!(naive_out, col_out);
-        prop_assert_eq!(naive_m, col_m);
-    }
-
-    /// The overflow verdict is identical between the engines for random
-    /// budgets: both succeed, or both fail with the same offender (the
-    /// smallest over-budget key in key order), at any worker count.
-    #[test]
-    fn random_budget_verdicts_match_the_oracle(
-        keys in proptest::collection::vec(0u64..40, 1..300),
-        q in 1u64..12,
-        workers in 1usize..17,
-    ) {
-        let inputs = indexed(&keys);
-        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
-            emit(key, idx);
-        });
-        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
-        let cfg = EngineConfig::parallel(workers).with_max_reducer_inputs(q);
-        let naive = run_round_naive(&inputs, &mapper, &reducer, &cfg);
-        let col = run_round(&inputs, &mapper, &reducer, &cfg);
-        match (naive, col) {
-            (Ok((no, nm)), Ok((co, cm))) => {
-                prop_assert_eq!(no, co);
-                prop_assert_eq!(nm, cm);
-            }
-            (Err(ne), Err(ce)) => prop_assert_eq!(ne, ce),
-            (n, c) => prop_assert!(
-                false,
-                "verdicts diverged: naive ok={} columnar ok={}",
-                n.is_ok(),
-                c.is_ok()
-            ),
-        }
-    }
 }
 
 #[test]

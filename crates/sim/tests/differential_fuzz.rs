@@ -1,0 +1,365 @@
+//! The unified differential fuzz loop (ROADMAP item 1): random workloads
+//! and budgets cross-check every execution path the crate offers —
+//! columnar vs naive vs the retained delta pipelines — in one battery.
+//!
+//! The fixed adversarial fixtures (Zipf hubs, all-one-key, concurrent
+//! offenders, hand-computed combiner accounting) stay in
+//! `columnar_oracle.rs` / `shuffle_battery.rs`; this file owns all the
+//! *randomised* cross-checks those suites used to duplicate per file,
+//! plus the delta battery: `full_run(I ∪ ΔI) == apply(delta_run(ΔI),
+//! retained)` byte-identically for random deltas (adds, removes, mixed,
+//! empty, full-churn), every worker count 1–16, on both pipelines.
+
+use mr_sim::naive::run_round_naive;
+use mr_sim::{
+    run_round, run_round_combined_on, run_round_on, run_schema, run_schema_retained, Delta,
+    EngineConfig, FnCombiner, FnMapper, FnReducer, Pipeline, RoundMetrics, SchemaJob, Seq,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// -----------------------------------------------------------------
+// Shared workload: order-sensitive keyed digests over (index, key).
+// -----------------------------------------------------------------
+
+/// Indexes a key sequence into `(position, key)` inputs.
+fn indexed(keys: &[u64]) -> Vec<(u64, u64)> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (i as u64, k))
+        .collect()
+}
+
+/// One round with an order-sensitive reducer (rotate-xor value chaining),
+/// so any within-key reordering or cross-key leakage between two paths
+/// changes the output.
+fn digest_round(
+    pipeline: Pipeline,
+    inputs: &[(u64, u64)],
+    config: &EngineConfig,
+) -> (Vec<(u64, u64, u64)>, RoundMetrics) {
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    let reducer = FnReducer(
+        |k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))| {
+            emit((
+                *k,
+                vs.len() as u64,
+                vs.iter().fold(0u64, |acc, v| acc.rotate_left(7) ^ v),
+            ))
+        },
+    );
+    run_round_on(pipeline, inputs, &mapper, &reducer, config).expect("no q bound set")
+}
+
+// -----------------------------------------------------------------
+// Shared oblivious schema for the delta battery: input x lands on
+// `reps` distinct reducers derived from x alone (§2.2 obliviousness),
+// and each reducer emits an order-sensitive digest of its input list.
+// -----------------------------------------------------------------
+
+#[derive(Clone)]
+struct ModFan {
+    groups: u64,
+    reps: u64,
+}
+
+impl SchemaJob<u64, (u64, u64, u64)> for ModFan {
+    fn assign(&self, x: &u64) -> Vec<u64> {
+        let set: BTreeSet<u64> = (0..self.reps)
+            .map(|j| x.wrapping_mul(2 * j + 7).wrapping_add(j) % self.groups)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    fn reduce(&self, r: u64, inputs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))) {
+        emit((
+            r,
+            inputs.len() as u64,
+            inputs.iter().fold(0u64, |acc, v| acc.rotate_left(9) ^ v),
+        ))
+    }
+}
+
+/// Applies `delta` to a retained `ModFan` job and asserts the retained
+/// result equals a fresh full run of the live instance byte-identically —
+/// outputs *and* semantic metrics — with the map-side prediction exact.
+fn assert_delta_matches_full_run(
+    name: &str,
+    schema: &ModFan,
+    base: &[u64],
+    delta: &Delta<u64>,
+    pipeline: Pipeline,
+    config: &EngineConfig,
+) {
+    let mut job = run_schema_retained(base, schema.clone(), pipeline, config)
+        .expect("unbudgeted retained init cannot fail");
+    let predicted = job.predict(delta).expect("well-formed delta");
+    let outcome = job.apply(delta).expect("unbudgeted apply cannot fail");
+    let live = job.inputs();
+    let (full_out, full_m) = run_schema(&live, schema, config).expect("no q bound set");
+    assert_eq!(
+        job.outputs(),
+        full_out,
+        "[{name}] retained outputs diverged from the full run ({}, workers={})",
+        pipeline.name(),
+        config.effective_workers()
+    );
+    assert_eq!(
+        job.metrics(),
+        full_m,
+        "[{name}] retained metrics diverged from the full run ({})",
+        pipeline.name()
+    );
+    assert_eq!(outcome.metrics.dirty_reducers, predicted.dirty_reducers);
+    assert_eq!(outcome.metrics.delta_pairs, predicted.delta_pairs);
+    assert_eq!(outcome.metrics.total_reducers, predicted.post_reducers);
+    assert_eq!(job.metrics().load.max, predicted.post_q);
+}
+
+// -----------------------------------------------------------------
+// The delta battery, exhaustive axes: every delta kind × every worker
+// count 1–16 × both pipelines.
+// -----------------------------------------------------------------
+
+#[test]
+fn delta_kinds_match_full_runs_at_every_worker_count() {
+    let schema = ModFan {
+        groups: 37,
+        reps: 3,
+    };
+    let base: Vec<u64> = (0..200u64).map(|i| i * 13 + 7).collect();
+    let kinds: Vec<(&str, Delta<u64>)> = vec![
+        ("empty", Delta::empty()),
+        ("adds", Delta::add((1_000..1_040).collect())),
+        (
+            "removes",
+            Delta::remove((0..60).map(|i| i * 3 as Seq).collect()),
+        ),
+        (
+            "mixed",
+            Delta::new(
+                (1_000..1_020).collect(),
+                (0..40).map(|i| i * 5 as Seq).collect(),
+            ),
+        ),
+        (
+            "full-churn",
+            Delta::new((2_000..2_200).collect(), (0..200 as Seq).collect()),
+        ),
+    ];
+    for workers in 1..=16usize {
+        let cfg = EngineConfig::parallel(workers);
+        for pipeline in Pipeline::ALL {
+            for (name, delta) in &kinds {
+                assert_delta_matches_full_run(name, &schema, &base, delta, pipeline, &cfg);
+            }
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// Randomised cross-checks (the reusable fuzz loop).
+// -----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random workloads: the columnar engine and the naive oracle are
+    /// indistinguishable (outputs and semantic metrics) at any worker
+    /// count — covering both "parallel == sequential" and
+    /// "columnar == naive" in one loop.
+    #[test]
+    fn random_workloads_agree_across_planes_and_workers(
+        keys in proptest::collection::vec(0u64..5_000, 0..600),
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let (truth_out, truth_m) =
+            digest_round(Pipeline::Naive, &inputs, &EngineConfig::sequential());
+        let cfg = EngineConfig::parallel(workers);
+        for pipeline in Pipeline::ALL {
+            let (out, m) = digest_round(pipeline, &inputs, &cfg);
+            prop_assert_eq!(&truth_out, &out, "{} diverged", pipeline.name());
+            prop_assert_eq!(&truth_m, &m, "{} metrics diverged", pipeline.name());
+        }
+    }
+
+    /// Random budgets: the overflow verdict is identical across the
+    /// planes — both succeed, or both fail with the same offender (the
+    /// smallest over-budget key in key order), at any worker count.
+    #[test]
+    fn random_budget_verdicts_agree_across_planes(
+        keys in proptest::collection::vec(0u64..40, 1..300),
+        q in 1u64..12,
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+            emit(key, idx);
+        });
+        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
+        let cfg = EngineConfig::parallel(workers).with_max_reducer_inputs(q);
+        let naive = run_round_naive(&inputs, &mapper, &reducer, &cfg);
+        let col = run_round(&inputs, &mapper, &reducer, &cfg);
+        match (naive, col) {
+            (Ok((no, nm)), Ok((co, cm))) => {
+                prop_assert_eq!(no, co);
+                prop_assert_eq!(nm, cm);
+            }
+            (Err(ne), Err(ce)) => prop_assert_eq!(ne, ce),
+            (n, c) => prop_assert!(
+                false,
+                "verdicts diverged: naive ok={} columnar ok={}",
+                n.is_ok(),
+                c.is_ok()
+            ),
+        }
+    }
+
+    /// Random deltas through both retained pipelines: arbitrary base,
+    /// adds, and removal picks — the retained result must equal a fresh
+    /// full run of the live instance byte-identically, with the
+    /// prediction exact. Degenerate shapes (empty base, empty delta,
+    /// full churn) fall out of the generators.
+    #[test]
+    fn random_deltas_match_full_runs(
+        base in proptest::collection::vec(0u64..10_000, 0..120),
+        adds in proptest::collection::vec(0u64..10_000, 0..40),
+        rm_picks in proptest::collection::vec(0usize..120, 0..40),
+        groups in 1u64..40,
+        reps in 1u64..4,
+        workers in 1usize..17,
+    ) {
+        let schema = ModFan { groups, reps };
+        let removed: Vec<Seq> = if base.is_empty() {
+            Vec::new()
+        } else {
+            let set: BTreeSet<Seq> =
+                rm_picks.iter().map(|&p| (p % base.len()) as Seq).collect();
+            set.into_iter().collect()
+        };
+        let delta = Delta::new(adds, removed);
+        let cfg = EngineConfig::parallel(workers);
+        for pipeline in Pipeline::ALL {
+            assert_delta_matches_full_run("random", &schema, &base, &delta, pipeline, &cfg);
+        }
+    }
+
+    /// Random budgets through the retained path: initialising a
+    /// `DeltaJob` under a reducer budget gives exactly the full-run
+    /// verdict — same success (and outputs), or same offender.
+    #[test]
+    fn random_budget_verdicts_agree_with_the_retained_path(
+        base in proptest::collection::vec(0u64..200, 0..100),
+        q in 1u64..10,
+        groups in 1u64..20,
+        workers in 1usize..17,
+    ) {
+        let schema = ModFan { groups, reps: 2 };
+        let cfg = EngineConfig::parallel(workers).with_max_reducer_inputs(q);
+        let full = run_schema(&base, &schema, &cfg);
+        for pipeline in Pipeline::ALL {
+            let retained = run_schema_retained(&base, schema.clone(), pipeline, &cfg);
+            match (&full, retained) {
+                (Ok((fo, fm)), Ok(job)) => {
+                    prop_assert_eq!(fo, &job.outputs());
+                    prop_assert_eq!(fm, &job.metrics());
+                }
+                (Err(fe), Err(re)) => {
+                    prop_assert_eq!(&mr_sim::DeltaError::Engine(fe.clone()), &re)
+                }
+                (f, r) => prop_assert!(
+                    false,
+                    "verdicts diverged: full ok={} retained ok={}",
+                    f.is_ok(),
+                    r.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// pairs_hint regression: the hint is a pure performance knob, so
+// under- and over-estimates (hint=0, hint ≫ pairs) must be invisible
+// in outputs and semantic metrics. Only the exact-hint path was
+// exercised before this test.
+// -----------------------------------------------------------------
+
+#[test]
+fn pairs_hint_misestimates_are_byte_invisible() {
+    let keys: Vec<u64> = (0..3_000u64).map(|i| (i * 31 + 5) % 700).collect();
+    let inputs = indexed(&keys);
+    let schema = ModFan {
+        groups: 53,
+        reps: 3,
+    };
+    let schema_inputs: Vec<u64> = (0..2_000u64).map(|i| i * 11 + 3).collect();
+    for workers in [1usize, 3, 8, 16] {
+        let base_cfg = EngineConfig::parallel(workers);
+        // hint=0 / hint=1 under-estimate, ×100 grossly over-estimates.
+        // (The hint sizes real allocations, so it is exercised at
+        // plausible magnitudes, not at u64::MAX.)
+        let exact_pairs = digest_round(Pipeline::Columnar, &inputs, &base_cfg)
+            .1
+            .kv_pairs;
+        let hints = [0, 1, exact_pairs, exact_pairs * 100];
+
+        // Raw round, both planes.
+        for pipeline in Pipeline::ALL {
+            let truth = digest_round(pipeline, &inputs, &base_cfg);
+            for hint in hints {
+                let got = digest_round(pipeline, &inputs, &base_cfg.clone().with_pairs_hint(hint));
+                assert_eq!(
+                    truth,
+                    got,
+                    "hint={hint} visible on {} at workers={workers}",
+                    pipeline.name()
+                );
+            }
+        }
+
+        // Schema path.
+        let truth = run_schema(&schema_inputs, &schema, &base_cfg).unwrap();
+        for hint in hints {
+            let got = run_schema(
+                &schema_inputs,
+                &schema,
+                &base_cfg.clone().with_pairs_hint(hint),
+            )
+            .unwrap();
+            assert_eq!(truth, got, "hint={hint} visible in run_schema");
+        }
+
+        // Combined path, both planes.
+        let mapper = FnMapper(|k: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k % 97, 1));
+        let combiner = FnCombiner(|_: &u64, acc: &mut u64, v: u64| *acc += v);
+        let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+            emit((*k, vs.iter().sum()))
+        });
+        for pipeline in Pipeline::ALL {
+            let (truth_out, truth_m) =
+                run_round_combined_on(pipeline, &keys, &mapper, &combiner, &reducer, &base_cfg)
+                    .unwrap();
+            for hint in hints {
+                let (out, m) = run_round_combined_on(
+                    pipeline,
+                    &keys,
+                    &mapper,
+                    &combiner,
+                    &reducer,
+                    &base_cfg.clone().with_pairs_hint(hint),
+                )
+                .unwrap();
+                assert_eq!(truth_out, out, "hint={hint} visible in combined outputs");
+                assert_eq!(
+                    truth_m.round, m.round,
+                    "hint={hint} visible in combined metrics"
+                );
+                assert_eq!(truth_m.pre_combine_pairs, m.pre_combine_pairs);
+            }
+        }
+    }
+}

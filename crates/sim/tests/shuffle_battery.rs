@@ -4,15 +4,15 @@
 //! any key distribution and any worker count, outputs and metrics equal
 //! the sequential run's. This suite drives that contract over the four
 //! adversarial distributions (uniform, Zipf-skewed via `mr-graph`'s
-//! Chung–Lu generator, all-one-key, all-distinct), random proptest
-//! distributions, concurrent multi-partition overflows, and combiner
-//! accounting on a hand-computed fixture.
+//! Chung–Lu generator, all-one-key, all-distinct), concurrent
+//! multi-partition overflows, and combiner accounting on a hand-computed
+//! fixture; the *randomised* cross-checks (workloads, budgets, deltas)
+//! live in the unified `differential_fuzz.rs` battery.
 
 use mr_sim::{
     run_round, run_round_combined, EngineConfig, EngineError, FnCombiner, FnMapper, FnReducer,
     RoundMetrics,
 };
-use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 
 /// Worker counts the battery sweeps, per the shuffle acceptance criteria.
@@ -105,60 +105,6 @@ fn all_distinct_keys_shuffle_identically() {
     // leaked arrival order into key order would be caught here.
     let keys: Vec<u64> = (0..4_000u64).rev().collect();
     assert_battery_case("all-distinct", &keys);
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random key distributions: the partitioned shuffle is
-    /// indistinguishable from the sequential one at any worker count.
-    #[test]
-    fn random_distributions_shuffle_identically(
-        keys in proptest::collection::vec(0u64..5_000, 0..600),
-        workers in 2usize..17,
-    ) {
-        let inputs = indexed(&keys);
-        let (seq_out, seq_m) = keyed_round(&inputs, &EngineConfig::sequential());
-        let (out, m) = keyed_round(&inputs, &EngineConfig::parallel(workers));
-        prop_assert_eq!(seq_out, out);
-        prop_assert_eq!(seq_m, m);
-    }
-
-    /// The q budget verdict (and the reported offender) is identical
-    /// between the sequential and partitioned paths for random loads.
-    #[test]
-    fn random_budget_verdicts_match(
-        keys in proptest::collection::vec(0u64..40, 1..300),
-        q in 1u64..12,
-        workers in 2usize..17,
-    ) {
-        let inputs = indexed(&keys);
-        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
-            emit(key, idx);
-        });
-        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
-        let seq = run_round(
-            &inputs, &mapper, &reducer,
-            &EngineConfig::sequential().with_max_reducer_inputs(q),
-        );
-        let par = run_round(
-            &inputs, &mapper, &reducer,
-            &EngineConfig::parallel(workers).with_max_reducer_inputs(q),
-        );
-        match (seq, par) {
-            (Ok((so, sm)), Ok((po, pm))) => {
-                prop_assert_eq!(so, po);
-                prop_assert_eq!(sm, pm);
-            }
-            (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
-            (s, p) => prop_assert!(
-                false,
-                "verdicts diverged: seq ok={} par ok={}",
-                s.is_ok(),
-                p.is_ok()
-            ),
-        }
-    }
 }
 
 #[test]
