@@ -1,0 +1,43 @@
+//! Round-structure search benchmark: what does searching and running a
+//! *DAG* of rounds cost?
+//!
+//! The first group is the full path — enumerate every round structure
+//! for the three DAG workloads (matmul trees and tilings, multi-round
+//! Hamming splitting, join→aggregate pipelines), price them per round,
+//! execute each winner under its own per-round budgets. The second
+//! group isolates the multi-round data plane: a q-budget of 8 (below
+//! n² = 16 at Small scale) forces the matmul winner to be a genuine
+//! aggregation tree staged through `DagJob`, so this times plan +
+//! multi-round execution with the search mostly amortised.
+//!
+//! Baseline committed as `BENCH_dag.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_core::family::Scale;
+use mr_plan::{plan_all_dags, plan_dag, ClusterSpec, DagWorkload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_dag");
+    grp.sample_size(10);
+    grp.bench_function("search_and_execute/small_scale", |b| {
+        b.iter(|| {
+            let plans = plan_all_dags(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
+            plans
+                .iter()
+                .map(|p| p.execute().expect("plan fits its own budget").outputs)
+                .sum::<u64>()
+        })
+    });
+    grp.bench_function("matmul_tree/budget8", |b| {
+        b.iter(|| {
+            let cluster = ClusterSpec::default().with_q_budget(8);
+            let plan = plan_dag(black_box(DagWorkload::MatMul), &cluster, Scale::Small).unwrap();
+            plan.execute().expect("plan fits its own budget").outputs
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
     grp.bench_function("plan_and_execute/small_scale", |b| {
         b.iter(|| {
             let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
-            plans.iter().map(|p| p.execute().outputs).sum::<u64>()
+            plans
+                .iter()
+                .map(|p| p.execute().expect("plan fits its own budget").outputs)
+                .sum::<u64>()
         })
     });
     grp.finish();

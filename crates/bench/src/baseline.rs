@@ -1,8 +1,9 @@
 //! Re-recordable benchmark baselines with an automatic machine stamp.
 //!
-//! The workspace root carries four committed baselines —
+//! The workspace root carries five committed baselines —
 //! `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json`,
-//! `BENCH_delta.json` — that pin what the engine benchmarks measured on
+//! `BENCH_dag.json`, `BENCH_delta.json` — that pin what the engine
+//! benchmarks measured on
 //! a known machine. They used to be transcribed by hand from
 //! `cargo bench` output, which is exactly the kind of step that silently
 //! rots: the numbers change, the machine description doesn't, and nobody
@@ -16,7 +17,8 @@
 //!
 //! Each recorder re-runs its bench workload in process (same shapes as
 //! `benches/engine_shuffle.rs`, `engine_frontier.rs`, `engine_plan.rs`,
-//! `engine_delta.rs`: one warm-up plus ten timed samples per
+//! `engine_dag.rs`, `engine_delta.rs`: one warm-up plus ten timed
+//! samples per
 //! configuration) and emits the baseline JSON with a [`MachineStamp`]
 //! captured at run time — logical core count from
 //! [`std::thread::available_parallelism`] and the UTC date from the
@@ -36,7 +38,7 @@
 
 use crate::sweep::{sweep_all, SweepConfig};
 use mr_core::family::Scale;
-use mr_plan::{plan_all, ClusterSpec};
+use mr_plan::{plan_all, plan_all_dags, plan_dag, ClusterSpec, DagWorkload};
 use mr_sim::schema::ReducerId;
 use mr_sim::{
     run_round, run_schema, run_schema_retained, Delta, EngineConfig, FnMapper, FnReducer, Pipeline,
@@ -360,7 +362,12 @@ pub fn record_plan(stamp: &MachineStamp, frontier_mean1_ms: f64) -> String {
     });
     let plan_exec = time_samples(SAMPLES, || {
         let plans = plan_all(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
-        black_box(plans.iter().map(|p| p.execute().outputs).sum::<u64>());
+        black_box(
+            plans
+                .iter()
+                .map(|p| p.execute().expect("plan fits its own budget").outputs)
+                .sum::<u64>(),
+        );
     });
     render_plan(stamp, plan_default, plan_exec, frontier_mean1_ms)
 }
@@ -414,6 +421,74 @@ fn render_plan(
         ratio = plan_default.mean_ms / frontier_mean1_ms,
         plan = plan_default.mean_ms,
         frontier = frontier_mean1_ms,
+    )
+}
+
+/// Records `BENCH_dag.json`: the `engine_dag` workload — the
+/// round-structure search plus execution of every workload's chosen DAG
+/// at Small scale, and the forced multi-round matmul tree (q-budget 8,
+/// below n² = 16) as the dedicated multi-round data-plane measurement.
+pub fn record_dag(stamp: &MachineStamp) -> String {
+    let search_exec = time_samples(SAMPLES, || {
+        let plans = plan_all_dags(black_box(&ClusterSpec::default()), Scale::Small).unwrap();
+        black_box(
+            plans
+                .iter()
+                .map(|p| p.execute().expect("plan fits its own budget").outputs)
+                .sum::<u64>(),
+        );
+    });
+    let tree_exec = time_samples(SAMPLES, || {
+        let cluster = ClusterSpec::default().with_q_budget(8);
+        let plan = plan_dag(black_box(DagWorkload::MatMul), &cluster, Scale::Small).unwrap();
+        black_box(plan.execute().expect("plan fits its own budget").outputs);
+    });
+    render_dag(stamp, search_exec, tree_exec)
+}
+
+/// The pure render half of [`record_dag`].
+fn render_dag(stamp: &MachineStamp, search_exec: Timing, tree_exec: Timing) -> String {
+    let row = |group: &str, t: Timing| {
+        format!(
+            "    {{ \"group\": \"{group}\", \"min_ms\": {:.2}, \"mean_ms\": {:.2}, \
+             \"max_ms\": {:.2} }}",
+            t.min_ms, t.mean_ms, t.max_ms
+        )
+    };
+    format!(
+        r#"{{
+  "bench": "engine_dag",
+  "command": "cargo bench -p mr-bench --bench engine_dag",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "description": "search_and_execute/small_scale enumerates every round structure for the three DAG workloads (matmul aggregation trees and one-phase tilings, multi-round Hamming splitting, join-then-aggregate pipelines), prices them per round, and executes each winner with per-round predicted q as that round's hard budget. matmul_tree/budget8 forces the below-n-squared regime (q-budget 8 < 16), so the winner is a genuine multi-round aggregation tree staged through DagJob.",
+    "workloads": 3
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "search_and_execute_vs_tree_only": {ratio:.2},
+    "basis": "mean_ms(search_and_execute {se:.2}) / mean_ms(matmul_tree/budget8 {te:.2}); the search prices hamming/join candidates with one sequential reference execution each, so most of the full-path cost is candidate pricing, not the chosen plan's run",
+    "exactness": "per-round predicted (q, r) equal engine measurements at every node of every chosen DAG (tests/dag_battery.rs, crates/plan/src/dag.rs tests)"
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        rows = [
+            row("engine_dag/search_and_execute/small_scale", search_exec),
+            row("engine_dag/matmul_tree/budget8", tree_exec)
+        ]
+        .join(",\n"),
+        ratio = search_exec.mean_ms / tree_exec.mean_ms,
+        se = search_exec.mean_ms,
+        te = tree_exec.mean_ms,
     )
 }
 
@@ -666,6 +741,7 @@ mod tests {
             ("shuffle", render_shuffle(&s, &sweep, &sweep).0),
             ("frontier", render_frontier(&s, &sweep).0),
             ("plan", render_plan(&s, t(3.0), t(9.0), 40.0)),
+            ("dag", render_dag(&s, t(12.0), t(1.5))),
             ("delta", render_delta(&s, &delta)),
         ]
     }
@@ -722,6 +798,7 @@ mod tests {
             "BENCH_shuffle.json",
             "BENCH_frontier.json",
             "BENCH_plan.json",
+            "BENCH_dag.json",
             "BENCH_delta.json",
         ] {
             let text = std::fs::read_to_string(root.join(name))

@@ -4,14 +4,14 @@
 //! cargo run --release -p mr-bench --bin record_bench [out_dir]
 //! ```
 //!
-//! Writes `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json`
-//! and `BENCH_delta.json` into `out_dir` (default: the current
-//! directory), each stamped with the recording machine's core count and
-//! the UTC date. Run it from the workspace root on a quiet machine to
-//! refresh the committed baselines.
+//! Writes `BENCH_shuffle.json`, `BENCH_frontier.json`,
+//! `BENCH_plan.json`, `BENCH_dag.json` and `BENCH_delta.json` into
+//! `out_dir` (default: the current directory), each stamped with the
+//! recording machine's core count and the UTC date. Run it from the
+//! workspace root on a quiet machine to refresh the committed baselines.
 
 use mr_bench::baseline::{
-    record_delta, record_frontier, record_plan, record_shuffle, MachineStamp,
+    record_dag, record_delta, record_frontier, record_plan, record_shuffle, MachineStamp,
 };
 use std::path::Path;
 
@@ -36,6 +36,10 @@ fn main() {
     let plan_json = record_plan(&stamp, frontier_w1);
     eprintln!("done");
 
+    eprint!("engine_dag ... ");
+    let dag_json = record_dag(&stamp);
+    eprintln!("done");
+
     eprint!("engine_delta ... ");
     let delta_json = record_delta(&stamp);
     eprintln!("done");
@@ -44,6 +48,7 @@ fn main() {
         ("BENCH_shuffle.json", &shuffle_json),
         ("BENCH_frontier.json", &frontier_json),
         ("BENCH_plan.json", &plan_json),
+        ("BENCH_dag.json", &dag_json),
         ("BENCH_delta.json", &delta_json),
     ] {
         let path = out_dir.join(name);

@@ -10,15 +10,20 @@
 //! cargo run --release -p mr-bench --bin repro -- plan matmul --q-budget 32
 //! cargo run --release -p mr-bench --bin repro -- delta    # incremental execution
 //! cargo run --release -p mr-bench --bin repro -- delta triangles small
+//! cargo run --release -p mr-bench --bin repro -- dag      # round-structure search
+//! cargo run --release -p mr-bench --bin repro -- dag matmul --q-budget 8
 //! cargo run --release -p mr-bench --bin repro -- list    # ids + descriptions
 //! ```
 //!
 //! Tokens after `frontier`/`plan`-style selectors: any token naming an
 //! experiment id selects that experiment; any token naming a family (or a
 //! scale preset `small`/`default`/`full`) selects within the `frontier`
-//! experiment — or within `plan`/`delta` when one of those is chosen —
-//! and implies `frontier` otherwise. `--q-budget N` belongs to `plan` and
-//! implies it. Unknown tokens abort with the full vocabulary.
+//! experiment — or within `plan`/`delta`/`dag` when one of those is
+//! chosen — and implies `frontier` otherwise. A DAG-workload token like
+//! `join-agg` that no registry family answers to implies `dag`.
+//! `--q-budget N` belongs to `plan` (or `dag` when that is chosen) and
+//! implies `plan` otherwise. Unknown tokens abort with the full
+//! vocabulary.
 
 use mr_bench::experiments::{self, plan, Experiment};
 use mr_bench::sweep;
@@ -54,7 +59,7 @@ fn main() {
                 plan_extra.push(value.clone());
                 i += 1;
             }
-        } else if sweep::is_selector(a) {
+        } else if sweep::is_selector(a) || experiments::dag::is_dag_workload(a) {
             selectors.push(a.clone());
         } else {
             unknown.push(a);
@@ -75,15 +80,25 @@ fn main() {
         eprintln!("plan flags: {} N", plan::Q_BUDGET_FLAG);
         std::process::exit(1);
     }
-    // A budget flag implies the plan experiment; bare family/scale
-    // selectors imply the frontier experiment unless plan claimed them.
-    if !plan_extra.is_empty() && !ids.contains(&"plan") {
+    // A budget flag implies the plan experiment; a dag-only workload
+    // token (`join-agg`) implies the dag experiment; bare family/scale
+    // selectors imply the frontier experiment unless plan/dag/delta
+    // claimed them.
+    if selectors
+        .iter()
+        .any(|s| experiments::dag::is_dag_workload(s) && !sweep::is_selector(s))
+        && !ids.contains(&"dag")
+    {
+        ids.push("dag");
+    }
+    if !plan_extra.is_empty() && !ids.contains(&"plan") && !ids.contains(&"dag") {
         ids.push("plan");
     }
     if !selectors.is_empty()
         && !ids.contains(&"plan")
         && !ids.contains(&"frontier")
         && !ids.contains(&"delta")
+        && !ids.contains(&"dag")
     {
         ids.push("frontier");
     }
@@ -97,7 +112,7 @@ fn main() {
     for e in selected {
         let extra: Vec<String> = match e.id {
             "frontier" | "delta" => selectors.clone(),
-            "plan" => selectors.iter().chain(plan_extra.iter()).cloned().collect(),
+            "plan" | "dag" => selectors.iter().chain(plan_extra.iter()).cloned().collect(),
             _ => Vec::new(),
         };
         println!("================================================================");

@@ -1,0 +1,297 @@
+//! **`repro dag`** — the round-structure search end to end: for a
+//! cluster spec, search each workload's multi-round DAG shapes
+//! (`mr-plan::dag`), execute the winner with each round's predicted `q`
+//! as that round's hard budget, and print the chosen DAG with per-round
+//! predicted vs measured `(q, r)` and the total cost.
+//!
+//! Arguments: workload names (`matmul`, `hamming-d1`, `join-agg`) filter
+//! the searched workloads, a scale token (`small`/`default`/`full`)
+//! picks the instance preset, and `--q-budget N` bounds every round's
+//! reducer load — the knob that demonstrates the §6.3 crossover being
+//! *found* by the search rather than special-cased.
+
+use crate::json;
+use crate::table::{fmt, Table};
+use mr_core::family::Scale;
+use mr_plan::{plan_dag, ClusterSpec, DagPlanReport, DagWorkload, PlanError};
+use mr_sim::EngineError;
+
+use super::plan::Q_BUDGET_FLAG;
+
+/// Parses the experiment's tokens into a selection. Scale and budget
+/// tokens work exactly as in `repro plan`; workload tokens name the
+/// searchable workloads (a superset view: `join-agg` is the join
+/// pipeline workload over the `join-cycle3` registry instance).
+fn parse(args: &[String]) -> Result<(Vec<DagWorkload>, Scale, ClusterSpec), String> {
+    let mut picked: Vec<DagWorkload> = Vec::new();
+    let mut scale: Option<Scale> = None;
+    let mut cluster = ClusterSpec::default();
+    let mut it = args.iter();
+    while let Some(tok) = it.next() {
+        if tok == Q_BUDGET_FLAG {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("{Q_BUDGET_FLAG} requires a value"))?;
+            let q: u64 = value
+                .parse()
+                .map_err(|_| format!("{Q_BUDGET_FLAG} value '{value}' is not a number"))?;
+            if q == 0 {
+                return Err(format!("{Q_BUDGET_FLAG} must be positive"));
+            }
+            cluster.reducer_capacity = Some(q);
+        } else if let Some(sc) = crate::selectors::scale_token(tok) {
+            crate::selectors::set_scale(&mut scale, sc)?;
+        } else if let Some(w) = DagWorkload::ALL.iter().find(|w| w.name() == tok.as_str()) {
+            if picked.contains(w) {
+                return Err(format!("workload '{tok}' selected twice"));
+            }
+            picked.push(*w);
+        } else {
+            return Err(format!(
+                "unknown dag selector '{tok}'; workloads: {}; scales: small, default, full; \
+                 budget: {Q_BUDGET_FLAG} N",
+                DagWorkload::ALL
+                    .iter()
+                    .map(|w| w.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    if picked.is_empty() {
+        picked = DagWorkload::ALL.to_vec();
+    }
+    Ok((picked, scale.unwrap_or_default(), cluster))
+}
+
+/// One workload's outcome: a measured report, an honest refusal, or an
+/// execution abort (a round that overflowed its own prediction — a
+/// planner bug, reported rather than panicked).
+enum Outcome {
+    Planned(Box<DagPlanReport>),
+    Refused(&'static str, PlanError),
+    Aborted(&'static str, EngineError),
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (picked, scale, cluster) = parse(args)?;
+    let outcomes: Vec<Outcome> = picked
+        .iter()
+        .map(|w| match plan_dag(*w, &cluster, scale) {
+            Ok(plan) => match plan.execute() {
+                Ok(report) => Outcome::Planned(Box::new(report)),
+                Err(e) => Outcome::Aborted(w.name(), e),
+            },
+            Err(e) => Outcome::Refused(w.name(), e),
+        })
+        .collect();
+
+    let mut out = format!(
+        "Round-structure search (mr-plan::dag): the cheapest DAG of rounds per workload.\n\
+         Cluster: {}.\n\
+         Cost = Σ rounds (a·r + b·q + c·q²) + ℓ·depth; every candidate DAG is priced\n\
+         per round (closed forms for matmul, a measured reference execution for the\n\
+         rest), and the winner runs with each round's predicted q as that round's\n\
+         hard budget — an undershot prediction aborts the round.\n\n",
+        cluster.describe()
+    );
+
+    let mut t = Table::new(&[
+        "workload",
+        "chosen DAG",
+        "rounds",
+        "depth",
+        "cost(pred)",
+        "cost(meas)",
+        "outputs",
+        "wall(ms)",
+    ]);
+    for o in &outcomes {
+        if let Outcome::Planned(rep) = o {
+            t.row(vec![
+                rep.plan.workload.name().to_string(),
+                rep.plan.schema.clone(),
+                rep.plan.dag.rounds.len().to_string(),
+                rep.plan.dag.depth().to_string(),
+                fmt(rep.plan.predicted_cost),
+                fmt(rep.measured_cost),
+                rep.outputs.to_string(),
+                format!("{:.3}", rep.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nPer-round predicted vs measured (q, r):\n");
+    for o in &outcomes {
+        if let Outcome::Planned(rep) = o {
+            let mut rt = Table::new(&[
+                "workload", "round", "q(pred)", "q(meas)", "r(pred)", "r(meas)",
+            ]);
+            for obs in &rep.rounds {
+                rt.row(vec![
+                    rep.plan.workload.name().to_string(),
+                    obs.name.clone(),
+                    obs.predicted_q.to_string(),
+                    obs.measured_q.to_string(),
+                    fmt(obs.predicted_r),
+                    fmt(obs.measured_r),
+                ]);
+            }
+            out.push_str(&rt.render());
+            out.push('\n');
+        }
+    }
+
+    out.push_str("Rationale:\n");
+    for o in &outcomes {
+        match o {
+            Outcome::Planned(rep) => out.push_str(&format!(
+                "  {}: {}\n",
+                rep.plan.workload.name(),
+                rep.plan.rationale
+            )),
+            Outcome::Refused(w, e) => out.push_str(&format!("  {w}: REFUSED — {e}\n")),
+            Outcome::Aborted(w, e) => out.push_str(&format!("  {w}: ABORTED — {e}\n")),
+        }
+    }
+
+    out.push_str(
+        "\nJSON (semantic — deterministic across runs; wall-clock is execution metadata,\n\
+         see the table):\n\n",
+    );
+    out.push_str(&semantic_json(&cluster, &outcomes));
+    Ok(out)
+}
+
+/// The deterministic JSON serialisation of a dag run (no wall-clock).
+fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
+    let mut out = String::from("{\n  \"subsystem\": \"dag-planner\",\n");
+    out.push_str(&format!(
+        "  \"cluster\": \"{}\",\n  \"plans\": [\n",
+        json::escape(&cluster.describe())
+    ));
+    for (i, o) in outcomes.iter().enumerate() {
+        let mut obj = json::Obj::new();
+        match o {
+            Outcome::Planned(rep) => {
+                let rounds = rep
+                    .rounds
+                    .iter()
+                    .map(|r| {
+                        let mut ro = json::Obj::new();
+                        ro.str("name", &r.name)
+                            .int("q_pred", r.predicted_q)
+                            .int("q_meas", r.measured_q)
+                            .num("r_pred", r.predicted_r)
+                            .num("r_meas", r.measured_r);
+                        ro.compact()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                obj.str("workload", rep.plan.workload.name())
+                    .str("schema", &rep.plan.schema)
+                    .int("rounds", rep.plan.dag.rounds.len() as u64)
+                    .int("depth", rep.plan.dag.depth() as u64)
+                    .num("cost_pred", rep.plan.predicted_cost)
+                    .num("cost_meas", rep.measured_cost)
+                    .int("outputs", rep.outputs)
+                    .raw("per_round", format!("[{rounds}]"))
+                    .str("rationale", &rep.plan.rationale);
+            }
+            Outcome::Refused(w, e) => {
+                obj.str("workload", w).str("error", &e.to_string());
+            }
+            Outcome::Aborted(w, e) => {
+                obj.str("workload", w).str("error", &e.to_string());
+            }
+        }
+        out.push_str("    ");
+        out.push_str(&obj.compact());
+        if i + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `repro dag` runner: selector errors become the report text (the
+/// repro driver validates most tokens up front, so this is a backstop).
+pub fn report_args(args: &[String]) -> String {
+    run(args).unwrap_or_else(|e| format!("dag selection error: {e}"))
+}
+
+/// True when `token` selects a dag workload that is *not* also a shared
+/// family selector (today only `join-agg`) — the repro driver uses this
+/// to accept such tokens on the command line.
+pub fn is_dag_workload(token: &str) -> bool {
+    DagWorkload::ALL.iter().any(|w| w.name() == token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn default_report_covers_every_workload() {
+        let out = report_args(&args(&["small"]));
+        for w in DagWorkload::ALL {
+            assert!(out.contains(w.name()), "{} missing:\n{out}", w.name());
+        }
+        assert!(out.contains("Rationale:"));
+        assert!(out.contains("\"subsystem\": \"dag-planner\""));
+        assert!(!out.contains("REFUSED"));
+        assert!(!out.contains("ABORTED"));
+    }
+
+    #[test]
+    fn q_budget_flips_matmul_to_a_multi_round_tree() {
+        // Small scale: n = 4, n² = 16.
+        let out = report_args(&args(&["small", "matmul", "--q-budget", "8"]));
+        assert!(out.contains("two-phase(n=4"), "{out}");
+        assert!(out.contains("q-budget=8"));
+        let out2 = report_args(&args(&["small", "matmul", "--q-budget", "16"]));
+        assert!(out2.contains("one-phase(n=4"), "{out2}");
+    }
+
+    #[test]
+    fn per_round_observations_are_printed_for_every_round() {
+        let out = report_args(&args(&["small", "join-agg"]));
+        // The pushed pipeline has a join round and an aggregate round at
+        // minimum; both must appear in the per-round table.
+        assert!(out.contains("q(pred)"), "{out}");
+        assert!(out.contains("\"per_round\""), "{out}");
+    }
+
+    #[test]
+    fn impossible_budget_is_refused_not_planned() {
+        let out = report_args(&args(&["small", "matmul", "--q-budget", "1"]));
+        assert!(out.contains("REFUSED"), "{out}");
+    }
+
+    #[test]
+    fn bad_tokens_are_reported_with_the_vocabulary() {
+        let out = report_args(&args(&["bogus"]));
+        assert!(out.contains("dag selection error"));
+        assert!(out.contains("join-agg"));
+        let out2 = report_args(&args(&["--q-budget"]));
+        assert!(out2.contains("requires a value"));
+        let out3 = report_args(&args(&["small", "full"]));
+        assert!(out3.contains("at most one scale"));
+    }
+
+    #[test]
+    fn semantic_json_is_byte_identical_across_runs() {
+        let json = |_: ()| {
+            let out = report_args(&args(&["small"]));
+            out.split("JSON").nth(1).unwrap().to_string()
+        };
+        assert_eq!(json(()), json(()));
+    }
+}

@@ -1,5 +1,6 @@
 //! One module per paper artifact. See `EXPERIMENTS.md` for the index.
 
+pub mod dag;
 pub mod delta;
 pub mod e12_cost_model;
 pub mod e14_skew;
@@ -141,6 +142,13 @@ pub fn all() -> Vec<Experiment> {
                  cluster spec, predicted vs measured (q, r, cost); args select \
                  families/scale and `--q-budget N` (e.g. `plan matmul --q-budget 32`)",
             runner: Runner::WithArgs(crate::experiments::plan::report_args),
+        },
+        Experiment {
+            id: "dag",
+            description: "mr-plan::dag: round-structure search — cheapest DAG of rounds per \
+                 workload, per-round predicted vs measured (q, r) and total cost; args select \
+                 workloads/scale and `--q-budget N` (e.g. `dag matmul --q-budget 8`)",
+            runner: Runner::WithArgs(crate::experiments::dag::report_args),
         },
         Experiment {
             id: "delta",

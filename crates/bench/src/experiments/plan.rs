@@ -13,6 +13,7 @@ use crate::json;
 use crate::table::{fmt, Table};
 use mr_core::family::Scale;
 use mr_plan::{plan_family, plannable_families, ClusterSpec, PlanError, PlanReport};
+use mr_sim::EngineError;
 
 /// The token that introduces the reducer budget.
 pub const Q_BUDGET_FLAG: &str = "--q-budget";
@@ -54,10 +55,13 @@ fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, ClusterSpec), Str
     Ok((picked, scale.unwrap_or_default(), cluster))
 }
 
-/// One family's outcome: a measured report or an honest refusal.
+/// One family's outcome: a measured report, an honest refusal, or an
+/// execution abort (a plan that overflowed its own predicted budget —
+/// a planner bug, reported rather than panicked).
 enum Outcome {
     Planned(Box<PlanReport>),
     Refused(&'static str, PlanError),
+    Aborted(&'static str, EngineError),
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -65,7 +69,10 @@ fn run(args: &[String]) -> Result<String, String> {
     let outcomes: Vec<Outcome> = picked
         .iter()
         .map(|family| match plan_family(family, &cluster, scale) {
-            Ok(plan) => Outcome::Planned(Box::new(plan.execute())),
+            Ok(plan) => match plan.execute() {
+                Ok(report) => Outcome::Planned(Box::new(report)),
+                Err(e) => Outcome::Aborted(family, e),
+            },
             Err(e) => Outcome::Refused(family, e),
         })
         .collect();
@@ -116,6 +123,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 out.push_str(&format!("  {}: {}\n", rep.plan.family, rep.plan.rationale))
             }
             Outcome::Refused(family, e) => out.push_str(&format!("  {family}: REFUSED — {e}\n")),
+            Outcome::Aborted(family, e) => out.push_str(&format!("  {family}: ABORTED — {e}\n")),
         }
     }
 
@@ -150,6 +158,9 @@ fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
                     .str("rationale", &rep.plan.rationale);
             }
             Outcome::Refused(family, e) => {
+                obj.str("family", family).str("error", &e.to_string());
+            }
+            Outcome::Aborted(family, e) => {
                 obj.str("family", family).str("error", &e.to_string());
             }
         }

@@ -11,14 +11,21 @@
 //!   family (§3.3), plus the distance-`d` generalisation (§3.6);
 //! * [`weight`] — the weight-partition algorithms for large `q` (§3.4
 //!   two-dimensional, §3.5 `d`-dimensional);
-//! * [`ball`] — the Ball-2 schema for distance 2 (§3.6).
+//! * [`ball`] — the Ball-2 schema for distance 2 (§3.6);
+//! * [`multi_round`] — splitting re-expressed as DAGs of rounds (parallel
+//!   per-segment nodes, depth-2 consolidation) for the planner's
+//!   round-structure search.
 
 pub mod ball;
+pub mod multi_round;
 pub mod problem;
 pub mod splitting;
 pub mod weight;
 
 pub use ball::Ball2Schema;
+pub use multi_round::{
+    all_strings, parallel_split_dag, split_consolidate_dag, split_dag, HamToken,
+};
 pub use problem::{hamming_distance, lemma31_g, theorem32_lower_bound, HammingProblem};
 pub use splitting::{DistanceDSplittingSchema, PairsSchema, SplittingSchema};
 pub use weight::{WeightSchema2D, WeightSchemaD};

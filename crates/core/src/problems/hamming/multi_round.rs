@@ -1,0 +1,270 @@
+//! Multi-round Hamming-distance-1 structures for the round-structure
+//! search.
+//!
+//! The one-round Splitting algorithm (§3.3,
+//! [`SplittingSchema`](super::splitting::SplittingSchema)) sits
+//! exactly on the Theorem 3.2 hyperbola: `k` segments give `q = 2^{b/k}`,
+//! `r = k`. This module re-expresses it as a [`DagJob`] and adds the two
+//! multi-round variants the planner enumerates:
+//!
+//! * [`split_dag`] — the classic one-round schema: one node, every string
+//!   replicated to its `k` group reducers (`r = k`, `q = 2^{b/k}`);
+//! * [`parallel_split_dag`] — `k` *source* nodes, one per held-out
+//!   segment, each keyed by the other `b − b/k` bits. Per-node `r = 1`
+//!   and `q = 2^{b/k}`; the totals match the one-round schema exactly
+//!   (`k` rounds of `2^b` pairs each), so under cost
+//!   `Σ rounds (a·r + b·q)` the extra per-round `b·q` charges make it
+//!   strictly worse whenever `b > 0` — a structure the search must
+//!   *consider and reject*, and the depth stays 1 because the nodes run
+//!   in one stage;
+//! * [`split_consolidate_dag`] — the parallel split feeding a
+//!   consolidation round that re-keys every found pair by the top bits of
+//!   its smaller endpoint (depth 2). The extra round only costs, so it
+//!   documents where deeper Hamming structures stop paying.
+//!
+//! Every variant emits each distance-1 pair exactly once (a pair's single
+//! differing bit lies in exactly one segment), as
+//! [`HammingProblem`](super::problem::HammingProblem)
+//! requires, so the variants are interchangeable up to output order.
+
+use super::problem::hamming_distance;
+use super::splitting::remove_segment;
+use mr_sim::{DagJob, FnMapper, FnReducer};
+
+/// The uniform token a Hamming [`DagJob`] flows between rounds: input
+/// strings in, found pairs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HamToken {
+    /// A `b`-bit input string.
+    Str(u64),
+    /// A found pair at Hamming distance 1, smaller endpoint first.
+    Pair(u64, u64),
+}
+
+/// All `2^b` strings as tokens — the instance every Hamming DAG runs on
+/// (the §3 problem takes the full cube as input).
+pub fn all_strings(b: u32) -> Vec<HamToken> {
+    (0..(1u64 << b)).map(HamToken::Str).collect()
+}
+
+/// Asserts the segment-count precondition shared by every variant.
+fn check(b: u32, k: u32) {
+    assert!(k >= 1 && k <= b, "k={k} must be in 1..={b}");
+    assert_eq!(b % k, 0, "k={k} must divide b={b}");
+}
+
+/// Emits each distance-1 pair among the reducer's strings, smaller
+/// endpoint first, in scan order over the input slice.
+fn emit_close_pairs(inputs: &[HamToken], emit: &mut dyn FnMut(HamToken)) {
+    for i in 0..inputs.len() {
+        for j in (i + 1)..inputs.len() {
+            let (HamToken::Str(a), HamToken::Str(b)) = (inputs[i], inputs[j]) else {
+                unreachable!("split rounds consume strings only");
+            };
+            if hamming_distance(a, b) == 1 {
+                emit(HamToken::Pair(a.min(b), a.max(b)));
+            }
+        }
+    }
+}
+
+/// The one-round Splitting algorithm as a single-node DAG: string `w`
+/// goes to the `k` reducers obtained by deleting one segment (group `i`
+/// prefixed into the key, exactly like [`SplittingSchema`]).
+///
+/// [`SplittingSchema`]: super::splitting::SplittingSchema
+pub fn split_dag(b: u32, k: u32) -> DagJob<HamToken> {
+    check(b, k);
+    let width = b / k;
+    let residual_bits = b - width;
+    let mut dag = DagJob::new();
+    dag.add_round(
+        format!("split(k={k})"),
+        vec![],
+        FnMapper(
+            move |token: &HamToken, emit: &mut dyn FnMut(u64, HamToken)| {
+                let HamToken::Str(w) = token else {
+                    unreachable!("split rounds consume strings only");
+                };
+                for i in 0..k {
+                    let key = remove_segment(*w, i, width);
+                    emit((i as u64) << residual_bits | key, *token);
+                }
+            },
+        ),
+        FnReducer(
+            |_: &u64, inputs: &[HamToken], emit: &mut dyn FnMut(HamToken)| {
+                emit_close_pairs(inputs, emit)
+            },
+        ),
+    );
+    dag
+}
+
+/// The splitting groups as `k` independent DAG nodes, one per held-out
+/// segment: node `i` keys every string by its bits outside segment `i`
+/// (per-node `r = 1`), and all nodes are sinks.
+pub fn parallel_split_dag(b: u32, k: u32) -> DagJob<HamToken> {
+    check(b, k);
+    let width = b / k;
+    let mut dag = DagJob::new();
+    for i in 0..k {
+        dag.add_round(
+            format!("split-seg-{i}"),
+            vec![],
+            FnMapper(
+                move |token: &HamToken, emit: &mut dyn FnMut(u64, HamToken)| {
+                    let HamToken::Str(w) = token else {
+                        unreachable!("split rounds consume strings only");
+                    };
+                    emit(remove_segment(*w, i, width), *token);
+                },
+            ),
+            FnReducer(
+                |_: &u64, inputs: &[HamToken], emit: &mut dyn FnMut(HamToken)| {
+                    emit_close_pairs(inputs, emit)
+                },
+            ),
+        );
+    }
+    dag
+}
+
+/// [`parallel_split_dag`] feeding a depth-2 consolidation round that
+/// buckets every found pair by the top two bits of its smaller endpoint
+/// and re-emits it — the "collect the answer somewhere" round a real
+/// pipeline would append before writing output.
+pub fn split_consolidate_dag(b: u32, k: u32) -> DagJob<HamToken> {
+    let mut dag = parallel_split_dag(b, k);
+    let deps: Vec<usize> = (0..k as usize).collect();
+    let shift = b.saturating_sub(2);
+    dag.add_round(
+        "consolidate",
+        deps,
+        FnMapper(
+            move |token: &HamToken, emit: &mut dyn FnMut(u64, HamToken)| {
+                let HamToken::Pair(u, _) = token else {
+                    unreachable!("the consolidation round consumes pairs only");
+                };
+                emit(u >> shift, *token);
+            },
+        ),
+        FnReducer(
+            |_: &u64, inputs: &[HamToken], emit: &mut dyn FnMut(HamToken)| {
+                for token in inputs {
+                    emit(*token);
+                }
+            },
+        ),
+    );
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_sim::EngineConfig;
+
+    /// Ground truth: serial all-pairs scan.
+    fn expected_pairs(b: u32) -> Vec<(u64, u64)> {
+        let n = 1u64 << b;
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if hamming_distance(u, v) == 1 {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    fn found_pairs(dag: &DagJob<HamToken>, b: u32, cfg: &EngineConfig) -> Vec<(u64, u64)> {
+        let (out, _) = dag.run(&all_strings(b), cfg).unwrap();
+        let mut pairs: Vec<(u64, u64)> = out
+            .into_iter()
+            .map(|t| match t {
+                HamToken::Pair(u, v) => (u, v),
+                HamToken::Str(_) => panic!("strings in the output"),
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn every_variant_finds_every_pair_exactly_once() {
+        let b = 6;
+        let expected = expected_pairs(b);
+        assert_eq!(expected.len() as u64, (b as u64) << (b - 1)); // b·2^(b−1)
+        let cfg = EngineConfig::sequential();
+        for k in [1u32, 2, 3, 6] {
+            assert_eq!(
+                found_pairs(&split_dag(b, k), b, &cfg),
+                expected,
+                "split k={k}"
+            );
+        }
+        for k in [2u32, 3, 6] {
+            assert_eq!(
+                found_pairs(&parallel_split_dag(b, k), b, &cfg),
+                expected,
+                "parallel k={k}"
+            );
+            assert_eq!(
+                found_pairs(&split_consolidate_dag(b, k), b, &cfg),
+                expected,
+                "consolidate k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn census_matches_the_splitting_closed_forms() {
+        let b = 6;
+        let k = 3;
+        let n = 1u64 << b;
+        let cfg = EngineConfig::sequential();
+        // One round: q = 2^{b/k}, pairs = k·2^b.
+        let (_, m) = split_dag(b, k).run(&all_strings(b), &cfg).unwrap();
+        assert_eq!(m.rounds.len(), 1);
+        assert_eq!(m.rounds[0].load.max, 1 << (b / k));
+        assert_eq!(m.rounds[0].kv_pairs, k as u64 * n);
+        // Parallel: k rounds of q = 2^{b/k}, pairs = 2^b each — identical
+        // totals, spread over nodes.
+        let (_, mp) = parallel_split_dag(b, k).run(&all_strings(b), &cfg).unwrap();
+        assert_eq!(mp.rounds.len(), k as usize);
+        for r in &mp.rounds {
+            assert_eq!(r.load.max, 1 << (b / k));
+            assert_eq!(r.kv_pairs, n);
+        }
+    }
+
+    #[test]
+    fn parallel_split_runs_in_one_stage_and_consolidate_in_two() {
+        assert_eq!(parallel_split_dag(6, 3).depth(), 1);
+        assert_eq!(split_consolidate_dag(6, 3).depth(), 2);
+    }
+
+    #[test]
+    fn variants_are_worker_count_independent() {
+        let b = 6;
+        for build in [
+            split_dag as fn(u32, u32) -> DagJob<HamToken>,
+            parallel_split_dag,
+            split_consolidate_dag,
+        ] {
+            let dag = build(b, 2);
+            let (seq, ms) = dag
+                .run(&all_strings(b), &EngineConfig::sequential())
+                .unwrap();
+            for workers in [1usize, 4, 16] {
+                let (par, mp) = dag
+                    .run(&all_strings(b), &EngineConfig::parallel(workers))
+                    .unwrap();
+                assert_eq!(seq, par, "workers={workers}");
+                assert_eq!(ms, mp, "workers={workers}");
+            }
+        }
+    }
+}

@@ -47,7 +47,7 @@ impl MappingSchema<HammingProblem> for PairsSchema {
 }
 
 /// Deletes segment `seg` (of width `width` bits) from `w`.
-fn remove_segment(w: u64, seg: u32, width: u32) -> u64 {
+pub(crate) fn remove_segment(w: u64, seg: u32, width: u32) -> u64 {
     let lo_bits = seg * width;
     let low = w & ((1u64 << lo_bits) - 1);
     let high = w >> (lo_bits + width);

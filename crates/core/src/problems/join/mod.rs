@@ -16,10 +16,16 @@
 //!   so Shares grids validate exhaustively like every other family;
 //! * [`bounds`] — the §5.5.1/§5.5.2 closed forms for chains and stars;
 //! * [`aggregate`] — two-round join-then-aggregate pipelines with and
-//!   without partial-aggregation push-down (§7.1's open direction).
+//!   without partial-aggregation push-down (§7.1's open direction);
+//! * [`pipeline`] — the same pipelines re-expressed as [`DagJob`]s over a
+//!   uniform token, including a three-round partial-merge tree, for the
+//!   planner's round-structure search.
+//!
+//! [`DagJob`]: mr_sim::DagJob
 
 pub mod aggregate;
 pub mod bounds;
+pub mod pipeline;
 pub mod problem;
 pub mod query;
 pub mod shares;
@@ -28,6 +34,7 @@ pub use aggregate::{count_by_first_var_naive, count_by_first_var_pushed};
 pub use bounds::{
     chain_lower_bound, chain_upper_bound, multiway_lower_bound, star_lower_bound, star_replication,
 };
+pub use pipeline::{naive_count_dag, pushed_count_dag, tagged_inputs, JoinToken};
 pub use problem::{MultiwayJoinProblem, SharesOverDomain};
 pub use query::{Database, Query};
 pub use shares::{optimize_shares, predicted_communication, SharesSchema};

@@ -12,12 +12,16 @@
 //! * [`matrix`] — dense matrices and the serial product baseline;
 //! * [`problem`] — the model instance, bounds, and the one-phase schema;
 //! * [`two_phase`] — the two-round job and its communication accounting;
+//! * [`recursive`] — the multi-round aggregation-tree generalisation the
+//!   planner's round-structure search enumerates (flat case ≡ two-phase,
+//!   proven byte-for-byte);
 //! * [`rectangular`] — the `m×n · n×p` generalisation (extension beyond
 //!   the paper's square case).
 
 pub mod matrix;
 pub mod problem;
 pub mod rectangular;
+pub mod recursive;
 pub mod two_phase;
 
 pub use matrix::Matrix;
@@ -25,4 +29,5 @@ pub use problem::{
     lower_bound_r, one_phase_communication, MatEntry, MatMulProblem, OnePhaseSchema,
 };
 pub use rectangular::{rect_lower_bound, RectMatMulProblem, RectOnePhaseSchema};
+pub use recursive::{MatToken, RecursiveMatMul};
 pub use two_phase::{two_phase_communication, TwoPhaseMatMul};

@@ -1,0 +1,415 @@
+//! Recursive multi-round matrix multiplication — the §6.3 two-phase
+//! method generalised to an aggregation *tree*.
+//!
+//! Phase 1 is exactly the two-phase method's first round: the `(i, j, k)`
+//! cube is tiled into `s × s × t` blocks and each block reducer emits
+//! partial sums for its `s²` cells, one partial per j-block. That leaves
+//! `m = n/t` partials per output cell, tagged with their j-block *group*.
+//! Instead of funnelling all `m` partials into one reducer (the two-phase
+//! method's second round), the aggregation proceeds in rounds of fan-in
+//! `f`: each round merges up to `f` adjacent groups per cell, so round
+//! `j` has reducer size `min(f, m_{j-1})` and after
+//! `d = ⌈log_f m⌉` rounds a single group — the final cell — remains.
+//!
+//! The flat case `f ≥ m` (one aggregation round) **is** the two-phase
+//! method, byte-for-byte — `flat_recursive_is_two_phase_byte_for_byte`
+//! below proves it against the independent
+//! [`TwoPhaseMatMul`](super::TwoPhaseMatMul) implementation. Deeper trees
+//! trade strictly more rounds (latency) and communication for smaller
+//! per-round reducers, which is exactly the trade the plan layer's
+//! round-structure search prices (§7's open multi-round question).
+
+use super::matrix::Matrix;
+use super::problem::{numeric_inputs, MatEntry, NumericEntry};
+use super::two_phase::Cell;
+use mr_sim::{DagJob, EngineConfig, EngineError, FnMapper, FnReducer, Job, JobMetrics};
+
+/// The uniform token a recursive-matmul [`DagJob`] flows between rounds:
+/// matrix entries in, tagged partial cells between and out of rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatToken {
+    /// An input matrix entry.
+    Entry(NumericEntry),
+    /// A partial sum for cell `(i, k)`: the group tag identifies which
+    /// contiguous run of j-blocks it covers, halving the aggregation
+    /// frontier every `log₂ f` rounds.
+    Partial {
+        /// Output row.
+        i: u32,
+        /// Output column.
+        k: u32,
+        /// Aggregation group (j-block index divided by `fᵈ` after `d`
+        /// aggregation rounds).
+        group: u32,
+        /// The partial sum's `f64` bits (big-endian, like [`Cell`]).
+        bits: [u8; 8],
+    },
+}
+
+/// Recursive matrix multiplication: one §6.3 phase-1 round followed by an
+/// aggregation tree of fan-in `fanin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursiveMatMul {
+    /// Matrix side length.
+    pub n: u32,
+    /// Row/column block side (must divide `n`).
+    pub s: u32,
+    /// j-dimension block depth (must divide `n`).
+    pub t: u32,
+    /// Aggregation fan-in `f ≥ 2` (or 1 when a single partial per cell
+    /// makes the tree trivial).
+    pub fanin: u32,
+}
+
+impl RecursiveMatMul {
+    /// Creates the job description.
+    ///
+    /// # Panics
+    /// Panics unless `s` and `t` divide `n`, and `fanin ≥ 2` (fan-in 1 is
+    /// admitted only in the trivial `t = n` case of one partial per
+    /// cell).
+    pub fn new(n: u32, s: u32, t: u32, fanin: u32) -> Self {
+        assert!(
+            s >= 1 && s <= n && n.is_multiple_of(s),
+            "s={s} must divide n={n}"
+        );
+        assert!(
+            t >= 1 && t <= n && n.is_multiple_of(t),
+            "t={t} must divide n={n}"
+        );
+        assert!(
+            fanin >= 2 || n / t == 1,
+            "fanin={fanin} must be at least 2 when m = n/t = {} partials need merging",
+            n / t
+        );
+        RecursiveMatMul { n, s, t, fanin }
+    }
+
+    /// The flat (single aggregation round) shape: fan-in `m = n/t`, i.e.
+    /// the classic §6.3 two-phase method.
+    pub fn flat(n: u32, s: u32, t: u32) -> Self {
+        RecursiveMatMul::new(n, s, t, (n / t).max(1))
+    }
+
+    /// Partials per output cell after phase 1, `m = n/t`.
+    fn m(&self) -> u64 {
+        (self.n / self.t) as u64
+    }
+
+    /// Number of aggregation rounds `d = ⌈log_fanin m⌉` (at least 1 —
+    /// even a single partial is copied through one aggregation round,
+    /// matching the two-phase method's round count).
+    pub fn agg_rounds(&self) -> u32 {
+        let mut groups = self.m();
+        let mut d = 0;
+        loop {
+            groups = groups.div_ceil(self.fanin as u64);
+            d += 1;
+            if groups <= 1 {
+                return d;
+            }
+        }
+    }
+
+    /// Total number of rounds, `1 + agg_rounds()`.
+    pub fn num_rounds(&self) -> u32 {
+        1 + self.agg_rounds()
+    }
+
+    /// Closed-form per-round `(q, kv_pairs)`, phase 1 first — the
+    /// census the planner prices without executing. Phase 1:
+    /// `q = 2st`, pairs `2n²·(n/s)`. Aggregation round `j` (with
+    /// `m_0 = n/t` groups shrinking by `fanin` each round):
+    /// `q = min(fanin, m_{j-1})`, pairs `n²·m_{j-1}`.
+    pub fn round_specs(&self) -> Vec<(u64, u64)> {
+        let n = self.n as u64;
+        let mut specs = vec![(
+            2 * self.s as u64 * self.t as u64,
+            2 * n * n * (n / self.s as u64),
+        )];
+        let mut groups = self.m();
+        loop {
+            specs.push((groups.min(self.fanin as u64), n * n * groups));
+            groups = groups.div_ceil(self.fanin as u64);
+            if groups <= 1 {
+                return specs;
+            }
+        }
+    }
+
+    /// Predicted total communication, `Σ` of the per-round pairs.
+    pub fn predicted_communication(&self) -> f64 {
+        self.round_specs().iter().map(|&(_, p)| p as f64).sum()
+    }
+
+    /// Encodes a phase-1 cube id from block coordinates (identical to the
+    /// two-phase method's encoding).
+    fn cube(&self, bi: u64, bk: u64, bj: u64) -> u64 {
+        let rb = (self.n / self.s) as u64;
+        let jb = (self.n / self.t) as u64;
+        (bi * rb + bk) * jb + bj
+    }
+
+    /// Builds the round chain as a [`DagJob`] over [`MatToken`]s — the
+    /// executable the plan layer stages, budgets, and measures per round.
+    pub fn dag(&self) -> DagJob<MatToken> {
+        let me = *self;
+        let (n, s, t, f) = (self.n, self.s, self.t, self.fanin);
+        let rb = (n / s) as u64;
+        let jb = (n / t) as u64;
+        let mut dag: DagJob<MatToken> = DagJob::new();
+
+        let phase1_map = FnMapper(
+            move |input: &MatToken, emit: &mut dyn FnMut(u64, MatToken)| {
+                let MatToken::Entry((entry, _bits)) = input else {
+                    unreachable!("phase 1 consumes matrix entries only");
+                };
+                match entry {
+                    MatEntry::R(i, j) => {
+                        let bi = (*i / s) as u64;
+                        let bj = (*j / t) as u64;
+                        for bk in 0..rb {
+                            emit(me.cube(bi, bk, bj), *input);
+                        }
+                    }
+                    MatEntry::S(j, k) => {
+                        let bj = (*j / t) as u64;
+                        let bk = (*k / s) as u64;
+                        for bi in 0..rb {
+                            emit(me.cube(bi, bk, bj), *input);
+                        }
+                    }
+                }
+            },
+        );
+        let phase1_reduce = FnReducer(
+            move |cube: &u64, inputs: &[MatToken], emit: &mut dyn FnMut(MatToken)| {
+                let bj = cube % jb;
+                let bk = (cube / jb) % rb;
+                let bi = cube / jb / rb;
+                let (row0, col0, j0) = (
+                    bi as usize * s as usize,
+                    bk as usize * s as usize,
+                    bj as usize * t as usize,
+                );
+                let (su, tu) = (s as usize, t as usize);
+                let mut rblock = vec![0.0f64; su * tu];
+                let mut sblock = vec![0.0f64; tu * su];
+                for token in inputs {
+                    let MatToken::Entry((e, bits)) = token else {
+                        unreachable!("phase 1 consumes matrix entries only");
+                    };
+                    let val = f64::from_bits(u64::from_be_bytes(*bits));
+                    match e {
+                        MatEntry::R(i, j) => {
+                            rblock[(*i as usize - row0) * tu + (*j as usize - j0)] = val;
+                        }
+                        MatEntry::S(j, k) => {
+                            sblock[(*j as usize - j0) * su + (*k as usize - col0)] = val;
+                        }
+                    }
+                }
+                for di in 0..su {
+                    for dk in 0..su {
+                        let mut acc = 0.0;
+                        for dj in 0..tu {
+                            acc += rblock[di * tu + dj] * sblock[dj * su + dk];
+                        }
+                        emit(MatToken::Partial {
+                            i: (row0 + di) as u32,
+                            k: (col0 + dk) as u32,
+                            group: bj as u32,
+                            bits: acc.to_bits().to_be_bytes(),
+                        });
+                    }
+                }
+            },
+        );
+        let mut prev = dag.add_round("phase-1", vec![], phase1_map, phase1_reduce);
+
+        for round in 0..self.agg_rounds() {
+            let agg_map = FnMapper(
+                move |token: &MatToken, emit: &mut dyn FnMut((u32, u32, u32), MatToken)| {
+                    let MatToken::Partial { i, k, group, .. } = token else {
+                        unreachable!("aggregation rounds consume partials only");
+                    };
+                    emit((*i, *k, group / f), *token);
+                },
+            );
+            let agg_reduce = FnReducer(
+                move |key: &(u32, u32, u32),
+                      partials: &[MatToken],
+                      emit: &mut dyn FnMut(MatToken)| {
+                    let sum: f64 = partials
+                        .iter()
+                        .map(|token| {
+                            let MatToken::Partial { bits, .. } = token else {
+                                unreachable!("aggregation rounds consume partials only");
+                            };
+                            f64::from_bits(u64::from_be_bytes(*bits))
+                        })
+                        .sum();
+                    emit(MatToken::Partial {
+                        i: key.0,
+                        k: key.1,
+                        group: key.2,
+                        bits: sum.to_bits().to_be_bytes(),
+                    });
+                },
+            );
+            prev = dag.add_round(
+                format!("aggregate-{}", round + 1),
+                vec![prev],
+                agg_map,
+                agg_reduce,
+            );
+        }
+        dag
+    }
+
+    /// The [`Job`]-shaped view of the chain, matching
+    /// [`TwoPhaseMatMul::job`](super::TwoPhaseMatMul::job)'s signature so
+    /// both shapes plug into the same execution paths.
+    pub fn job(&self) -> Job<NumericEntry, Cell> {
+        let me = *self;
+        Job::from_fn(me.num_rounds() as usize, move |inputs, cfg| {
+            let tokens: Vec<MatToken> = inputs.into_iter().map(MatToken::Entry).collect();
+            let (out, metrics) = me.dag().run(&tokens, cfg)?;
+            let cells = out
+                .into_iter()
+                .map(|token| {
+                    let MatToken::Partial { i, k, bits, .. } = token else {
+                        unreachable!("the final aggregation round emits partials only");
+                    };
+                    (i, k, bits)
+                })
+                .collect();
+            Ok((cells, metrics.rounds))
+        })
+    }
+
+    /// Runs the multiplication end to end.
+    pub fn run(
+        &self,
+        r: &Matrix,
+        s_mat: &Matrix,
+        config: &EngineConfig,
+    ) -> Result<(Matrix, JobMetrics), EngineError> {
+        let inputs = numeric_inputs(r, s_mat);
+        let (cells, metrics) = self.job().run(inputs, config)?;
+        let n = r.n();
+        let mut out = Matrix::zeros(n);
+        for (i, k, bits) in cells {
+            out[(i as usize, k as usize)] = f64::from_bits(u64::from_be_bytes(bits));
+        }
+        Ok((out, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::matmul::TwoPhaseMatMul;
+
+    #[test]
+    fn flat_recursive_is_two_phase_byte_for_byte() {
+        // The flat shape must reproduce the independent two-phase
+        // implementation exactly: outputs and per-round metrics.
+        let n = 8u32;
+        let a = Matrix::random(n as usize, 21);
+        let b = Matrix::random(n as usize, 22);
+        let inputs = numeric_inputs(&a, &b);
+        for (s, t) in [(2u32, 1u32), (4, 2), (2, 2), (8, 4)] {
+            let two = TwoPhaseMatMul::new(n, s, t);
+            let flat = RecursiveMatMul::flat(n, s, t);
+            assert_eq!(flat.num_rounds(), 2, "(s={s},t={t})");
+            let (cells2, m2) = two
+                .job()
+                .run(inputs.clone(), &EngineConfig::sequential())
+                .unwrap();
+            let (cellsr, mr) = flat
+                .job()
+                .run(inputs.clone(), &EngineConfig::sequential())
+                .unwrap();
+            assert_eq!(cells2, cellsr, "(s={s},t={t}) outputs");
+            assert_eq!(m2, mr, "(s={s},t={t}) metrics");
+        }
+    }
+
+    #[test]
+    fn deep_trees_compute_the_correct_product() {
+        let n = 12usize;
+        let a = Matrix::random(n, 31);
+        let b = Matrix::random(n, 32);
+        let expected = a.multiply(&b);
+        for (s, t, f) in [
+            (2u32, 1u32, 2u32),
+            (2, 1, 3),
+            (4, 2, 2),
+            (3, 1, 2),
+            (12, 12, 1),
+        ] {
+            let alg = RecursiveMatMul::new(n as u32, s, t, f);
+            let (got, metrics) = alg.run(&a, &b, &EngineConfig::sequential()).unwrap();
+            assert!(
+                got.max_abs_diff(&expected) < 1e-9,
+                "(s={s},t={t},f={f}): wrong product"
+            );
+            assert_eq!(
+                metrics.rounds.len(),
+                alg.num_rounds() as usize,
+                "(s={s},t={t},f={f})"
+            );
+        }
+    }
+
+    #[test]
+    fn round_specs_match_measured_census_exactly() {
+        let n = 8usize;
+        let a = Matrix::random(n, 41);
+        let b = Matrix::random(n, 42);
+        for (s, t, f) in [(2u32, 1u32, 2u32), (4, 2, 2), (2, 2, 4), (1, 1, 3)] {
+            let alg = RecursiveMatMul::new(n as u32, s, t, f);
+            let (_, metrics) = alg.run(&a, &b, &EngineConfig::sequential()).unwrap();
+            let specs = alg.round_specs();
+            assert_eq!(specs.len(), metrics.rounds.len(), "(s={s},t={t},f={f})");
+            for (round, (&(q, pairs), measured)) in specs.iter().zip(&metrics.rounds).enumerate() {
+                assert_eq!(measured.load.max, q, "(s={s},t={t},f={f}) round {round} q");
+                assert_eq!(
+                    measured.kv_pairs, pairs,
+                    "(s={s},t={t},f={f}) round {round} pairs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depth_follows_the_fanin() {
+        // m = 8 partials: fan-in 8 → 1 round, 3 → 2, 2 → 3.
+        assert_eq!(RecursiveMatMul::new(8, 1, 1, 8).agg_rounds(), 1);
+        assert_eq!(RecursiveMatMul::new(8, 1, 1, 3).agg_rounds(), 2);
+        assert_eq!(RecursiveMatMul::new(8, 1, 1, 2).agg_rounds(), 3);
+        // m = 1: the trivial copy-through round.
+        assert_eq!(RecursiveMatMul::new(8, 2, 8, 1).agg_rounds(), 1);
+    }
+
+    #[test]
+    fn parallel_tree_is_deterministic() {
+        let n = 8usize;
+        let a = Matrix::random(n, 51);
+        let b = Matrix::random(n, 52);
+        let alg = RecursiveMatMul::new(n as u32, 2, 1, 2);
+        let (seq, m1) = alg.run(&a, &b, &EngineConfig::sequential()).unwrap();
+        for workers in [1usize, 2, 4, 8, 16] {
+            let (par, m2) = alg.run(&a, &b, &EngineConfig::parallel(workers)).unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+            assert_eq!(m1, m2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least 2")]
+    fn rejects_fanin_one_with_work_to_merge() {
+        RecursiveMatMul::new(8, 2, 2, 1);
+    }
+}

@@ -31,6 +31,11 @@ pub struct ClusterSpec {
     /// Wall-clock price on the square of the reducer size (the `c·q²`
     /// single-reducer latency term of Example 1.1's footnote).
     pub latency_weight: f64,
+    /// Fixed price per sequential round of a multi-round plan (job
+    /// start-up, barrier, shuffle spin-up — the reason §6.3 asks when a
+    /// second phase *pays*). Charged once per level of a DAG's critical
+    /// path; `0` (the default) reproduces the single-round model exactly.
+    pub round_latency: f64,
 }
 
 impl Default for ClusterSpec {
@@ -44,6 +49,7 @@ impl Default for ClusterSpec {
             comm_weight: 1.0,
             compute_weight: 0.05,
             latency_weight: 0.0,
+            round_latency: 0.0,
         }
     }
 }
@@ -57,6 +63,7 @@ impl ClusterSpec {
             comm_weight,
             compute_weight,
             latency_weight: 0.0,
+            round_latency: 0.0,
         }
     }
 
@@ -81,6 +88,13 @@ impl ClusterSpec {
     /// Sets the wall-clock `c·q²` weight.
     pub fn with_latency_weight(mut self, c: f64) -> Self {
         self.latency_weight = c;
+        self
+    }
+
+    /// Sets the fixed per-round price `ℓ` charged per critical-path level
+    /// of a multi-round plan.
+    pub fn with_round_latency(mut self, l: f64) -> Self {
+        self.round_latency = l;
         self
     }
 
@@ -121,7 +135,11 @@ impl ClusterSpec {
             } else {
                 String::new()
             }
-        )
+        ) + &if self.round_latency != 0.0 {
+            format!(" + {}·rounds", self.round_latency)
+        } else {
+            String::new()
+        }
     }
 }
 
@@ -167,6 +185,12 @@ mod tests {
                 .with_latency_weight(0.5)
                 .describe(),
             "workers=2, q-budget=64, cost = 2·r + 1·q + 0.5·q²"
+        );
+        assert_eq!(
+            ClusterSpec::new(2, 2.0, 1.0)
+                .with_round_latency(0.25)
+                .describe(),
+            "workers=2, q-budget=unbounded, cost = 2·r + 1·q + 0.25·rounds"
         );
     }
 }

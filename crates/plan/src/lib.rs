@@ -24,20 +24,32 @@
 //! * every [`Plan`] is **runnable**:
 //!   [`Plan::execute`] lowers the choice onto the
 //!   [`DynFamily`](mr_core::family::DynFamily) registry /
-//!   [`mr_sim::run_schema_dyn`] path (or the two-round §6.3 job), under a
-//!   reducer budget equal to its own prediction, and reports measured
-//!   `(q, r, cost)` next to the predicted ones.
+//!   [`mr_sim::run_schema_dyn`] path (or a multi-round matmul tree),
+//!   under a reducer budget equal to its own prediction, and reports
+//!   measured `(q, r, cost)` next to the predicted ones;
+//! * the [`dag`] module generalises the plan *shape*: a
+//!   [`RoundDag`] is a DAG of rounds with per-round census-exact
+//!   `(q, r)` and cost `Σ rounds (a·r + b·q + c·q²) + ℓ·depth`, and
+//!   [`plan_dag`] searches a workload's round structures (one-phase,
+//!   flat two-phase, deeper aggregation trees, join→aggregate
+//!   pipelines, multi-round Hamming splitting) so the §6.3 crossover is
+//!   *found* by costing rather than special-cased.
 //!
-//! The `repro plan` experiment in `mr-bench` drives this end to end, and
-//! its planner-vs-sweep parity battery proves the planner's pick matches
-//! the empirically-cheapest sweep point for every registry family.
+//! The `repro plan` and `repro dag` experiments in `mr-bench` drive this
+//! end to end, and the planner-vs-sweep and DAG parity batteries prove
+//! the planner's pick matches the empirically-cheapest alternative.
 
 pub mod cluster;
+pub mod dag;
 pub mod delta;
 pub mod plan;
 pub mod planner;
 
 pub use cluster::ClusterSpec;
+pub use dag::{
+    enumerate_dag_candidates, plan_all_dags, plan_dag, DagCandidate, DagPlan, DagPlanReport,
+    DagStructure, DagWorkload, RoundDag, RoundObservation, RoundSpec,
+};
 pub use delta::{plan_delta, DeltaPlan};
 pub use plan::{Choice, Plan, PlanReport};
 pub use planner::{plan_all, plan_family, plannable_families, planners, PlanError, Planner};

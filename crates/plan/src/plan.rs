@@ -3,8 +3,8 @@
 use crate::cluster::ClusterSpec;
 use mr_core::family::{family_by_name, Scale};
 use mr_core::problems::matmul::problem::numeric_inputs;
-use mr_core::problems::matmul::{Matrix, TwoPhaseMatMul};
-use mr_sim::EngineConfig;
+use mr_core::problems::matmul::{Matrix, RecursiveMatMul};
+use mr_sim::{EngineConfig, EngineError};
 use std::time::Duration;
 
 /// The algorithm a plan commits to, in lowerable form.
@@ -19,17 +19,21 @@ pub enum Choice {
         /// Index into the family's [`grid`](mr_core::family::DynFamily::grid).
         point: usize,
     },
-    /// The §6.3 two-round matrix-multiplication job with first-phase
-    /// blocks of `s × s × t` — the algorithm the one-phase registry grid
-    /// cannot express, chosen whenever the reducer budget drops below
-    /// `n²`.
-    TwoPhaseMatMul {
+    /// A multi-round matrix-multiplication aggregation tree — the
+    /// algorithms the one-phase registry grid cannot express, chosen by
+    /// the round-structure search whenever some tree prices below every
+    /// grid point (e.g. whenever the reducer budget drops below `n²`).
+    /// `fanin = n/t` is exactly the §6.3 two-phase method; smaller
+    /// fan-ins are deeper trees.
+    MatMulTree {
         /// Matrix side length.
         n: u32,
         /// Row/column block side (divides `n`).
         s: u32,
         /// j-dimension block depth (divides `n`).
         t: u32,
+        /// Aggregation-tree fan-in.
+        fanin: u32,
     },
 }
 
@@ -47,15 +51,15 @@ pub struct Plan {
     /// The cluster the plan was made for (costs and execution workers).
     pub cluster: ClusterSpec,
     /// Predicted maximum reducer load. Exact: grid points are priced by
-    /// [`AssignCensus`](mr_core::family::AssignCensus), the two-phase job
-    /// by its closed-form block loads — so execution runs under this very
-    /// value as a hard budget.
+    /// [`AssignCensus`](mr_core::family::AssignCensus), multi-round trees
+    /// by their closed-form per-round loads — so execution runs under
+    /// this very value as a hard budget.
     pub predicted_q: u64,
     /// Predicted replication rate (for multi-round choices: total
     /// communication over `|I|`).
     pub predicted_r: f64,
     /// Predicted shuffled key-value pairs (census pairs for grid points,
-    /// total §6.3 communication for the two-phase job). Exact, like the
+    /// total multi-round communication for trees). Exact, like the
     /// other predictions — and threaded into execution as the engine's
     /// [`pairs_hint`](mr_sim::EngineConfig::pairs_hint), so the emission
     /// buffers of a planned run are sized right up front instead of
@@ -90,29 +94,31 @@ pub struct PlanReport {
 impl Plan {
     /// Executes the plan on the cluster's engine. See
     /// [`execute_with`](Plan::execute_with).
-    pub fn execute(&self) -> PlanReport {
+    pub fn execute(&self) -> Result<PlanReport, EngineError> {
         self.execute_with(&self.cluster.engine())
     }
 
     /// Executes the plan on the given engine, **under its own prediction
-    /// as the reducer budget**: the round runs with
+    /// as the reducer budget**: every round runs with
     /// `max_reducer_inputs = predicted_q`, so a plan whose prediction
     /// undershot reality aborts loudly instead of reporting a happy
     /// number. Predictions are exact by construction, so this is a
-    /// self-check that every execution re-proves.
+    /// self-check that every execution re-proves; an
+    /// [`EngineError::ReducerOverflow`] here means the planner itself is
+    /// wrong, and it is *reported*, not panicked, so callers (the CLI,
+    /// the experiments) surface it like any other refusal.
     ///
     /// The prediction also feeds the engine's performance side:
     /// `predicted_pairs` becomes the round's
     /// [`pairs_hint`](EngineConfig::pairs_hint), pre-sizing the columnar
-    /// emission buffers exactly. (For the two-phase job the hint is the
-    /// *total* two-round communication — each round over-reserves a
-    /// little, which is harmless for a capacity hint.)
+    /// emission buffers exactly. (For multi-round trees the hint is the
+    /// *total* communication — each round over-reserves a little, which
+    /// is harmless for a capacity hint.)
     ///
     /// # Panics
-    /// Panics if the predicted budget overflows (a planner bug by
-    /// definition), or if the plan's family/point no longer exists in the
+    /// Panics if the plan's family/point no longer exists in the
     /// registry.
-    pub fn execute_with(&self, engine: &EngineConfig) -> PlanReport {
+    pub fn execute_with(&self, engine: &EngineConfig) -> Result<PlanReport, EngineError> {
         let budgeted = engine
             .clone()
             .with_max_reducer_inputs(self.predicted_q)
@@ -122,37 +128,49 @@ impl Plan {
                 let fam = family_by_name(self.family, scale)
                     .unwrap_or_else(|| panic!("family {} not in the registry", self.family));
                 let fp = fam.run(point, &budgeted);
-                PlanReport {
+                Ok(PlanReport {
                     measured_q: fp.measured.q,
                     measured_r: fp.measured.r,
-                    measured_cost: self.cluster.cost(fp.measured.q as f64, fp.measured.r),
+                    // One round pays the per-round latency charge once,
+                    // mirroring the planner's pricing (0 by default).
+                    measured_cost: self.cluster.cost(fp.measured.q as f64, fp.measured.r)
+                        + self.cluster.round_latency,
                     outputs: fp.measured.outputs,
                     wall: fp.wall,
                     plan: self.clone(),
-                }
+                })
             }
-            Choice::TwoPhaseMatMul { n, s, t } => {
+            Choice::MatMulTree { n, s, t, fanin } => {
                 // The same instance the registry's matmul family builds
-                // (seeds included), so one- and two-phase plans are
+                // (seeds included), so one- and multi-round plans are
                 // directly comparable.
                 let a = Matrix::random(n as usize, 3);
                 let b = Matrix::random(n as usize, 4);
                 let inputs = numeric_inputs(&a, &b);
                 let num_inputs = inputs.len() as f64;
-                let job = TwoPhaseMatMul::new(n, s, t).job();
-                let (out, metrics, wall) = job
-                    .run_timed(inputs, &budgeted)
-                    .expect("a two-phase plan overflowed its own predicted budget");
+                let job = RecursiveMatMul::new(n, s, t, fanin).job();
+                let (out, metrics, wall) = job.run_timed(inputs, &budgeted)?;
                 let measured_q = metrics.max_reducer_load();
                 let measured_r = metrics.total_communication() as f64 / num_inputs;
-                PlanReport {
+                // Per-round pricing plus the latency charge per round —
+                // the chain's depth equals its round count.
+                let measured_cost = metrics
+                    .rounds
+                    .iter()
+                    .map(|m| {
+                        self.cluster
+                            .cost(m.load.max as f64, m.kv_pairs as f64 / num_inputs)
+                    })
+                    .sum::<f64>()
+                    + self.cluster.round_latency * metrics.rounds.len() as f64;
+                Ok(PlanReport {
                     measured_q,
                     measured_r,
-                    measured_cost: self.cluster.cost(measured_q as f64, measured_r),
+                    measured_cost,
                     outputs: out.len() as u64,
                     wall,
                     plan: self.clone(),
-                }
+                })
             }
         }
     }
@@ -176,7 +194,7 @@ mod tests {
         let cluster = ClusterSpec::default();
         let plan = plan_family("triangles", &cluster, Scale::Small).unwrap();
         assert!(matches!(plan.choice, Choice::Registry { .. }));
-        let report = plan.execute();
+        let report = plan.execute().unwrap();
         assert_eq!(report.measured_q, plan.predicted_q);
         assert!((report.measured_r - plan.predicted_r).abs() < 1e-12);
         assert!((report.measured_cost - plan.predicted_cost).abs() < 1e-9);
@@ -186,13 +204,13 @@ mod tests {
 
     #[test]
     fn two_phase_plan_roundtrips_exactly() {
-        // Small-scale matmul n = 4: a budget below n² = 16 forces the
-        // two-phase job; its closed-form predictions must match the
-        // two-round execution to the pair.
+        // Small-scale matmul n = 4: a budget below n² = 16 forces a
+        // multi-round tree; its closed-form predictions must match the
+        // multi-round execution to the pair.
         let cluster = ClusterSpec::default().with_q_budget(8);
         let plan = plan_family("matmul", &cluster, Scale::Small).unwrap();
-        assert!(matches!(plan.choice, Choice::TwoPhaseMatMul { .. }));
-        let report = plan.execute();
+        assert!(matches!(plan.choice, Choice::MatMulTree { .. }));
+        let report = plan.execute().unwrap();
         assert_eq!(report.measured_q, plan.predicted_q);
         assert!(
             (report.measured_r - plan.predicted_r).abs() < 1e-12,
@@ -200,15 +218,37 @@ mod tests {
             plan.predicted_r,
             report.measured_r
         );
+        assert!(
+            (report.measured_cost - plan.predicted_cost).abs() < 1e-9,
+            "predicted cost={}, measured {}",
+            plan.predicted_cost,
+            report.measured_cost
+        );
         assert_eq!(report.outputs, 16); // n² product cells
+    }
+
+    #[test]
+    fn a_wrong_prediction_surfaces_as_reducer_overflow() {
+        // Corrupting a tree plan's budget must come back as an engine
+        // error, not a panic: planner bugs are reported like any other
+        // refusal.
+        let cluster = ClusterSpec::default().with_q_budget(8);
+        let mut plan = plan_family("matmul", &cluster, Scale::Small).unwrap();
+        assert!(matches!(plan.choice, Choice::MatMulTree { .. }));
+        plan.predicted_q = 3;
+        let err = plan.execute().unwrap_err();
+        assert!(
+            matches!(err, EngineError::ReducerOverflow { limit: 3, .. }),
+            "wrong error: {err:?}"
+        );
     }
 
     #[test]
     fn execution_is_engine_worker_independent() {
         let cluster = ClusterSpec::default();
         let plan = plan_family("two-path", &cluster, Scale::Small).unwrap();
-        let seq = plan.execute_with(&EngineConfig::sequential());
-        let par = plan.execute_with(&EngineConfig::parallel(8));
+        let seq = plan.execute_with(&EngineConfig::sequential()).unwrap();
+        let par = plan.execute_with(&EngineConfig::parallel(8)).unwrap();
         assert_eq!(seq.measured_q, par.measured_q);
         assert_eq!(seq.measured_r, par.measured_r);
         assert_eq!(seq.outputs, par.outputs);

@@ -2,9 +2,9 @@
 //! share-exponent LP for joins, and exact census pricing everywhere.
 
 use crate::cluster::ClusterSpec;
+use crate::dag::{enumerate_dag_candidates, DagCandidate, DagStructure, DagWorkload};
 use crate::plan::{Choice, Plan};
 use mr_core::family::{family_by_name, AssignCensus, DynFamily, Scale};
-use mr_core::problems::matmul::{one_phase_communication, two_phase_communication};
 use mr_lp::cover::share_exponents;
 use mr_lp::{Hypergraph, LpError};
 
@@ -65,11 +65,11 @@ pub trait Planner: Send + Sync {
     fn family(&self) -> &'static str;
 
     /// Produces the cheapest plan for `cluster` at `scale` — cheapest
-    /// among the family's single-round candidates under the cluster's
-    /// cost weights; algorithm-structure decisions the paper makes by a
-    /// different criterion (the §6 phase crossover, which compares
-    /// communication at the budget) follow the paper and are documented
-    /// on the planner concerned.
+    /// among the family's candidates under the cluster's cost weights.
+    /// For families with multi-round structures (matmul), candidates
+    /// from the round-structure search in [`crate::dag`] compete in the
+    /// same pricing, so the §6 phase crossover is *found*, not
+    /// special-cased.
     fn plan(&self, cluster: &ClusterSpec, scale: Scale) -> Result<Plan, PlanError>;
 }
 
@@ -124,7 +124,10 @@ fn cheapest_grid_plan(
             continue;
         }
         feasible += 1;
-        let cost = cluster.cost(census.q as f64, census.r);
+        // A grid point is one round, so it pays the per-round latency
+        // charge exactly once (a no-op at the default ℓ = 0) — the same
+        // model multi-round DAG candidates are priced under.
+        let cost = cluster.cost(census.q as f64, census.r) + cluster.round_latency;
         if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(Candidate {
                 point,
@@ -290,44 +293,71 @@ impl Planner for JoinPlanner {
     }
 }
 
-/// Matrix multiplication (§6): one-phase tiling, or the two-round job
-/// when the reducer budget crosses below `n²`.
+/// Matrix multiplication (§6): the round-structure search decides the
+/// number of phases.
 ///
-/// **Contract of the phase dispatch.** The one- vs two-phase decision is
-/// the paper's, not the cost model's: §6.3 compares *communication* at a
-/// fixed reducer budget (`4n³/√q` vs `4n⁴/q`), which flips exactly at
-/// `q = n²`, and this planner reproduces that boundary exactly —
-/// budget `< n²` ⇒ two-phase, `≥ n²` (or unbounded) ⇒ one-phase. The
-/// cluster's `a·r + b·q (+ c·q²)` weights choose *within* the one-phase
-/// grid; they do not move the phase boundary. (A single-round cost model
-/// priced against a two-round job would be comparing unlike quantities —
-/// e.g. a compute-heavy weight on the two-phase job's small first-phase
-/// `q` ignores that its partials cross the network a second time.)
-/// Likewise the two-phase block shape minimises §6.3 communication
-/// subject to the budget, tie-breaking toward the smallest `(s, t)`.
+/// **Contract of the phase dispatch.** One-phase tiling, the flat §6.3
+/// two-phase method, and the deeper recursive aggregation trees are all
+/// priced under the *same* per-round model
+/// `Σ rounds (a·r + b·q + c·q²) + ℓ·depth` (see [`crate::dag`]), and the
+/// cheapest admissible structure wins. The §6.3 crossover at `q = n²`
+/// falls out of this search rather than being special-cased: below the
+/// boundary no one-phase point fits the budget, so the flat tree wins;
+/// at and above it the one-phase grid is cheaper under
+/// communication-leaning weights. A cost **tie breaks toward the
+/// multi-round structure** — equal money, but its per-round reducers
+/// are smaller, which is the resource the budget actually constrains.
+/// (Exactly at the crossover the flat tree and the one-phase point tie
+/// in communication, so the boundary stays at `q = n²`.)
 pub struct MatMulPlanner;
 
 impl MatMulPlanner {
-    /// The communication-cheapest two-phase divisor shape whose loads —
-    /// `2st` in phase 1, `n/t` in phase 2 — both fit `budget`. Ties break
-    /// toward the lexicographically smallest `(s, t)`.
-    fn best_two_phase_shape(n: u32, budget: u64) -> Option<(u32, u32, u64)> {
-        let divisors: Vec<u32> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
-        let n3 = (n as u64).pow(3);
-        let mut best: Option<(u32, u32, u64)> = None;
-        for &s in &divisors {
-            for &t in &divisors {
-                let load = (2 * s as u64 * t as u64).max((n / t) as u64);
-                if load > budget {
-                    continue;
-                }
-                let comm = 2 * n3 / s as u64 + n3 / t as u64;
-                if best.is_none_or(|(_, _, c)| comm < c) {
-                    best = Some((s, t, comm));
-                }
-            }
+    /// The cheapest admissible multi-round candidate from the DAG
+    /// search, if any (first-wins on ties — candidate order is fixed).
+    fn best_tree(cluster: &ClusterSpec, scale: Scale) -> Option<DagCandidate> {
+        enumerate_dag_candidates(DagWorkload::MatMul, scale)
+            .into_iter()
+            .filter(|c| {
+                matches!(c.structure, DagStructure::MatMulTree { .. }) && c.dag.admitted_by(cluster)
+            })
+            .min_by(|a, b| {
+                a.dag
+                    .cost(cluster)
+                    .partial_cmp(&b.dag.cost(cluster))
+                    .unwrap()
+            })
+    }
+
+    /// Packages a winning tree candidate as a [`Plan`].
+    fn tree_plan(tree: &DagCandidate, cluster: &ClusterSpec, grid_cost: Option<f64>) -> Plan {
+        let DagStructure::MatMulTree { n, s, t, fanin } = tree.structure else {
+            unreachable!("best_tree only returns tree candidates");
+        };
+        let cost = tree.dag.cost(cluster);
+        let against = match grid_cost {
+            Some(g) => format!("beats the cheapest one-phase grid point ({})", fmt(g)),
+            None => "no one-phase grid point fits the budget".to_string(),
+        };
+        Plan {
+            family: "matmul",
+            schema: tree.structure.name(),
+            choice: Choice::MatMulTree { n, s, t, fanin },
+            cluster: cluster.clone(),
+            predicted_q: tree.dag.max_q(),
+            predicted_r: tree.dag.replication(),
+            predicted_pairs: tree.dag.total_pairs(),
+            predicted_cost: cost,
+            rationale: format!(
+                "§6 crossover found by round-structure search: {} at per-round cost {} \
+                 {}. Rounds [{}]; total communication {}, max reducer load {}.",
+                tree.structure.name(),
+                fmt(cost),
+                against,
+                tree.dag.describe(),
+                tree.dag.total_pairs(),
+                tree.dag.max_q(),
+            ),
         }
-        best
     }
 }
 
@@ -339,49 +369,31 @@ impl Planner for MatMulPlanner {
     fn plan(&self, cluster: &ClusterSpec, scale: Scale) -> Result<Plan, PlanError> {
         let fam = registry_family(self.family(), scale);
         let n = param(&*fam, "n") as u32;
-        let n_sq = n as u64 * n as u64;
-        // One phase can use at most q = 2n² (a single reducer, r = 1);
-        // an unbounded cluster is equivalent to that budget.
-        let budget = cluster.reducer_capacity.unwrap_or(2 * n_sq).min(2 * n_sq);
-        let q = budget as f64;
-        // §6.3: two-phase total communication 4n³/√q beats the one-phase
-        // 4n⁴/q exactly when q < n² (they tie at q = n²).
-        if two_phase_communication(n, q) < one_phase_communication(n, q) {
-            let (s, t, comm) =
-                Self::best_two_phase_shape(n, budget).ok_or(PlanError::NoFeasiblePoint {
-                    family: self.family(),
-                    budget,
-                })?;
-            let predicted_q = (2 * s as u64 * t as u64).max((n / t) as u64);
-            let predicted_r = comm as f64 / (2 * n_sq) as f64;
-            let predicted_cost = cluster.cost(predicted_q as f64, predicted_r);
-            return Ok(Plan {
-                family: self.family(),
-                schema: format!("two-phase(n={n}, s={s}, t={t})"),
-                choice: Choice::TwoPhaseMatMul { n, s, t },
-                cluster: cluster.clone(),
-                predicted_q,
-                predicted_r,
-                predicted_pairs: comm,
-                predicted_cost,
-                rationale: format!(
-                    "§6 crossover: budget q={budget} < n²={n_sq}, where two-phase \
-                     communication 4n³/√q beats one-phase 4n⁴/q. Best divisor shape \
-                     s={s}, t={t} (Lagrangean optimum is s=2t): total communication \
-                     {comm} = 2n³/s + n³/t, reducer loads max(2st, n/t) = {predicted_q}."
-                ),
-            });
-        }
-        cheapest_grid_plan(
+        let grid = cheapest_grid_plan(
             &*fam,
             cluster,
             scale,
             &format!(
                 "§6.1–6.2: one-phase square tiling sits exactly on r = 2n²/q (n={n}), and \
-                 with budget q={budget} ≥ n²={n_sq} it also communicates least (the §6.3 \
-                 crossover to two-phase lies at q = n²)"
+                 under this cluster it prices below every §6.3-style multi-round \
+                 aggregation tree the round-structure search enumerated"
             ),
-        )
+        );
+        match (Self::best_tree(cluster, scale), grid) {
+            (Some(tree), Ok(grid_plan)) => {
+                if tree.dag.cost(cluster) <= grid_plan.predicted_cost {
+                    Ok(Self::tree_plan(
+                        &tree,
+                        cluster,
+                        Some(grid_plan.predicted_cost),
+                    ))
+                } else {
+                    Ok(grid_plan)
+                }
+            }
+            (Some(tree), Err(_)) => Ok(Self::tree_plan(&tree, cluster, None)),
+            (None, grid) => grid,
+        }
     }
 }
 
@@ -502,7 +514,7 @@ mod tests {
             )
             .unwrap();
             assert!(
-                matches!(plan.choice, Choice::TwoPhaseMatMul { .. }),
+                matches!(plan.choice, Choice::MatMulTree { .. }),
                 "budget {budget}: expected two-phase, got {}",
                 plan.schema
             );

@@ -11,6 +11,18 @@ fn weights() -> impl Strategy<Value = (f64, f64, f64)> {
     (0.001f64..100.0, 0.001f64..100.0, 0.0f64..0.1)
 }
 
+/// Communication-leaning weights: compute and latency priced well below
+/// communication (`b = a·f` with `f ≤ 0.05`, `c = a·g` with
+/// `g ≤ 0.0002`). This is the regime where §6.3's communication
+/// comparison is the whole story — under the per-round cost model,
+/// sufficiently compute- or latency-heavy weights *legitimately* prefer
+/// a multi-round tree even above `q = n²` (its per-round reducers are
+/// smaller), so the paper's crossover boundary is a theorem about
+/// comm-dominated clusters, and that is what we pin.
+fn comm_leaning_weights() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.001f64..100.0, 0.001f64..0.05, 0.0f64..0.0002).prop_map(|(a, f, g)| (a, a * f, a * g))
+}
+
 fn cluster(a: f64, b: f64, c: f64, capacity: Option<u64>) -> ClusterSpec {
     let mut spec = ClusterSpec::new(2, a, b).with_latency_weight(c);
     spec.reducer_capacity = capacity;
@@ -20,12 +32,14 @@ fn cluster(a: f64, b: f64, c: f64, capacity: Option<u64>) -> ClusterSpec {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Small-scale matmul has n = 4, n² = 16: whatever the cost weights,
-    /// a budget at or above n² (or no budget) must never produce a
-    /// two-phase plan — §6.3's crossover condition is `q < n²` strictly.
+    /// Small-scale matmul has n = 4, n² = 16: under comm-leaning
+    /// weights, a budget at or above n² (or no budget) must never
+    /// produce a multi-round plan — §6.3's crossover condition is
+    /// `q < n²` strictly, and the round-structure search must rediscover
+    /// it for every such cluster.
     #[test]
-    fn matmul_never_two_phase_at_or_above_n_squared(
-        w in weights(),
+    fn matmul_stays_one_phase_at_or_above_n_squared(
+        w in comm_leaning_weights(),
         budget in 16u64..400,
         bounded in 0u32..2,
     ) {
@@ -39,17 +53,21 @@ proptest! {
         );
     }
 
-    /// Below n² the same planner must always switch to two-phase.
+    /// Below n² the search must always land on a multi-round tree, for
+    /// *any* weights: whenever the one-phase point q = 2n fits at all,
+    /// the flat (s=2, t=1) tree prices at most equal (4a + 8b + 32c vs
+    /// 4a + 8b + 64c) and the cost tie breaks toward the smaller
+    /// per-round reducers.
     #[test]
-    fn matmul_always_two_phase_below_n_squared(
+    fn matmul_always_multi_round_below_n_squared(
         w in weights(),
         budget in 4u64..16,
     ) {
         let (a, b, c) = w;
         let plan = plan_family("matmul", &cluster(a, b, c, Some(budget)), Scale::Small)
-            .expect("budgets ≥ 4 admit a two-phase shape at n = 4");
+            .expect("budgets ≥ 4 admit a flat tree shape at n = 4");
         prop_assert!(
-            matches!(plan.choice, Choice::TwoPhaseMatMul { .. }),
+            matches!(plan.choice, Choice::MatMulTree { .. }),
             "budget {budget} picked {}", plan.schema
         );
         prop_assert!(plan.predicted_q <= budget);
@@ -73,7 +91,7 @@ proptest! {
         let capacity = if bounded == 1 { Some(budget) } else { None };
         match plan_family(family, &cluster(a, b, c, capacity), Scale::Small) {
             Ok(plan) => {
-                let report = plan.execute();
+                let report = plan.execute().expect("a plan overflowed its own prediction");
                 prop_assert!(
                     report.measured_q <= plan.predicted_q,
                     "{family}: measured q={} over predicted {}",

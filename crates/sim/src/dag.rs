@@ -1,0 +1,505 @@
+//! A DAG of map-reduce rounds over one token type.
+//!
+//! [`Job`](crate::Job) chains rounds linearly with full type-safety;
+//! planners need more: a **DAG** whose nodes are rounds, whose edges say
+//! "this round's reduce output is (part of) that round's map input", and
+//! whose per-node execution can be budgeted and measured individually.
+//! [`DagJob`] is that executor. It trades `Job`'s per-round typing for a
+//! single *token* type `T` shared by every round (an enum in practice),
+//! which is what lets arbitrary topologies be built at run time — the
+//! plan layer's round-structure search enumerates these.
+//!
+//! Execution contract (the same one every other path in this crate
+//! obeys):
+//!
+//! * **Determinism** — outputs and semantic [`RoundMetrics`] are
+//!   byte-identical at every worker count, because each round runs on the
+//!   engine's order-insensitive shuffle and the staging below is fixed by
+//!   the topology, not by thread timing.
+//! * **Budget aborts** — each node may carry its own reducer budget;
+//!   within a round the engine reports the smallest over-budget key
+//!   (its smallest-offender contract), and when several nodes of one
+//!   stage fail, the error of the smallest node index is returned, so
+//!   multi-node failures are deterministic too.
+//! * **Staging** — nodes execute in ASAP levels (a node runs as soon as
+//!   all its dependencies have), one [`std::thread::scope`] per level
+//!   with concurrently-running nodes joined in index order.
+
+use crate::delta::{run_round_on, Pipeline};
+use crate::engine::{run_round, EngineConfig, EngineError};
+use crate::mapper::{FnMapper, FnReducer, Mapper, Reducer};
+use crate::metrics::{JobMetrics, RoundMetrics};
+use crate::schema::{ReducerId, SchemaJob};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+type NodeFn<T> =
+    Box<dyn Fn(&[T], &EngineConfig) -> Result<(Vec<T>, RoundMetrics), EngineError> + Sync>;
+
+/// One node's run outcome, tagged with its index so a level's parallel
+/// results can be re-ordered deterministically.
+type NodeOutcome<T> = (usize, Result<(Vec<T>, RoundMetrics), EngineError>);
+
+/// One round of a [`DagJob`]: a name, the rounds feeding it, optional
+/// per-round engine overrides, and the round body.
+struct DagNode<T> {
+    name: String,
+    deps: Vec<usize>,
+    budget: Option<u64>,
+    pairs_hint: Option<u64>,
+    run: NodeFn<T>,
+}
+
+/// A DAG of map-reduce rounds over a uniform token type `T`.
+///
+/// Nodes are added in topological order (every dependency index must be
+/// smaller than the node's own index). Nodes without dependencies read
+/// the external inputs; a node with dependencies reads the concatenation
+/// of its dependencies' outputs in declaration order. The job's outputs
+/// are the concatenated outputs of every *sink* (a node no other node
+/// depends on), in node order.
+pub struct DagJob<T> {
+    nodes: Vec<DagNode<T>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> Default for DagJob<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> DagJob<T> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        DagJob { nodes: Vec::new() }
+    }
+
+    /// Adds a round from an arbitrary body closure, returning its node
+    /// index. The escape hatch behind [`add_round`](Self::add_round) /
+    /// [`add_schema_round`](Self::add_schema_round).
+    ///
+    /// # Panics
+    /// Panics unless every dependency index refers to an earlier node.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        deps: Vec<usize>,
+        run: impl Fn(&[T], &EngineConfig) -> Result<(Vec<T>, RoundMetrics), EngineError>
+            + Sync
+            + 'static,
+    ) -> usize {
+        let idx = self.nodes.len();
+        assert!(
+            deps.iter().all(|&d| d < idx),
+            "node {idx}: dependencies must point at earlier nodes (got {deps:?})"
+        );
+        self.nodes.push(DagNode {
+            name: name.into(),
+            deps,
+            budget: None,
+            pairs_hint: None,
+            run: Box::new(run),
+        });
+        idx
+    }
+
+    /// Adds a mapper/reducer round, returning its node index.
+    ///
+    /// # Panics
+    /// Panics unless every dependency index refers to an earlier node.
+    pub fn add_round<K, V, M, R>(
+        &mut self,
+        name: impl Into<String>,
+        deps: Vec<usize>,
+        mapper: M,
+        reducer: R,
+    ) -> usize
+    where
+        K: Ord + Hash + Debug + Send + Sync + 'static,
+        V: Send + Sync + 'static,
+        M: Mapper<T, K, V> + 'static,
+        R: Reducer<K, V, T> + 'static,
+    {
+        self.add_node(name, deps, move |inputs, cfg| {
+            run_round(inputs, &mapper, &reducer, cfg)
+        })
+    }
+
+    /// Adds a round executing a [`SchemaJob`] on the selected shuffle
+    /// [`Pipeline`] — the DAG-shaped view of
+    /// [`run_schema`](crate::run_schema), byte-identical to it (the
+    /// degenerate single-node DAG *is* `run_schema`).
+    ///
+    /// # Panics
+    /// Panics unless every dependency index refers to an earlier node.
+    pub fn add_schema_round<S>(
+        &mut self,
+        name: impl Into<String>,
+        deps: Vec<usize>,
+        schema: S,
+        pipeline: Pipeline,
+    ) -> usize
+    where
+        S: SchemaJob<T, T> + 'static,
+    {
+        self.add_node(name, deps, move |inputs, cfg| {
+            let mapper = FnMapper(|input: &T, emit: &mut dyn FnMut(ReducerId, T)| {
+                for r in schema.assign(input) {
+                    emit(r, input.clone());
+                }
+            });
+            let reducer = FnReducer(|rid: &ReducerId, vs: &[T], emit: &mut dyn FnMut(T)| {
+                schema.reduce(*rid, vs, emit)
+            });
+            run_round_on(pipeline, inputs, &mapper, &reducer, cfg)
+        })
+    }
+
+    /// Sets a per-node reducer budget: the node's round runs with
+    /// `max_reducer_inputs = q`, overriding the base configuration's
+    /// budget for that round only.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn set_budget(&mut self, node: usize, q: u64) {
+        self.nodes[node].budget = Some(q);
+    }
+
+    /// Sets a per-node pairs hint (a pure performance knob — see
+    /// [`EngineConfig::with_pairs_hint`]), overriding the base
+    /// configuration's hint for that round only.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn set_pairs_hint(&mut self, node: usize, pairs: u64) {
+        self.nodes[node].pairs_hint = Some(pairs);
+    }
+
+    /// Number of rounds (nodes) in the DAG.
+    pub fn num_rounds(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node names, in node order.
+    pub fn round_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// ASAP level of every node: 0 for source nodes, else one more than
+    /// the deepest dependency.
+    fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            levels[i] = node.deps.iter().map(|&d| levels[d] + 1).max().unwrap_or(0);
+        }
+        levels
+    }
+
+    /// Critical-path length: the number of sequential stages execution
+    /// needs (1 for a single round, `num_rounds` for a linear chain).
+    pub fn depth(&self) -> usize {
+        self.levels().iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Executes the DAG. See the module docs for the staging, output,
+    /// and error contracts.
+    pub fn run(
+        &self,
+        inputs: &[T],
+        config: &EngineConfig,
+    ) -> Result<(Vec<T>, JobMetrics), EngineError> {
+        let levels = self.levels();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        let mut results: Vec<Option<(Vec<T>, RoundMetrics)>> = Vec::new();
+        results.resize_with(self.nodes.len(), || None);
+
+        for level in 0..=max_level {
+            let stage: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| levels[i] == level)
+                .collect();
+            // Materialise each stage node's input stream up front (the
+            // concatenation of its dependencies' outputs, or the external
+            // inputs for a source node).
+            let staged: Vec<(usize, Vec<T>)> = stage
+                .iter()
+                .map(|&i| {
+                    let node = &self.nodes[i];
+                    let input: Vec<T> = if node.deps.is_empty() {
+                        inputs.to_vec()
+                    } else {
+                        node.deps
+                            .iter()
+                            .flat_map(|&d| {
+                                results[d]
+                                    .as_ref()
+                                    .expect("dependency ran earlier")
+                                    .0
+                                    .iter()
+                            })
+                            .cloned()
+                            .collect()
+                    };
+                    (i, input)
+                })
+                .collect();
+
+            let outcomes: Vec<NodeOutcome<T>> = if staged.len() == 1 {
+                let (i, input) = &staged[0];
+                vec![(*i, self.run_node(*i, input, config))]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = staged
+                        .iter()
+                        .map(|(i, input)| {
+                            let i = *i;
+                            scope.spawn(move || (i, self.run_node(i, input, config)))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+
+            // Deterministic multi-failure contract: the smallest failing
+            // node index wins (mirroring the engine's smallest-offender
+            // rule within a round).
+            let mut failures: Vec<(usize, EngineError)> = Vec::new();
+            for (i, outcome) in outcomes {
+                match outcome {
+                    Ok(ok) => results[i] = Some(ok),
+                    Err(e) => failures.push((i, e)),
+                }
+            }
+            if let Some((_, e)) = failures.into_iter().min_by_key(|(i, _)| *i) {
+                return Err(e);
+            }
+        }
+
+        // Sinks in node order carry the job's outputs.
+        let consumed: Vec<bool> = {
+            let mut c = vec![false; self.nodes.len()];
+            for node in &self.nodes {
+                for &d in &node.deps {
+                    c[d] = true;
+                }
+            }
+            c
+        };
+        let mut outputs = Vec::new();
+        let mut rounds = Vec::with_capacity(self.nodes.len());
+        for (i, slot) in results.into_iter().enumerate() {
+            let (out, metrics) = slot.expect("every node ran");
+            if !consumed[i] {
+                outputs.extend(out);
+            }
+            rounds.push(metrics);
+        }
+        Ok((outputs, JobMetrics { rounds }))
+    }
+
+    /// Executes the DAG, additionally reporting wall-clock time
+    /// (execution metadata — determinism comparisons must use outputs
+    /// and metrics only).
+    pub fn run_timed(
+        &self,
+        inputs: &[T],
+        config: &EngineConfig,
+    ) -> Result<(Vec<T>, JobMetrics, std::time::Duration), EngineError> {
+        let start = std::time::Instant::now();
+        let (out, metrics) = self.run(inputs, config)?;
+        Ok((out, metrics, start.elapsed()))
+    }
+
+    /// Runs one node under the base configuration with the node's
+    /// budget/hint overrides applied.
+    fn run_node(
+        &self,
+        i: usize,
+        input: &[T],
+        config: &EngineConfig,
+    ) -> Result<(Vec<T>, RoundMetrics), EngineError> {
+        let node = &self.nodes[i];
+        let mut cfg = config.clone();
+        if let Some(q) = node.budget {
+            cfg = cfg.with_max_reducer_inputs(q);
+        }
+        if let Some(h) = node.pairs_hint {
+            cfg = cfg.with_pairs_hint(h);
+        }
+        (node.run)(input, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::run_schema;
+
+    /// Sum tokens by residue class: one keyed round.
+    fn sum_round(dag: &mut DagJob<u64>, name: &str, deps: Vec<usize>, modulus: u64) -> usize {
+        dag.add_round(
+            name,
+            deps,
+            FnMapper(move |x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(x % modulus, *x)),
+            FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+                emit(k * 1_000_000 + vs.iter().sum::<u64>())
+            }),
+        )
+    }
+
+    #[test]
+    fn linear_chain_matches_job_then() {
+        // DAG a → b must equal Job::single(a).then(b).
+        let mut dag: DagJob<u64> = DagJob::new();
+        let a = sum_round(&mut dag, "a", vec![], 3);
+        sum_round(&mut dag, "b", vec![a], 2);
+        assert_eq!(dag.num_rounds(), 2);
+        assert_eq!(dag.depth(), 2);
+        let inputs: Vec<u64> = (0..30).collect();
+        let (out, m) = dag.run(&inputs, &EngineConfig::sequential()).unwrap();
+
+        let job: crate::Job<u64, u64> = crate::Job::single(
+            FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(x % 3, *x)),
+            FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+                emit(k * 1_000_000 + vs.iter().sum::<u64>())
+            }),
+        )
+        .then(
+            FnMapper(|x: &u64, emit: &mut dyn FnMut(u64, u64)| emit(x % 2, *x)),
+            FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+                emit(k * 1_000_000 + vs.iter().sum::<u64>())
+            }),
+        );
+        let (jout, jm) = job.run(inputs, &EngineConfig::sequential()).unwrap();
+        assert_eq!(out, jout);
+        assert_eq!(m, jm);
+    }
+
+    #[test]
+    fn diamond_topology_is_worker_independent() {
+        // fan-out → two parallel branches → join: the canonical diamond.
+        let build = || {
+            let mut dag: DagJob<u64> = DagJob::new();
+            let src = sum_round(&mut dag, "src", vec![], 7);
+            let left = sum_round(&mut dag, "left", vec![src], 3);
+            let right = sum_round(&mut dag, "right", vec![src], 5);
+            sum_round(&mut dag, "join", vec![left, right], 2);
+            dag
+        };
+        assert_eq!(build().depth(), 3);
+        let inputs: Vec<u64> = (0..200).map(|i| i * 13 + 1).collect();
+        let (seq, ms) = build().run(&inputs, &EngineConfig::sequential()).unwrap();
+        for workers in [1usize, 2, 4, 8, 16] {
+            let (par, mp) = build()
+                .run(&inputs, &EngineConfig::parallel(workers))
+                .unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+            assert_eq!(ms, mp, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn multiple_sinks_concatenate_in_node_order() {
+        let mut dag: DagJob<u64> = DagJob::new();
+        let src = sum_round(&mut dag, "src", vec![], 4);
+        sum_round(&mut dag, "sink-a", vec![src], 2);
+        sum_round(&mut dag, "sink-b", vec![src], 3);
+        let (out, m) = dag
+            .run(&(0..20).collect::<Vec<_>>(), &EngineConfig::sequential())
+            .unwrap();
+        assert_eq!(m.rounds.len(), 3);
+        // sink-a's outputs come first, then sink-b's.
+        let (a_out, _) = {
+            let mut d: DagJob<u64> = DagJob::new();
+            let s = sum_round(&mut d, "src", vec![], 4);
+            sum_round(&mut d, "sink-a", vec![s], 2);
+            d.run(&(0..20).collect::<Vec<_>>(), &EngineConfig::sequential())
+                .unwrap()
+        };
+        assert_eq!(&out[..a_out.len()], &a_out[..]);
+    }
+
+    #[test]
+    fn per_node_budget_aborts_with_the_offending_round() {
+        let mut dag: DagJob<u64> = DagJob::new();
+        let a = sum_round(&mut dag, "a", vec![], 10);
+        let b = sum_round(&mut dag, "b", vec![a], 1); // funnels into 1 key
+        dag.set_budget(b, 2);
+        let err = dag
+            .run(&(0..30).collect::<Vec<_>>(), &EngineConfig::sequential())
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ReducerOverflow { load: 10, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn node_budget_overrides_the_base_config() {
+        let mut dag: DagJob<u64> = DagJob::new();
+        let n = sum_round(&mut dag, "only", vec![], 1); // all 30 on one key
+        dag.set_budget(n, 64);
+        // Base budget of 2 would abort; the node override lifts it.
+        let cfg = EngineConfig::sequential().with_max_reducer_inputs(2);
+        let (out, _) = dag.run(&(0..30).collect::<Vec<_>>(), &cfg).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_failures_report_the_smallest_node() {
+        // Two same-stage nodes both overflow; node index 1 must win.
+        let build = || {
+            let mut dag: DagJob<u64> = DagJob::new();
+            let src = sum_round(&mut dag, "src", vec![], 16);
+            let b = sum_round(&mut dag, "b", vec![src], 1);
+            let c = sum_round(&mut dag, "c", vec![src], 1);
+            dag.set_budget(b, 3);
+            dag.set_budget(c, 2);
+            dag
+        };
+        let inputs: Vec<u64> = (0..64).collect();
+        for workers in [1usize, 4, 8] {
+            let err = build()
+                .run(&inputs, &EngineConfig::parallel(workers))
+                .unwrap_err();
+            // Node b (budget 3) fails with load 16; node c would fail
+            // with budget 2 — but b has the smaller index.
+            assert!(
+                matches!(err, EngineError::ReducerOverflow { limit: 3, .. }),
+                "workers={workers}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_schema_node_equals_run_schema() {
+        #[derive(Clone)]
+        struct Fan;
+        impl SchemaJob<u64, u64> for Fan {
+            fn assign(&self, x: &u64) -> Vec<ReducerId> {
+                vec![x % 5, x % 7]
+            }
+            fn reduce(&self, r: ReducerId, inputs: &[u64], emit: &mut dyn FnMut(u64)) {
+                emit(r * 1_000 + inputs.len() as u64);
+            }
+        }
+        let inputs: Vec<u64> = (0..100).collect();
+        let (expect, expect_m) = run_schema(&inputs, &Fan, &EngineConfig::sequential()).unwrap();
+        for pipeline in Pipeline::ALL {
+            let mut dag: DagJob<u64> = DagJob::new();
+            dag.add_schema_round("fan", vec![], Fan, pipeline);
+            assert_eq!(dag.depth(), 1);
+            let (out, m) = dag.run(&inputs, &EngineConfig::parallel(4)).unwrap();
+            assert_eq!(out, expect, "{}", pipeline.name());
+            assert_eq!(m.rounds, vec![expect_m.clone()], "{}", pipeline.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dependencies must point at earlier nodes")]
+    fn forward_dependencies_are_rejected() {
+        let mut dag: DagJob<u64> = DagJob::new();
+        dag.add_node("bad", vec![3], |_, _| {
+            Ok((Vec::new(), RoundMetrics::default()))
+        });
+    }
+}

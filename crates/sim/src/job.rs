@@ -71,6 +71,25 @@ impl<I: Sync + 'static, O: Send + 'static> Job<I, O> {
         }
     }
 
+    /// A job from an arbitrary run function reporting `rounds` rounds —
+    /// the adapter that lets run-time-shaped executors (a
+    /// [`DagJob`](crate::DagJob) picked by the planner's round-structure
+    /// search) present themselves through the `Job` interface. The
+    /// function must uphold the crate's contracts itself: deterministic
+    /// outputs/metrics at every worker count, and exactly `rounds`
+    /// entries of metrics on success.
+    pub fn from_fn(
+        rounds: usize,
+        run_fn: impl Fn(Vec<I>, &EngineConfig) -> Result<(Vec<O>, Vec<RoundMetrics>), EngineError>
+            + Sync
+            + 'static,
+    ) -> Job<I, O> {
+        Job {
+            run_fn: Box::new(run_fn),
+            rounds,
+        }
+    }
+
     /// Appends another round: this job's outputs become the next round's
     /// map inputs.
     pub fn then<K2, V2, O2, M, R>(self, mapper: M, reducer: R) -> Job<I, O2>

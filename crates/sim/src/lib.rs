@@ -36,12 +36,15 @@
 //!   communication accounting,
 //! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
 //!   feeds round *i+1*'s map),
+//! * [`dag`] — a DAG of rounds over one token type, staged over
+//!   `std::thread::scope`, for planner-searched round structures,
 //! * [`metrics`] — per-round and per-job measurements,
 //! * [`schema`] — running an abstract *mapping schema* (assignment of
 //!   inputs to reducers) as a map-reduce job.
 
 pub(crate) mod columnar;
 pub mod combiner;
+pub mod dag;
 pub mod delta;
 pub mod engine;
 pub mod job;
@@ -51,6 +54,7 @@ pub mod naive;
 pub mod schema;
 
 pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};
+pub use dag::DagJob;
 pub use delta::{
     run_round_combined_on, run_round_on, run_schema_retained, Delta, DeltaError, DeltaJob,
     DeltaMetrics, DeltaOutcome, DeltaPrediction, Pipeline, Seq,

@@ -12,7 +12,7 @@
 
 use mr_sim::naive::run_round_naive;
 use mr_sim::{
-    run_round, run_round_combined_on, run_round_on, run_schema, run_schema_retained, Delta,
+    run_round, run_round_combined_on, run_round_on, run_schema, run_schema_retained, DagJob, Delta,
     EngineConfig, FnCombiner, FnMapper, FnReducer, Pipeline, RoundMetrics, SchemaJob, Seq,
 };
 use proptest::prelude::*;
@@ -160,6 +160,53 @@ fn delta_kinds_match_full_runs_at_every_worker_count() {
 }
 
 // -----------------------------------------------------------------
+// Shared schema for the DAG topology fuzz: same fan shape as `ModFan`
+// but closed over `u64` (DAG rounds feed outputs back in as inputs),
+// with an order-sensitive digest folded into every emitted value.
+// -----------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct DigestFan {
+    groups: u64,
+    reps: u64,
+}
+
+impl SchemaJob<u64, u64> for DigestFan {
+    fn assign(&self, x: &u64) -> Vec<u64> {
+        let set: BTreeSet<u64> = (0..self.reps)
+            .map(|j| x.wrapping_mul(2 * j + 7).wrapping_add(j) % self.groups)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    fn reduce(&self, r: u64, inputs: &[u64], emit: &mut dyn FnMut(u64)) {
+        let digest = inputs.iter().fold(0u64, |acc, v| acc.rotate_left(9) ^ v);
+        emit(
+            r.wrapping_mul(1_000_003)
+                .wrapping_add(inputs.len() as u64)
+                .wrapping_add(digest.rotate_left(17)),
+        );
+    }
+}
+
+/// Builds a random-topology [`DagJob`] over [`DigestFan`] rounds: node
+/// `i`'s dependencies are the earlier nodes selected by the bits of
+/// `masks[i]` (no bits set → a source node reading the external
+/// inputs), and each node gets its own fan shape derived from `i`.
+fn random_dag(masks: &[u64]) -> DagJob<u64> {
+    let mut dag = DagJob::new();
+    for (i, &mask) in masks.iter().enumerate() {
+        let deps: Vec<usize> = (0..i).filter(|j| (mask >> j) & 1 == 1).collect();
+        let schema = DigestFan {
+            groups: 3 + (7 * i as u64) % 23,
+            reps: 1 + (i as u64) % 3,
+        };
+        dag.add_schema_round(format!("n{i}"), deps, schema, Pipeline::Columnar);
+    }
+    dag
+}
+
+// -----------------------------------------------------------------
 // Randomised cross-checks (the reusable fuzz loop).
 // -----------------------------------------------------------------
 
@@ -245,6 +292,48 @@ proptest! {
         for pipeline in Pipeline::ALL {
             assert_delta_matches_full_run("random", &schema, &base, &delta, pipeline, &cfg);
         }
+    }
+
+    /// Random DAG topologies: whatever shape the round graph takes —
+    /// fan-out, diamonds, disconnected sources, linear chains, all fall
+    /// out of the mask generator — a staged parallel execution is
+    /// byte-identical to the sequential one in outputs *and* per-round
+    /// metrics, at every worker count 1–16.
+    #[test]
+    fn random_dag_topologies_are_worker_count_independent(
+        masks in proptest::collection::vec(0u64..32, 1..6),
+        inputs in proptest::collection::vec(0u64..5_000, 0..200),
+        workers in 1usize..17,
+    ) {
+        let dag = random_dag(&masks);
+        let (truth_out, truth_m) = dag
+            .run(&inputs, &EngineConfig::sequential())
+            .expect("no budget set");
+        let (out, m) = dag
+            .run(&inputs, &EngineConfig::parallel(workers))
+            .expect("no budget set");
+        prop_assert_eq!(&truth_out, &out, "outputs diverged at workers={}", workers);
+        prop_assert_eq!(&truth_m, &m, "metrics diverged at workers={}", workers);
+    }
+
+    /// The degenerate single-round DAG *is* `run_schema`: one schema
+    /// node must reproduce its outputs and its round metrics
+    /// field-for-field, at any worker count.
+    #[test]
+    fn single_round_dag_degenerates_to_run_schema(
+        inputs in proptest::collection::vec(0u64..5_000, 0..300),
+        groups in 1u64..40,
+        reps in 1u64..4,
+        workers in 1usize..17,
+    ) {
+        let schema = DigestFan { groups, reps };
+        let cfg = EngineConfig::parallel(workers);
+        let (flat_out, flat_m) = run_schema(&inputs, &schema, &cfg).expect("no budget set");
+        let mut dag = DagJob::new();
+        dag.add_schema_round("only", vec![], schema, Pipeline::Columnar);
+        let (dag_out, dag_m) = dag.run(&inputs, &cfg).expect("no budget set");
+        prop_assert_eq!(flat_out, dag_out);
+        prop_assert_eq!(vec![flat_m], dag_m.rounds);
     }
 
     /// Random budgets through the retained path: initialising a

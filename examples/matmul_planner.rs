@@ -70,11 +70,16 @@ fn main() {
 
     // The mr-plan decision layer makes this call automatically from a
     // cluster spec (registry instance n = 8, so the crossover is q = 64).
+    // The round-structure search prices every candidate per round, so we
+    // use a communication-leaning cluster (b = a/50) — the regime where
+    // §6.3's communication comparison decides the winner; price compute
+    // high enough and a multi-round tree's smaller reducers win even
+    // with no budget at all, which is correct but not the §6 story.
     println!("\nmr-plan makes the same decision from a cluster's q-budget (n=8, n²=64):");
     for budget in [16u64, 32, 63, 64, 128] {
-        let cluster = ClusterSpec::default().with_q_budget(budget);
+        let cluster = ClusterSpec::new(4, 1.0, 0.02).with_q_budget(budget);
         let plan = plan_family("matmul", &cluster, Scale::Default).expect("feasible budget");
-        let report = plan.execute();
+        let report = plan.execute().expect("plan fits its own budget");
         println!(
             "  q-budget {budget:>4} → {:<26} measured (q={}, r={})",
             plan.schema, report.measured_q, report.measured_r
