@@ -10,7 +10,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mr_bench::sweep::{sweep_all, SweepConfig};
-use mr_sim::EngineConfig;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -23,7 +22,7 @@ fn bench(c: &mut Criterion) {
             |bencher, &sweep_workers| {
                 let cfg = SweepConfig {
                     sweep_workers,
-                    engine: EngineConfig::sequential(),
+                    ..SweepConfig::default()
                 };
                 bencher.iter(|| {
                     let rep = sweep_all(black_box(&cfg));

@@ -1,0 +1,90 @@
+//! Resident worker pool benchmark: the pooled execution substrate
+//! against fresh scoped threads, on the fan-out shapes where spawn cost
+//! shows up.
+//!
+//! Every group runs the same workload twice — `Executor::Pool` (the
+//! default: morsels queued to the resident, parked-idle worker pool) and
+//! `Executor::Scoped` (the retained oracle: a `std::thread::scope` spawn
+//! per fan-out) — so the pair directly prices thread spawn/join against
+//! queue-and-wake. `full_round` is one big schema round (three parallel
+//! phases per round: map, partition-group, reduce); `steady_churn` is the
+//! incremental regime where rounds are tiny and frequent, so per-round
+//! substrate overhead dominates; `dag_staged` stages a diamond DAG whose
+//! level fan-outs nest pool-backed rounds inside pool-backed nodes.
+//!
+//! Baseline committed as `BENCH_pool.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_bench::baseline::{delta_schema, pool_dag};
+use mr_sim::{run_schema, run_schema_retained, Delta, EngineConfig, Executor, Pipeline, Seq};
+use std::hint::black_box;
+
+/// Resident inputs in the full-round / churn instance (matches
+/// `engine_delta`'s baseline workload).
+const N: u64 = 200_000;
+
+/// Inputs removed *and* added per churn step.
+const K: u64 = 256;
+
+/// Fan-out width for every group.
+const WORKERS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_pool");
+    grp.sample_size(10);
+    let schema = delta_schema();
+    let base: Vec<u64> = (0..N).collect();
+    let dag_inputs: Vec<u64> = (0..20_000u64).collect();
+    for executor in Executor::ALL {
+        let cfg = EngineConfig::parallel(WORKERS).with_executor(executor);
+
+        grp.bench_function(format!("full_round/{}", executor.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_schema(black_box(&base), &schema, &cfg)
+                        .unwrap()
+                        .1
+                        .reducers,
+                )
+            })
+        });
+
+        let mut job = run_schema_retained(&base, schema, Pipeline::Columnar, &cfg)
+            .expect("no budget configured");
+        let mut last: Vec<Seq> = {
+            let outcome = job
+                .apply(&Delta::add((N..N + K).collect()))
+                .expect("no budget configured");
+            outcome.added_seqs.collect()
+        };
+        let mut next_value = N + K;
+        grp.bench_function(format!("steady_churn/{}", executor.name()), |b| {
+            b.iter(|| {
+                let fresh: Vec<u64> = (next_value..next_value + K).collect();
+                next_value += K;
+                let outcome = job
+                    .apply(&Delta::new(fresh, std::mem::take(&mut last)))
+                    .expect("no budget configured");
+                last = outcome.added_seqs.collect();
+                black_box(outcome.metrics.dirty_reducers)
+            })
+        });
+
+        let dag = pool_dag();
+        grp.bench_function(format!("dag_staged/{}", executor.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    dag.run(black_box(&dag_inputs), &cfg)
+                        .expect("no budget set")
+                        .1
+                        .rounds
+                        .len(),
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

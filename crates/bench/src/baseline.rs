@@ -1,9 +1,9 @@
 //! Re-recordable benchmark baselines with an automatic machine stamp.
 //!
-//! The workspace root carries five committed baselines —
+//! The workspace root carries six committed baselines —
 //! `BENCH_shuffle.json`, `BENCH_frontier.json`, `BENCH_plan.json`,
-//! `BENCH_dag.json`, `BENCH_delta.json` — that pin what the engine
-//! benchmarks measured on
+//! `BENCH_dag.json`, `BENCH_delta.json`, `BENCH_pool.json` — that pin
+//! what the engine benchmarks measured on
 //! a known machine. They used to be transcribed by hand from
 //! `cargo bench` output, which is exactly the kind of step that silently
 //! rots: the numbers change, the machine description doesn't, and nobody
@@ -41,8 +41,8 @@ use mr_core::family::Scale;
 use mr_plan::{plan_all, plan_all_dags, plan_dag, ClusterSpec, DagWorkload};
 use mr_sim::schema::ReducerId;
 use mr_sim::{
-    run_round, run_schema, run_schema_retained, Delta, EngineConfig, FnMapper, FnReducer, Pipeline,
-    SchemaJob, Seq,
+    run_round, run_schema, run_schema_retained, DagJob, Delta, EngineConfig, Executor, FnMapper,
+    FnReducer, Pipeline, SchemaJob, Seq,
 };
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -293,7 +293,7 @@ pub fn record_frontier(stamp: &MachineStamp) -> (String, f64) {
         .map(|&w| {
             let cfg = SweepConfig {
                 sweep_workers: w,
-                engine: EngineConfig::sequential(),
+                ..SweepConfig::default()
             };
             let t = time_samples(SAMPLES, || {
                 let rep = sweep_all(black_box(&cfg));
@@ -654,6 +654,181 @@ fn render_delta(stamp: &MachineStamp, timings: &[(usize, Timing, Timing)]) -> St
     )
 }
 
+/// Fan-out width of the pool baseline's groups.
+const POOL_WORKERS: usize = 8;
+
+/// Inputs the pool baseline's staged DAG reads.
+const POOL_DAG_INPUTS: u64 = 20_000;
+
+/// The pool baseline's DAG-round schema, shared with
+/// `benches/engine_pool.rs`: the same fan shape as [`FanSchema`] but
+/// closed over `u64` (DAG rounds feed outputs back in as inputs),
+/// digesting each reducer's input list into one value.
+#[derive(Debug, Clone, Copy)]
+pub struct DagFanSchema {
+    /// Number of reducers the schema fans over.
+    pub groups: u64,
+    /// Distinct reducers each input is assigned to.
+    pub reps: u64,
+}
+
+impl SchemaJob<u64, u64> for DagFanSchema {
+    fn assign(&self, x: &u64) -> Vec<u64> {
+        let set: BTreeSet<u64> = (0..self.reps)
+            .map(|j| x.wrapping_mul(2 * j + 7).wrapping_add(j) % self.groups)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    fn reduce(&self, r: u64, inputs: &[u64], emit: &mut dyn FnMut(u64)) {
+        let digest = inputs.iter().fold(0u64, |acc, v| acc.rotate_left(9) ^ v);
+        emit(r.wrapping_mul(1_000_003).wrapping_add(digest));
+    }
+}
+
+/// The diamond DAG the pool baseline stages (two independent sources, a
+/// join node, a tail round), shared with `benches/engine_pool.rs` —
+/// same-level fan-out plus nested pool-backed rounds inside pool-backed
+/// nodes.
+pub fn pool_dag() -> DagJob<u64> {
+    let mut dag = DagJob::new();
+    let schema = DagFanSchema {
+        groups: 4_096,
+        reps: 3,
+    };
+    let a = dag.add_schema_round("a", vec![], schema, Pipeline::Columnar);
+    let b = dag.add_schema_round("b", vec![], schema, Pipeline::Columnar);
+    let join = dag.add_schema_round("join", vec![a, b], schema, Pipeline::Columnar);
+    dag.add_schema_round("tail", vec![join], schema, Pipeline::Columnar);
+    dag
+}
+
+/// Times one executor of the `engine_pool` workload: a full schema round
+/// over the resident instance, one steady-churn step against a retained
+/// [`mr_sim::DeltaJob`], and the staged diamond DAG — all at
+/// [`POOL_WORKERS`] fan-out.
+fn pool_timings(executor: Executor, samples: usize) -> (Timing, Timing, Timing) {
+    let schema = delta_schema();
+    let cfg = EngineConfig::parallel(POOL_WORKERS).with_executor(executor);
+    let base: Vec<u64> = (0..DELTA_N).collect();
+    let full = time_samples(samples, || {
+        black_box(
+            run_schema(black_box(&base), &schema, &cfg)
+                .unwrap()
+                .1
+                .reducers,
+        );
+    });
+    let mut job =
+        run_schema_retained(&base, schema, Pipeline::Columnar, &cfg).expect("no budget configured");
+    let mut last: Vec<Seq> = (0..DELTA_K).collect();
+    let mut next_value = DELTA_N;
+    let churn = time_samples(samples, || {
+        let fresh: Vec<u64> = (next_value..next_value + DELTA_K).collect();
+        next_value += DELTA_K;
+        let outcome = job
+            .apply(&Delta::new(fresh, std::mem::take(&mut last)))
+            .expect("no budget configured");
+        last = outcome.added_seqs.collect();
+        black_box(outcome.metrics.dirty_reducers);
+    });
+    let dag = pool_dag();
+    let dag_inputs: Vec<u64> = (0..POOL_DAG_INPUTS).collect();
+    let staged = time_samples(samples, || {
+        black_box(
+            dag.run(black_box(&dag_inputs), &cfg)
+                .expect("no budget set")
+                .1
+                .rounds
+                .len(),
+        );
+    });
+    (full, churn, staged)
+}
+
+/// Records `BENCH_pool.json`: the `engine_pool` workload — the resident
+/// worker-pool substrate against fresh scoped threads on a full round, a
+/// steady churn step, and a staged DAG, at 8-way fan-out on this machine.
+pub fn record_pool(stamp: &MachineStamp) -> String {
+    let timings: Vec<(&'static str, Timing, Timing, Timing)> = Executor::ALL
+        .into_iter()
+        .map(|e| {
+            let (full, churn, staged) = pool_timings(e, SAMPLES);
+            (e.name(), full, churn, staged)
+        })
+        .collect();
+    render_pool(stamp, &timings)
+}
+
+/// The pure render half of [`record_pool`]; `timings` rows are
+/// `(executor, full round, churn step, staged DAG)` with the pool row
+/// first (matching `Executor::ALL` order).
+fn render_pool(stamp: &MachineStamp, timings: &[(&str, Timing, Timing, Timing)]) -> String {
+    let row = |group: &str, executor: &str, t: Timing| {
+        format!(
+            "    {{ \"group\": \"{group}\", \"executor\": \"{executor}\", \"workers\": {POOL_WORKERS}, \
+             \"min_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3} }}",
+            t.min_ms, t.mean_ms, t.max_ms
+        )
+    };
+    let mut rows: Vec<String> = Vec::new();
+    for &(executor, full, churn, staged) in timings {
+        rows.push(row("engine_pool/full_round", executor, full));
+        rows.push(row("engine_pool/steady_churn", executor, churn));
+        rows.push(row("engine_pool/dag_staged", executor, staged));
+    }
+    let pool = timings
+        .iter()
+        .find(|t| t.0 == "pool")
+        .expect("pool row present");
+    let scoped = timings
+        .iter()
+        .find(|t| t.0 == "scoped")
+        .expect("scoped row present");
+    format!(
+        r#"{{
+  "bench": "engine_pool",
+  "command": "cargo bench -p mr-bench --bench engine_pool",
+  "recorded": "{date}",
+  "machine": {{
+    "cores": {cores},
+    "note": "{note}"
+  }},
+  "workload": {{
+    "resident_inputs": {n},
+    "churn_per_step": {k},
+    "dag_inputs": {dagn},
+    "workers": {w},
+    "description": "every group runs twice: executor=pool queues morsels to the resident parked-idle worker pool, executor=scoped spawns fresh std::thread::scope threads per fan-out (the retained oracle). full_round is one 200k-input schema round (three parallel phases); steady_churn is the incremental regime where rounds are tiny and frequent, so per-round substrate overhead dominates; dag_staged stages a diamond DAG (same-level fan-out plus nested pool-backed rounds)."
+  }},
+  "results": [
+{rows}
+  ],
+  "summary": {{
+    "churn_speedup_pool_vs_scoped": {churn_speedup:.2},
+    "dag_speedup_pool_vs_scoped": {dag_speedup:.2},
+    "basis": "mean_ms(steady_churn scoped {churn_scoped:.3}) / mean_ms(steady_churn pool {churn_pool:.3}); mean_ms(dag_staged scoped {dag_scoped:.3}) / mean_ms(dag_staged pool {dag_pool:.3})",
+    "determinism": "outputs, semantic metrics, and overflow offenders are byte-identical across executors at every worker count 1-16 on every execution surface (crates/sim/tests/pool_battery.rs, differential_fuzz.rs)"
+  }}
+}}
+"#,
+        date = stamp.date,
+        cores = stamp.cores,
+        note = machine_note(stamp),
+        n = DELTA_N,
+        k = DELTA_K,
+        dagn = POOL_DAG_INPUTS,
+        w = POOL_WORKERS,
+        rows = rows.join(",\n"),
+        churn_speedup = scoped.2.mean_ms / pool.2.mean_ms,
+        dag_speedup = scoped.3.mean_ms / pool.3.mean_ms,
+        churn_scoped = scoped.2.mean_ms,
+        churn_pool = pool.2.mean_ms,
+        dag_scoped = scoped.3.mean_ms,
+        dag_pool = pool.3.mean_ms,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,12 +912,17 @@ mod tests {
             .iter()
             .map(|&(w, full)| (w, full, t(full.mean_ms / 50.0)))
             .collect();
+        let pool: Vec<(&str, Timing, Timing, Timing)> = vec![
+            ("pool", t(30.0), t(0.4), t(6.0)),
+            ("scoped", t(33.0), t(0.9), t(9.0)),
+        ];
         vec![
             ("shuffle", render_shuffle(&s, &sweep, &sweep).0),
             ("frontier", render_frontier(&s, &sweep).0),
             ("plan", render_plan(&s, t(3.0), t(9.0), 40.0)),
             ("dag", render_dag(&s, t(12.0), t(1.5))),
             ("delta", render_delta(&s, &delta)),
+            ("pool", render_pool(&s, &pool)),
         ]
     }
 
@@ -800,6 +980,7 @@ mod tests {
             "BENCH_plan.json",
             "BENCH_dag.json",
             "BENCH_delta.json",
+            "BENCH_pool.json",
         ] {
             let text = std::fs::read_to_string(root.join(name))
                 .unwrap_or_else(|e| panic!("reading {name}: {e}"));

@@ -5,13 +5,15 @@
 //! ```
 //!
 //! Writes `BENCH_shuffle.json`, `BENCH_frontier.json`,
-//! `BENCH_plan.json`, `BENCH_dag.json` and `BENCH_delta.json` into
+//! `BENCH_plan.json`, `BENCH_dag.json`, `BENCH_delta.json` and
+//! `BENCH_pool.json` into
 //! `out_dir` (default: the current directory), each stamped with the
 //! recording machine's core count and the UTC date. Run it from the
 //! workspace root on a quiet machine to refresh the committed baselines.
 
 use mr_bench::baseline::{
-    record_dag, record_delta, record_frontier, record_plan, record_shuffle, MachineStamp,
+    record_dag, record_delta, record_frontier, record_plan, record_pool, record_shuffle,
+    MachineStamp,
 };
 use std::path::Path;
 
@@ -44,12 +46,17 @@ fn main() {
     let delta_json = record_delta(&stamp);
     eprintln!("done");
 
+    eprint!("engine_pool ... ");
+    let pool_json = record_pool(&stamp);
+    eprintln!("done");
+
     for (name, json) in [
         ("BENCH_shuffle.json", &shuffle_json),
         ("BENCH_frontier.json", &frontier_json),
         ("BENCH_plan.json", &plan_json),
         ("BENCH_dag.json", &dag_json),
         ("BENCH_delta.json", &delta_json),
+        ("BENCH_pool.json", &pool_json),
     ] {
         let path = out_dir.join(name);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

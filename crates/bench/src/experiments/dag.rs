@@ -13,7 +13,7 @@
 use crate::json;
 use crate::table::{fmt, Table};
 use mr_core::family::Scale;
-use mr_plan::{plan_dag, ClusterSpec, DagPlanReport, DagWorkload, PlanError};
+use mr_plan::{CacheStats, ClusterSpec, DagPlanReport, DagWorkload, PlanCache, PlanError};
 use mr_sim::EngineError;
 
 use super::plan::Q_BUDGET_FLAG;
@@ -75,9 +75,13 @@ enum Outcome {
 
 fn run(args: &[String]) -> Result<String, String> {
     let (picked, scale, cluster) = parse(args)?;
+    // As in `repro plan`: a resident PlanCache fronts the round-structure
+    // search. The first pass populates (all misses, used for execution);
+    // the second pass proves a repeated request skips the search.
+    let cache = PlanCache::new();
     let outcomes: Vec<Outcome> = picked
         .iter()
-        .map(|w| match plan_dag(*w, &cluster, scale) {
+        .map(|w| match cache.plan_dag(*w, &cluster, scale) {
             Ok(plan) => match plan.execute() {
                 Ok(report) => Outcome::Planned(Box::new(report)),
                 Err(e) => Outcome::Aborted(w.name(), e),
@@ -85,6 +89,10 @@ fn run(args: &[String]) -> Result<String, String> {
             Err(e) => Outcome::Refused(w.name(), e),
         })
         .collect();
+    for w in &picked {
+        let _ = cache.plan_dag(*w, &cluster, scale);
+    }
+    let cache_stats = cache.stats();
 
     let mut out = format!(
         "Round-structure search (mr-plan::dag): the cheapest DAG of rounds per workload.\n\
@@ -156,16 +164,23 @@ fn run(args: &[String]) -> Result<String, String> {
         }
     }
 
+    out.push_str(&format!(
+        "\nPlan cache: {} hits, {} misses over two planning passes (a repeated\n\
+         request is answered from the resident cache without re-running the\n\
+         round-structure search; refusals are never cached).\n",
+        cache_stats.hits, cache_stats.misses
+    ));
+
     out.push_str(
         "\nJSON (semantic — deterministic across runs; wall-clock is execution metadata,\n\
          see the table):\n\n",
     );
-    out.push_str(&semantic_json(&cluster, &outcomes));
+    out.push_str(&semantic_json(&cluster, &outcomes, cache_stats));
     Ok(out)
 }
 
 /// The deterministic JSON serialisation of a dag run (no wall-clock).
-fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
+fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome], cache: CacheStats) -> String {
     let mut out = String::from("{\n  \"subsystem\": \"dag-planner\",\n");
     out.push_str(&format!(
         "  \"cluster\": \"{}\",\n  \"plans\": [\n",
@@ -213,7 +228,11 @@ fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
         }
         out.push('\n');
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        cache.hits, cache.misses
+    ));
     out
 }
 
@@ -284,6 +303,16 @@ mod tests {
         assert!(out2.contains("requires a value"));
         let out3 = report_args(&args(&["small", "full"]));
         assert!(out3.contains("at most one scale"));
+    }
+
+    #[test]
+    fn plan_cache_counters_land_in_the_semantic_json() {
+        // Two planning passes over the full workload set: all three plan
+        // cleanly on the default cluster, so first pass misses, second hits.
+        let n = DagWorkload::ALL.len() as u64;
+        let out = report_args(&args(&["small"]));
+        let expected = format!("\"plan_cache\": {{\"hits\": {n}, \"misses\": {n}}}");
+        assert!(out.contains(&expected), "{out}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::json;
 use crate::table::{fmt, Table};
 use mr_core::family::Scale;
-use mr_plan::{plan_family, plannable_families, ClusterSpec, PlanError, PlanReport};
+use mr_plan::{plannable_families, CacheStats, ClusterSpec, PlanCache, PlanError, PlanReport};
 use mr_sim::EngineError;
 
 /// The token that introduces the reducer budget.
@@ -66,9 +66,15 @@ enum Outcome {
 
 fn run(args: &[String]) -> Result<String, String> {
     let (picked, scale, cluster) = parse(args)?;
+    // All planning goes through a resident PlanCache, the way the future
+    // mr-serve daemon would hold one: the first pass over the families
+    // populates it (all misses), and a second pass demonstrates that a
+    // repeated request skips the census/LP entirely (all hits, except for
+    // refused plans, which are deliberately never cached).
+    let cache = PlanCache::new();
     let outcomes: Vec<Outcome> = picked
         .iter()
-        .map(|family| match plan_family(family, &cluster, scale) {
+        .map(|family| match cache.plan_family(family, &cluster, scale) {
             Ok(plan) => match plan.execute() {
                 Ok(report) => Outcome::Planned(Box::new(report)),
                 Err(e) => Outcome::Aborted(family, e),
@@ -76,6 +82,10 @@ fn run(args: &[String]) -> Result<String, String> {
             Err(e) => Outcome::Refused(family, e),
         })
         .collect();
+    for family in &picked {
+        let _ = cache.plan_family(family, &cluster, scale);
+    }
+    let cache_stats = cache.stats();
 
     let mut out = format!(
         "Cost-based planner (mr-plan): the cheapest algorithm per family for a cluster.\n\
@@ -127,16 +137,23 @@ fn run(args: &[String]) -> Result<String, String> {
         }
     }
 
+    out.push_str(&format!(
+        "\nPlan cache: {} hits, {} misses over two planning passes (a repeated\n\
+         request is answered from the resident cache without re-running the\n\
+         census or the LP; refusals are never cached).\n",
+        cache_stats.hits, cache_stats.misses
+    ));
+
     out.push_str(
         "\nJSON (semantic — deterministic across runs; wall-clock is execution metadata,\n\
          see the table):\n\n",
     );
-    out.push_str(&semantic_json(&cluster, &outcomes));
+    out.push_str(&semantic_json(&cluster, &outcomes, cache_stats));
     Ok(out)
 }
 
 /// The deterministic JSON serialisation of a plan run (no wall-clock).
-fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
+fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome], cache: CacheStats) -> String {
     let mut out = String::from("{\n  \"subsystem\": \"planner\",\n");
     out.push_str(&format!(
         "  \"cluster\": \"{}\",\n  \"plans\": [\n",
@@ -171,7 +188,11 @@ fn semantic_json(cluster: &ClusterSpec, outcomes: &[Outcome]) -> String {
         }
         out.push('\n');
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        cache.hits, cache.misses
+    ));
     out
 }
 
@@ -246,6 +267,28 @@ mod tests {
         // Everything after the JSON marker excludes wall-clock, so two
         // runs must agree byte for byte.
         assert_eq!(json(()), json(()));
+    }
+
+    #[test]
+    fn plan_cache_counters_land_in_the_semantic_json() {
+        // Two planning passes over n families: the first all misses, the
+        // second all hits (every family plans cleanly on the default
+        // cluster, so nothing is excluded from the cache).
+        let n = plannable_families().len() as u64;
+        let out = report_args(&args(&["small"]));
+        let expected = format!("\"plan_cache\": {{\"hits\": {n}, \"misses\": {n}}}");
+        assert!(out.contains(&expected), "{out}");
+    }
+
+    #[test]
+    fn refused_plans_keep_missing_the_cache() {
+        // triangles with q-budget 1 is refused, and refusals are never
+        // cached: both passes miss.
+        let out = report_args(&args(&["small", "triangles", "--q-budget", "1"]));
+        assert!(
+            out.contains("\"plan_cache\": {\"hits\": 0, \"misses\": 2}"),
+            "{out}"
+        );
     }
 
     #[test]

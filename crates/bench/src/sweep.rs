@@ -31,10 +31,12 @@
 //!
 //! # Parallelism and determinism
 //!
-//! Grid points are independent, so the driver fans them out across
-//! [`std::thread::scope`] workers pulling from a shared queue (dynamic
-//! load balancing — point costs vary by orders of magnitude across the
-//! grid). Every point carries its grid index and results are merged by
+//! Grid points are independent, so the driver fans them out as one batch
+//! on the configured executor — the resident
+//! [`WorkerPool`] by default, whose work-stealing
+//! injector gives dynamic load balancing (point costs vary by orders of
+//! magnitude across the grid); the retained scoped-thread path pulls from
+//! a shared queue with the same effect. Every point carries its grid index and results are merged by
 //! index, so the sweep's semantic output is **byte-identical for every
 //! worker count** — the same contract the engine itself makes. Only two
 //! fields depend on how a sweep was executed rather than what it
@@ -47,7 +49,7 @@
 use crate::json;
 use crate::table::{fmt, Table};
 use mr_core::family::{extended_registry, registry, DynFamily, Scale};
-use mr_sim::EngineConfig;
+use mr_sim::{EngineConfig, Executor, WorkerPool};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -63,6 +65,10 @@ pub struct SweepConfig {
     /// sequential: the sweep parallelises *across* grid points, which
     /// dominates intra-round parallelism for the small model instances.
     pub engine: EngineConfig,
+    /// Which substrate the q-point queue itself fans out on: the resident
+    /// [`WorkerPool`] (default) or per-sweep scoped threads (the retained
+    /// oracle). Semantic results are byte-identical on both.
+    pub executor: Executor,
 }
 
 impl Default for SweepConfig {
@@ -72,6 +78,7 @@ impl Default for SweepConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             engine: EngineConfig::sequential(),
+            executor: Executor::Pool,
         }
     }
 }
@@ -133,11 +140,19 @@ pub struct SweepReport {
 /// A queued grid-point job: the closure that runs it.
 type PointJob<'a> = Box<dyn FnOnce() -> SweepPoint + Send + 'a>;
 
-/// Runs jobs across `workers` scoped threads pulling from a shared queue,
-/// returning results in job order regardless of which worker ran what.
-fn run_jobs(jobs: Vec<PointJob<'_>>, workers: usize) -> Vec<SweepPoint> {
+/// Runs jobs across `workers` lanes of the selected substrate, returning
+/// results in job order regardless of which worker ran what. On the pool
+/// the jobs go down as one batch — the injector's task stealing is the
+/// load balancing; on the scoped oracle, `workers` threads pull from a
+/// shared queue with the same effect.
+fn run_jobs(jobs: Vec<PointJob<'_>>, workers: usize, executor: Executor) -> Vec<SweepPoint> {
     let n = jobs.len();
     let workers = workers.clamp(1, n.max(1));
+    if workers > 1 && executor == Executor::Pool {
+        // Slot-indexed pool batch: results land in submission order, so
+        // the grid order is preserved without an explicit merge.
+        return WorkerPool::global().run(jobs);
+    }
     let queue: Mutex<VecDeque<(usize, PointJob<'_>)>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
     let drain = || {
@@ -201,7 +216,7 @@ pub fn sweep_families(families: &[Box<dyn DynFamily>], config: &SweepConfig) -> 
             }));
         }
     }
-    let points = run_jobs(jobs, config.sweep_workers);
+    let points = run_jobs(jobs, config.sweep_workers, config.executor);
 
     let mut curves: Vec<FamilyCurve> = families
         .iter()
@@ -466,7 +481,7 @@ mod tests {
     fn quick_config(sweep_workers: usize) -> SweepConfig {
         SweepConfig {
             sweep_workers,
-            engine: EngineConfig::sequential(),
+            ..SweepConfig::default()
         }
     }
 

@@ -13,6 +13,7 @@ fn config(sweep_workers: usize, engine: EngineConfig) -> SweepConfig {
     SweepConfig {
         sweep_workers,
         engine,
+        ..SweepConfig::default()
     }
 }
 

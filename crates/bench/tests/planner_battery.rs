@@ -21,7 +21,7 @@ fn sweep_small() -> mr_bench::SweepReport {
         &registry_at(Scale::Small),
         &SweepConfig {
             sweep_workers: 2,
-            engine: EngineConfig::sequential(),
+            ..SweepConfig::default()
         },
     )
 }

@@ -1,0 +1,218 @@
+//! The resident plan cache.
+//!
+//! Planning is pure — the [`Planner`](crate::Planner) contract says
+//! *"same cluster and scale, same plan"* — yet every `plan()` call pays
+//! the full price again: the census enumeration over potential inputs,
+//! the Shares LP for join exponents, the DAG round-structure search. A
+//! resident process (the `mr-serve` daemon the roadmap points at)
+//! re-plans the same handful of (family, cluster, scale) triples on
+//! every request; [`PlanCache`] memoises them, the planning twin of the
+//! execution substrate's resident [`WorkerPool`](mr_sim::WorkerPool).
+//!
+//! The cache key is the exact determinism domain of the planner: family
+//! (or DAG workload) name, instance [`Scale`], and every field of the
+//! [`ClusterSpec`] — the four `f64` cost weights keyed by their bit
+//! patterns, so `0.1 + 0.2` and `0.3` are (correctly) different
+//! clusters. Only successful plans are cached: a [`PlanError`] is
+//! recomputed on the next call, which costs nothing extra in practice
+//! (errors are rare and deterministic) and keeps the cache free of
+//! negative-result invalidation questions.
+//!
+//! [`CacheStats`] hit/miss counters are surfaced in the `repro plan` /
+//! `repro dag` semantic JSON — the first scrapeable operational stat for
+//! the future daemon.
+
+use crate::cluster::ClusterSpec;
+use crate::dag::{plan_dag, DagPlan, DagWorkload};
+use crate::plan::Plan;
+use crate::planner::{plan_family, PlanError};
+use mr_core::family::Scale;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of a [`PlanCache`], taken at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered from the cache.
+    pub hits: u64,
+    /// Calls that ran the underlying planner (including failed plans,
+    /// which are never cached).
+    pub misses: u64,
+}
+
+/// A memoising front for [`plan_family`] and [`plan_dag`].
+///
+/// Thread-safe; clone-out semantics (a hit clones the cached plan, so
+/// callers own their copy and the cache never hands out references into
+/// its own storage). See the [module docs](self) for the key and the
+/// only-cache-successes policy.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<BTreeMap<String, Plan>>,
+    dags: Mutex<BTreeMap<String, DagPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The cache key: every input the pure planners read, rendered to a
+/// stable string. Float weights go in as hex bit patterns — bit-exact
+/// equality is the right equivalence for memoising a pure function.
+fn key_of(name: &str, cluster: &ClusterSpec, scale: Scale) -> String {
+    format!(
+        "{name}|{scale:?}|w={}|cap={:?}|a={:016x}|b={:016x}|c={:016x}|l={:016x}",
+        cluster.workers,
+        cluster.reducer_capacity,
+        cluster.comm_weight.to_bits(),
+        cluster.compute_weight.to_bits(),
+        cluster.latency_weight.to_bits(),
+        cluster.round_latency.to_bits(),
+    )
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`plan_family`] through the cache.
+    pub fn plan_family(
+        &self,
+        family: &str,
+        cluster: &ClusterSpec,
+        scale: Scale,
+    ) -> Result<Plan, PlanError> {
+        let key = key_of(family, cluster, scale);
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = plan_family(family, cluster, scale)?;
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// [`plan_dag`] through the cache.
+    pub fn plan_dag(
+        &self,
+        workload: DagWorkload,
+        cluster: &ClusterSpec,
+        scale: Scale,
+    ) -> Result<DagPlan, PlanError> {
+        let key = key_of(workload.name(), cluster, scale);
+        if let Some(plan) = self.dags.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = plan_dag(workload, cluster, scale)?;
+        self.dags
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plannable_families;
+
+    #[test]
+    fn repeat_plans_hit() {
+        let cache = PlanCache::new();
+        let cluster = ClusterSpec::default();
+        let first = cache
+            .plan_family("hamming-d1", &cluster, Scale::Small)
+            .expect("plannable");
+        let second = cache
+            .plan_family("hamming-d1", &cluster, Scale::Small)
+            .expect("plannable");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // The hit is the same plan, not a re-derivation.
+        assert_eq!(first.choice, second.choice);
+        assert_eq!(first.predicted_q, second.predicted_q);
+        assert_eq!(first.predicted_cost, second.predicted_cost);
+    }
+
+    #[test]
+    fn different_clusters_do_not_collide() {
+        let cache = PlanCache::new();
+        let a = ClusterSpec::comm_heavy();
+        let b = ClusterSpec::compute_heavy();
+        let plan_a = cache.plan_family("hamming-d1", &a, Scale::Small).unwrap();
+        let plan_b = cache.plan_family("hamming-d1", &b, Scale::Small).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        // Opposite cost regimes pick opposite frontier ends.
+        assert!(plan_a.predicted_q >= plan_b.predicted_q);
+    }
+
+    #[test]
+    fn q_budget_is_part_of_the_key() {
+        let cache = PlanCache::new();
+        let unbounded = ClusterSpec::default();
+        let capped = ClusterSpec::default().with_q_budget(4);
+        cache
+            .plan_family("hamming-d1", &unbounded, Scale::Small)
+            .unwrap();
+        cache
+            .plan_family("hamming-d1", &capped, Scale::Small)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = PlanCache::new();
+        let cluster = ClusterSpec::default();
+        for _ in 0..2 {
+            assert!(matches!(
+                cache.plan_family("no-such-family", &cluster, Scale::Small),
+                Err(PlanError::UnknownFamily { .. })
+            ));
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn cached_plans_match_direct_plans_for_every_family() {
+        let cache = PlanCache::new();
+        let cluster = ClusterSpec::default();
+        for family in plannable_families() {
+            let direct = plan_family(family, &cluster, Scale::Small).expect(family);
+            let cached = cache
+                .plan_family(family, &cluster, Scale::Small)
+                .expect(family);
+            assert_eq!(direct.choice, cached.choice, "{family}");
+            assert_eq!(direct.predicted_cost, cached.predicted_cost, "{family}");
+        }
+    }
+
+    #[test]
+    fn dag_plans_hit_too() {
+        let cache = PlanCache::new();
+        let cluster = ClusterSpec::default();
+        let first = cache
+            .plan_dag(DagWorkload::MatMul, &cluster, Scale::Small)
+            .expect("plannable");
+        let second = cache
+            .plan_dag(DagWorkload::MatMul, &cluster, Scale::Small)
+            .expect("plannable");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(first.structure, second.structure);
+    }
+}

@@ -35,16 +35,23 @@
 //!   pipelines, multi-round Hamming splitting) so the §6.3 crossover is
 //!   *found* by costing rather than special-cased.
 //!
+//! Planning is pure — same `(family, cluster, scale)`, same plan — so a
+//! resident process can memoise it: [`PlanCache`] fronts [`plan_family`]
+//! and [`plan_dag`] with a bit-exact key over every planner input and
+//! exposes [`CacheStats`] hit/miss counters.
+//!
 //! The `repro plan` and `repro dag` experiments in `mr-bench` drive this
 //! end to end, and the planner-vs-sweep and DAG parity batteries prove
 //! the planner's pick matches the empirically-cheapest alternative.
 
+pub mod cache;
 pub mod cluster;
 pub mod dag;
 pub mod delta;
 pub mod plan;
 pub mod planner;
 
+pub use cache::{CacheStats, PlanCache};
 pub use cluster::ClusterSpec;
 pub use dag::{
     enumerate_dag_candidates, plan_all_dags, plan_dag, DagCandidate, DagPlan, DagPlanReport,

@@ -35,11 +35,14 @@
 //! nodes. Sorting the group *descriptors* by key
 //! ([`GroupedRun::sort_groups_by_key`]) then restores the engine's
 //! determinism contract — outputs in ascending key order, values in
-//! emission order within a key — at the cost of one comparison sort over
-//! distinct keys instead of one over all pairs. The retained
+//! emission order within a key — at the cost of one sort over distinct
+//! keys instead of one over all pairs; for large directories with
+//! fixed-width unsigned keys even that is an `O(n)` LSD radix sort
+//! rather than a comparison sort. The retained
 //! [`naive`](crate::naive) module implements the old `BTreeMap` pipeline
 //! and is the regression oracle proving the two paths byte-identical.
 
+use std::any::TypeId;
 use std::hash::{Hash, Hasher};
 
 /// Multiplier of the MUM fingerprint mix (the splitmix64 increment — an
@@ -243,6 +246,7 @@ impl<K: Hash, V> ColumnBuf<K, V> {
 /// time a descriptor exists, and dropping it keeps the directory — the
 /// thing [`GroupedRun::sort_groups_by_key`] moves around — as small as
 /// possible (16 bytes for `u64` keys instead of 24).
+#[derive(Clone, Copy)]
 pub(crate) struct Group<K> {
     /// The distinct reduce key.
     pub key: K,
@@ -279,15 +283,112 @@ impl<K, V> GroupedRun<K, V> {
     }
 }
 
-impl<K: Ord, V> GroupedRun<K, V> {
+impl<K: Ord + 'static, V> GroupedRun<K, V> {
     /// Sorts the group descriptors into ascending key order. Values stay
     /// put — descriptors carry their `(start, len)` windows with them —
-    /// so this costs one unstable sort over *distinct keys*, not over
-    /// pairs. Keys are distinct within a run, so the order is total and
-    /// deterministic.
+    /// so this costs one pass over *distinct keys*, not over pairs. Keys
+    /// are distinct within a run, so the order is total and deterministic.
+    ///
+    /// Large directories with fixed-width unsigned keys (`u64`/`u32`)
+    /// take an LSD radix path — `O(n)` counting passes over the bytes
+    /// that actually vary — which was the one comparison sort left on
+    /// the columnar plane. Everything else (or anything below
+    /// [`RADIX_MIN`], where one comparison sort beats eight counting
+    /// passes) falls back to `sort_unstable_by`. Both orders are the
+    /// same total key order, so the choice is invisible to callers.
     pub fn sort_groups_by_key(&mut self) {
+        if self.groups.len() >= RADIX_MIN
+            && (radix_sort_groups_as::<K, u64>(&mut self.groups)
+                || radix_sort_groups_as::<K, u32>(&mut self.groups))
+        {
+            return;
+        }
         self.groups.sort_unstable_by(|a, b| a.key.cmp(&b.key));
     }
+}
+
+/// Directory length below which the comparison sort wins: a radix pass
+/// costs up to eight full counting sweeps regardless of size, so small
+/// directories are cheaper to pdqsort.
+const RADIX_MIN: usize = 2048;
+
+/// Fixed-width unsigned key types the group directory can be
+/// radix-sorted on: the `u64` image must order exactly like `Ord`.
+trait RadixKey: Copy + 'static {
+    /// The key as a `u64` whose natural order matches the key's `Ord`.
+    fn radix(self) -> u64;
+}
+
+impl RadixKey for u64 {
+    fn radix(self) -> u64 {
+        self
+    }
+}
+
+impl RadixKey for u32 {
+    fn radix(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+/// Radix-sorts the directory if `K` *is* the radix-capable type `T`
+/// (checked by `TypeId`), returning whether it did. This is a concrete
+/// per-type downcast, not specialisation: stable Rust cannot dispatch on
+/// "K is u64" generically, but it can compare `TypeId`s and reinterpret
+/// the vector once the types are proven identical.
+fn radix_sort_groups_as<K: 'static, T: RadixKey>(groups: &mut Vec<Group<K>>) -> bool {
+    if TypeId::of::<K>() != TypeId::of::<T>() {
+        return false;
+    }
+    // SAFETY: `TypeId` equality above proves `K` and `T` are the same
+    // type, so `Vec<Group<K>>` and `Vec<Group<T>>` are the same type and
+    // the pointer cast is an identity reinterpretation.
+    let groups = unsafe { &mut *(std::ptr::from_mut(groups) as *mut Vec<Group<T>>) };
+    radix_sort_groups(groups);
+    true
+}
+
+/// LSD radix sort of a group directory by key: one stable counting pass
+/// per key byte, low to high, skipping bytes that are constant across
+/// the directory (for dense key spaces most of the high bytes are).
+fn radix_sort_groups<T: RadixKey>(groups: &mut Vec<Group<T>>) {
+    let mut or_all = 0u64;
+    let mut and_all = u64::MAX;
+    for g in groups.iter() {
+        let k = g.key.radix();
+        or_all |= k;
+        and_all &= k;
+    }
+    // A bit varies across keys iff it is set in some key but not all.
+    let varying = or_all ^ and_all;
+    if varying == 0 {
+        return; // all keys equal (or directory empty / singleton)
+    }
+    let mut src = std::mem::take(groups);
+    let mut dst = src.clone(); // same-length scratch; contents overwritten
+    for byte in 0..8 {
+        let shift = byte * 8;
+        if (varying >> shift) & 0xFF == 0 {
+            continue;
+        }
+        let mut counts = [0usize; 256];
+        for g in &src {
+            counts[((g.key.radix() >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (o, c) in offsets.iter_mut().zip(counts) {
+            *o = acc;
+            acc += c;
+        }
+        for g in &src {
+            let b = ((g.key.radix() >> shift) & 0xFF) as usize;
+            dst[offsets[b]] = *g;
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *groups = src;
 }
 
 /// Cache-sizing policy for the radix bucketing: aim for ~1024-pair
@@ -1010,5 +1111,103 @@ mod tests {
         assert_eq!(bucket_count(4096), 4);
         assert_eq!(bucket_count(300_000), 256);
         assert_eq!(bucket_count(10_000_000), 256);
+    }
+
+    /// A directory of `n` distinct keys produced by a multiplicative
+    /// scramble (so arrival order is far from sorted), with start/len
+    /// payloads tied to the key to verify descriptors move as units.
+    fn scrambled_directory(n: u64) -> Vec<Group<u64>> {
+        (0..n)
+            .map(|i| {
+                let key = ((i * 2_654_435_761) % (1 << 40)) | (i << 40);
+                Group {
+                    key,
+                    start: (key % 7_919) as u32,
+                    len: (key % 13) as u32 + 1,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_directory_sort_matches_comparison_sort() {
+        // Both sides of the RADIX_MIN threshold, for both radix-capable
+        // key widths: the sorted directory must be byte-identical to
+        // what the comparison sort produces (same keys AND payloads).
+        for n in [
+            RADIX_MIN as u64 / 2, // below threshold: comparison path
+            RADIX_MIN as u64,     // at threshold: radix path
+            RADIX_MIN as u64 * 4, // well above
+        ] {
+            let groups64 = scrambled_directory(n);
+            let mut expect: Vec<(u64, u32, u32)> =
+                groups64.iter().map(|g| (g.key, g.start, g.len)).collect();
+            expect.sort_unstable();
+            let mut run = GroupedRun {
+                groups: groups64,
+                values: Vec::<u8>::new(),
+            };
+            run.sort_groups_by_key();
+            let got: Vec<(u64, u32, u32)> =
+                run.groups.iter().map(|g| (g.key, g.start, g.len)).collect();
+            assert_eq!(got, expect, "u64 keys, n={n}");
+
+            let groups32: Vec<Group<u32>> = (0..n as u32)
+                .map(|i| Group {
+                    key: i.wrapping_mul(2_654_435_761),
+                    start: i,
+                    len: 1,
+                })
+                .collect();
+            let mut expect32: Vec<u32> = groups32.iter().map(|g| g.key).collect();
+            expect32.sort_unstable();
+            let mut run32 = GroupedRun {
+                groups: groups32,
+                values: Vec::<u8>::new(),
+            };
+            run32.sort_groups_by_key();
+            let got32: Vec<u32> = run32.groups.iter().map(|g| g.key).collect();
+            assert_eq!(got32, expect32, "u32 keys, n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_handles_degenerate_directories() {
+        // Empty, singleton, and all-equal-key directories short-circuit
+        // on `varying == 0` without touching the scratch machinery.
+        let mut empty: Vec<Group<u64>> = Vec::new();
+        radix_sort_groups(&mut empty);
+        assert!(empty.is_empty());
+        let mut same: Vec<Group<u64>> = (0..10)
+            .map(|i| Group {
+                key: 42,
+                start: i,
+                len: 1,
+            })
+            .collect();
+        radix_sort_groups(&mut same);
+        assert_eq!(same.len(), 10);
+        // Stable: equal keys keep arrival order.
+        assert!(same.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn non_radix_keys_take_the_comparison_path() {
+        // String keys can't downcast to u64/u32; the fallback must still
+        // sort correctly above the threshold.
+        let n = RADIX_MIN * 2;
+        let groups: Vec<Group<String>> = (0..n)
+            .map(|i| Group {
+                key: format!("k{:06}", (i * 7919) % n),
+                start: i as u32,
+                len: 1,
+            })
+            .collect();
+        let mut run = GroupedRun {
+            groups,
+            values: Vec::<u8>::new(),
+        };
+        run.sort_groups_by_key();
+        assert!(run.groups.windows(2).all(|w| w[0].key < w[1].key));
     }
 }

@@ -95,7 +95,7 @@ pub fn run_round_combined<I, K, V, O>(
 ) -> Result<(Vec<O>, CombinedMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Hash + Clone + Debug + Send + Sync,
+    K: Ord + Hash + Clone + Debug + Send + Sync + 'static,
     V: Send + Sync,
     O: Send,
 {
@@ -148,7 +148,7 @@ where
     let per_worker: Vec<(u64, ColumnBuf<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
         chunks.into_iter().map(combine_chunk).collect()
     } else {
-        run_chunked(chunks, combine_chunk)
+        run_chunked(config.executor, chunks, combine_chunk)
     };
 
     // Pre-combine accounting happens per worker, before any partitioning:
@@ -181,11 +181,12 @@ where
         config.max_reducer_inputs,
         configured_workers,
         pair_bytes::<K, V>(),
+        config.executor,
     )?;
 
     let loads = shuffled.loads();
     let reducers = loads.len() as u64;
-    let outputs = reduce_phase(&shuffled, reducer, configured_workers);
+    let outputs = reduce_phase(&shuffled, reducer, configured_workers, config.executor);
 
     let metrics = CombinedMetrics {
         round: RoundMetrics {

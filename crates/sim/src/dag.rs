@@ -22,13 +22,16 @@
 //!   stage fail, the error of the smallest node index is returned, so
 //!   multi-node failures are deterministic too.
 //! * **Staging** — nodes execute in ASAP levels (a node runs as soon as
-//!   all its dependencies have), one [`std::thread::scope`] per level
-//!   with concurrently-running nodes joined in index order.
+//!   all its dependencies have), each level submitted as one batch to the
+//!   configured [`Executor`] — the resident
+//!   [`WorkerPool`] by default — with
+//!   concurrently-running nodes collected in index order.
 
 use crate::delta::{run_round_on, Pipeline};
 use crate::engine::{run_round, EngineConfig, EngineError};
 use crate::mapper::{FnMapper, FnReducer, Mapper, Reducer};
 use crate::metrics::{JobMetrics, RoundMetrics};
+use crate::pool::{Executor, WorkerPool};
 use crate::schema::{ReducerId, SchemaJob};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -247,16 +250,28 @@ impl<T: Clone + Send + Sync + 'static> DagJob<T> {
                 let (i, input) = &staged[0];
                 vec![(*i, self.run_node(*i, input, config))]
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = staged
-                        .iter()
-                        .map(|(i, input)| {
-                            let i = *i;
-                            scope.spawn(move || (i, self.run_node(i, input, config)))
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
+                match config.executor {
+                    Executor::Pool => WorkerPool::global().run(
+                        staged
+                            .iter()
+                            .map(|(i, input)| {
+                                let i = *i;
+                                Box::new(move || (i, self.run_node(i, input, config)))
+                                    as Box<dyn FnOnce() -> NodeOutcome<T> + Send + '_>
+                            })
+                            .collect(),
+                    ),
+                    Executor::Scoped => std::thread::scope(|scope| {
+                        let handles: Vec<_> = staged
+                            .iter()
+                            .map(|(i, input)| {
+                                let i = *i;
+                                scope.spawn(move || (i, self.run_node(i, input, config)))
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    }),
+                }
             };
 
             // Deterministic multi-failure contract: the smallest failing

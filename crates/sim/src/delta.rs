@@ -99,7 +99,7 @@ pub fn run_round_on<I, K, V, O>(
 ) -> Result<(Vec<O>, RoundMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Hash + Debug + Send + Sync,
+    K: Ord + Hash + Debug + Send + Sync + 'static,
     V: Send + Sync,
     O: Send,
 {
@@ -121,7 +121,7 @@ pub fn run_round_combined_on<I, K, V, O>(
 ) -> Result<(Vec<O>, CombinedMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Hash + Clone + Debug + Send + Sync,
+    K: Ord + Hash + Clone + Debug + Send + Sync + 'static,
     V: Send + Sync,
     O: Send,
 {
@@ -490,7 +490,7 @@ where
         } else {
             let chunk = staged.len().div_ceil(workers);
             let chunks: Vec<&[StagedReducer<I>]> = staged.chunks(chunk).collect();
-            run_chunked(chunks, |chunk| {
+            run_chunked(self.config.executor, chunks, |chunk| {
                 chunk
                     .iter()
                     .map(|(rid, _, values)| {

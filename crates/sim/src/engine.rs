@@ -22,12 +22,14 @@
 //!
 //! With `workers <= 1` the same pipeline runs on the calling thread with a
 //! single partition; with `workers > 1` each map chunk and each partition
-//! group-sort runs on its own `std::thread::scope` thread. Because worker
-//! emission buffers are concatenated per partition in chunk (= input)
-//! order and the group sort ties on arrival order, outputs and semantic
-//! metrics are identical at every worker count; the retained
-//! [`naive`](crate::naive) module keeps the original `BTreeMap` pipeline
-//! as the oracle for exactly that claim. Only the [`ShuffleStats`]
+//! group-sort runs as a task on the configured [`Executor`] — the
+//! resident [`WorkerPool`] by default, or a fresh `std::thread::scope`
+//! thread per task on the retained [`Executor::Scoped`] oracle. Because
+//! worker emission buffers are concatenated per partition in chunk
+//! (= input) order and the group sort ties on arrival order, outputs and
+//! semantic metrics are identical at every worker count on either
+//! substrate; the retained [`naive`](crate::naive) module keeps the
+//! original `BTreeMap` pipeline as the oracle for exactly that claim. Only the [`ShuffleStats`]
 //! execution metadata (partition count, balance, bytes moved, bucket
 //! histogram) varies with the worker count, and that is excluded from
 //! metric equality by design.
@@ -46,6 +48,7 @@ use crate::columnar::{
 };
 use crate::mapper::{Mapper, Reducer};
 use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
+use crate::pool::{Executor, WorkerPool};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -54,8 +57,9 @@ use std::hash::Hash;
 pub struct EngineConfig {
     /// Number of worker threads. `0` and `1` both run fully sequentially on
     /// the calling thread; larger values shard the map, shuffle, and reduce
-    /// phases with `std::thread::scope` scoped threads. Results are
-    /// identical either way. The raw value is preserved as written;
+    /// phases across the configured [`executor`](EngineConfig::executor)
+    /// substrate. Results are identical either way. The raw value is
+    /// preserved as written;
     /// [`effective_workers`](EngineConfig::effective_workers) is the single
     /// place the degenerate `0` is clamped.
     pub workers: usize,
@@ -68,6 +72,11 @@ pub struct EngineConfig {
     /// any value (or `None`) yields identical outputs and metrics.
     /// `mr-plan` threads its census-exact pair prediction through here.
     pub pairs_hint: Option<u64>,
+    /// Which parallel substrate fan-outs run on: the resident
+    /// [`WorkerPool`] (default) or fresh `std::thread::scope` threads per
+    /// call (the retained oracle). Purely an execution choice — outputs
+    /// and semantic metrics are byte-identical on both.
+    pub executor: Executor,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +85,7 @@ impl Default for EngineConfig {
             workers: 1,
             max_reducer_inputs: None,
             pairs_hint: None,
+            executor: Executor::Pool,
         }
     }
 }
@@ -94,8 +104,7 @@ impl EngineConfig {
     pub fn parallel(workers: usize) -> Self {
         EngineConfig {
             workers,
-            max_reducer_inputs: None,
-            pairs_hint: None,
+            ..Self::default()
         }
     }
 
@@ -117,6 +126,13 @@ impl EngineConfig {
     /// [`pairs_hint`](EngineConfig::pairs_hint)).
     pub fn with_pairs_hint(mut self, pairs: u64) -> Self {
         self.pairs_hint = Some(pairs);
+        self
+    }
+
+    /// Selects the parallel substrate (see
+    /// [`executor`](EngineConfig::executor)).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 }
@@ -183,7 +199,7 @@ pub fn run_round<I, K, V, O, M, R>(
 ) -> Result<(Vec<O>, RoundMetrics), EngineError>
 where
     I: Sync,
-    K: Ord + Hash + Debug + Send + Sync,
+    K: Ord + Hash + Debug + Send + Sync + 'static,
     V: Send + Sync,
     O: Send,
     M: Mapper<I, K, V> + ?Sized,
@@ -217,17 +233,25 @@ where
         )?;
         (shuffled, stats, kv_pairs)
     } else {
-        let partitions = map_columnar_phase(inputs, mapper, workers, p, config.pairs_hint);
+        let partitions = map_columnar_phase(
+            inputs,
+            mapper,
+            workers,
+            p,
+            config.pairs_hint,
+            config.executor,
+        );
         let kv_pairs: u64 = partitions.iter().map(|part| part.len() as u64).sum();
         let (shuffled, stats) = shuffle_columns(
             partitions,
             config.max_reducer_inputs,
             workers,
             pair_bytes::<K, V>(),
+            config.executor,
         )?;
         (shuffled, stats, kv_pairs)
     };
-    let outputs = reduce_phase(&shuffled, reducer, workers);
+    let outputs = reduce_phase(&shuffled, reducer, workers, config.executor);
     let metrics = round_metrics(
         inputs.len(),
         kv_pairs,
@@ -286,7 +310,7 @@ fn shuffle_bucketed<K, V>(
     bytes_per_pair: u64,
 ) -> Result<(Shuffled<K, V>, ShuffleStats), EngineError>
 where
-    K: Ord + Debug,
+    K: Ord + Debug + 'static,
 {
     let mut stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
     stats.bytes_moved = kv_pairs * bytes_per_pair;
@@ -314,6 +338,7 @@ fn map_columnar_phase<I, K, V, M>(
     workers: usize,
     p: usize,
     pairs_hint: Option<u64>,
+    executor: Executor,
 ) -> Vec<ColumnBuf<K, V>>
 where
     I: Sync,
@@ -346,7 +371,7 @@ where
     let per_worker: Vec<Vec<ColumnBuf<K, V>>> = if map_workers <= 1 {
         chunks.into_iter().map(map_chunk).collect()
     } else {
-        run_chunked(chunks, map_chunk)
+        run_chunked(executor, chunks, map_chunk)
     };
     let mut partitions: Vec<ColumnBuf<K, V>> = (0..p).map(|_| ColumnBuf::new()).collect();
     for worker_bufs in per_worker {
@@ -375,9 +400,10 @@ pub(crate) fn shuffle_columns<K, V>(
     q: Option<u64>,
     workers: usize,
     bytes_per_pair: u64,
+    executor: Executor,
 ) -> Result<(Shuffled<K, V>, ShuffleStats), EngineError>
 where
-    K: Ord + Debug + Send,
+    K: Ord + Debug + Send + 'static,
     V: Send,
 {
     let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
@@ -392,7 +418,7 @@ where
     let runs: Vec<GroupedRun<K, V>> = if workers <= 1 || partitions.len() <= 1 {
         partitions.into_iter().map(group_one).collect()
     } else {
-        run_owned(partitions, group_one)
+        run_owned(executor, partitions, group_one)
     };
 
     check_budget(&runs, q)?;
@@ -448,37 +474,62 @@ fn round_metrics(
     }
 }
 
-/// Runs `f` over each chunk on its own `std::thread::scope` thread and
+/// Runs `f` over each chunk in parallel on the selected substrate and
 /// returns the results in chunk order — the borrowed-slice form of the one
 /// parallel substrate shared by the map, shuffle, reduce, and combine
 /// phases. Chunk order in, chunk order out is what makes parallel
-/// execution bit-identical to sequential.
+/// execution bit-identical to sequential, on either substrate: the
+/// resident [`WorkerPool`] writes each task's result into its
+/// submission-order slot, and the scoped path joins handles in spawn
+/// order.
 pub(crate) fn run_chunked<T: Sync, R: Send>(
+    executor: Executor,
     chunks: Vec<&[T]>,
     f: impl Fn(&[T]) -> R + Sync,
 ) -> Vec<R> {
     let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
+    match executor {
+        Executor::Pool => WorkerPool::global().run(
+            chunks
+                .into_iter()
+                .map(|c| Box::new(move || f(c)) as Box<dyn FnOnce() -> R + Send + '_>)
+                .collect(),
+        ),
+        Executor::Scoped => std::thread::scope(|s| {
+            let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        }),
+    }
 }
 
-/// Owned-item twin of [`run_chunked`]: runs `f` over each owned item on
-/// its own scoped thread, returning results in item order. Used for the
-/// per-partition grouping stage, which consumes its partition.
-pub(crate) fn run_owned<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+/// Owned-item twin of [`run_chunked`]: runs `f` over each owned item in
+/// parallel on the selected substrate, returning results in item order.
+/// Used for the per-partition grouping stage, which consumes its
+/// partition.
+pub(crate) fn run_owned<T: Send, R: Send>(
+    executor: Executor,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
     let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items.into_iter().map(|t| s.spawn(move || f(t))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
+    match executor {
+        Executor::Pool => WorkerPool::global().run(
+            items
+                .into_iter()
+                .map(|t| Box::new(move || f(t)) as Box<dyn FnOnce() -> R + Send + '_>)
+                .collect(),
+        ),
+        Executor::Scoped => std::thread::scope(|s| {
+            let handles: Vec<_> = items.into_iter().map(|t| s.spawn(move || f(t))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        }),
+    }
 }
 
 /// Runs the reduce phase over the merged shuffle view, concatenating
@@ -489,6 +540,7 @@ pub(crate) fn reduce_phase<K, V, O, R>(
     shuffled: &Shuffled<K, V>,
     reducer: &R,
     workers: usize,
+    executor: Executor,
 ) -> Vec<O>
 where
     K: Send + Sync,
@@ -510,7 +562,7 @@ where
         .step_by(chunk)
         .map(|s| (s, (s + chunk).min(n)))
         .collect();
-    let results = run_owned(ranges, |(s, e)| {
+    let results = run_owned(executor, ranges, |(s, e)| {
         let mut outputs = Vec::with_capacity(e - s);
         shuffled.for_each_in(s..e, |k, vs| {
             reducer.reduce(k, vs, &mut |o| outputs.push(o))
@@ -652,8 +704,7 @@ mod tests {
         let docs = ["a b a", "b c", "a"];
         let zero = EngineConfig {
             workers: 0,
-            max_reducer_inputs: None,
-            pairs_hint: None,
+            ..EngineConfig::default()
         };
         let (out, m) = wordcount(&docs, &zero);
         let (seq_out, seq_m) = wordcount(&docs, &EngineConfig::sequential());
@@ -671,8 +722,7 @@ mod tests {
         assert_eq!(ctor.effective_workers(), 1);
         let hand = EngineConfig {
             workers: 0,
-            max_reducer_inputs: None,
-            pairs_hint: None,
+            ..EngineConfig::default()
         };
         assert_eq!(hand.effective_workers(), 1);
         assert_eq!(EngineConfig::parallel(6).effective_workers(), 6);

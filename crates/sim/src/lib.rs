@@ -36,8 +36,12 @@
 //!   communication accounting,
 //! * [`job`] — type-safe multi-round pipelines (round *i*'s reduce output
 //!   feeds round *i+1*'s map),
-//! * [`dag`] — a DAG of rounds over one token type, staged over
-//!   `std::thread::scope`, for planner-searched round structures,
+//! * [`dag`] — a DAG of rounds over one token type, staged level by
+//!   level on the execution substrate, for planner-searched round
+//!   structures,
+//! * [`pool`] — the resident work-stealing [`WorkerPool`] every fan-out
+//!   runs on by default, with the per-call scoped-thread substrate
+//!   retained as the [`Executor::Scoped`] oracle,
 //! * [`metrics`] — per-round and per-job measurements,
 //! * [`schema`] — running an abstract *mapping schema* (assignment of
 //!   inputs to reducers) as a map-reduce job.
@@ -51,6 +55,7 @@ pub mod job;
 pub mod mapper;
 pub mod metrics;
 pub mod naive;
+pub mod pool;
 pub mod schema;
 
 pub use combiner::{run_round_combined, CombinedMetrics, Combiner, FnCombiner};
@@ -63,4 +68,5 @@ pub use engine::{run_round, EngineConfig, EngineError};
 pub use job::Job;
 pub use mapper::{FnMapper, FnReducer, Mapper, Reducer};
 pub use metrics::{JobMetrics, LoadStats, RoundMetrics, ShuffleStats};
+pub use pool::{Executor, WorkerPool};
 pub use schema::{run_schema, run_schema_dyn, run_schema_timed, DynSchema, SchemaJob};

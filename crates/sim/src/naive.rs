@@ -17,6 +17,7 @@ use crate::combiner::{CombinedMetrics, Combiner};
 use crate::engine::{pair_bytes, run_chunked, run_owned, EngineConfig, EngineError};
 use crate::mapper::{Mapper, Reducer};
 use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
+use crate::pool::Executor;
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
@@ -135,11 +136,12 @@ where
     O: Send,
 {
     let p = workers.min(inputs.len()).max(1);
-    let partitions = map_scatter_phase(inputs, mapper, workers, p);
+    let partitions = map_scatter_phase(inputs, mapper, workers, p, config.executor);
     let kv_pairs: u64 = partitions.iter().map(|p| p.len() as u64).sum();
-    let (entries, mut shuffle_stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+    let (entries, mut shuffle_stats) =
+        shuffle_partitioned(partitions, config.max_reducer_inputs, config.executor)?;
     shuffle_stats.bytes_moved = kv_pairs * pair_bytes::<K, V>();
-    let outputs = naive_reduce_phase(&entries, reducer, workers);
+    let outputs = naive_reduce_phase(&entries, reducer, workers, config.executor);
     let metrics = round_metrics(
         inputs.len(),
         kv_pairs,
@@ -182,6 +184,7 @@ fn map_scatter_phase<I, K, V>(
     mapper: &dyn Mapper<I, K, V>,
     workers: usize,
     p: usize,
+    executor: Executor,
 ) -> Vec<Vec<(K, V)>>
 where
     I: Sync,
@@ -195,7 +198,7 @@ where
     let map_workers = workers.min(inputs.len());
     let chunk = inputs.len().div_ceil(map_workers);
     let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
-    let per_worker = run_chunked(chunks, |c| {
+    let per_worker = run_chunked(executor, chunks, |c| {
         let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
         for input in c {
             mapper.map(input, &mut |k, v| {
@@ -219,6 +222,7 @@ where
 fn shuffle_partitioned<K, V>(
     partitions: Vec<Vec<(K, V)>>,
     q: Option<u64>,
+    executor: Executor,
 ) -> Result<(Groups<K, V>, ShuffleStats), EngineError>
 where
     K: Ord + Debug + Send,
@@ -227,7 +231,7 @@ where
     let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
     let stats = ShuffleStats::from_partition_loads(&partition_loads);
 
-    let grouped: Vec<(BTreeMap<K, Vec<V>>, bool)> = run_owned(partitions, |pairs| {
+    let grouped: Vec<(BTreeMap<K, Vec<V>>, bool)> = run_owned(executor, partitions, |pairs| {
         let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
         for (k, v) in pairs {
             groups.entry(k).or_default().push(v);
@@ -305,6 +309,7 @@ fn naive_reduce_phase<K, V, O>(
     entries: &[(K, Vec<V>)],
     reducer: &dyn Reducer<K, V, O>,
     workers: usize,
+    executor: Executor,
 ) -> Vec<O>
 where
     K: Send + Sync,
@@ -321,7 +326,7 @@ where
     let workers = workers.min(entries.len());
     let chunk = entries.len().div_ceil(workers);
     let chunks: Vec<&[(K, Vec<V>)]> = entries.chunks(chunk).collect();
-    let results = run_chunked(chunks, |c| {
+    let results = run_chunked(executor, chunks, |c| {
         let mut outputs = Vec::new();
         for (k, vs) in c {
             reducer.reduce(k, vs, &mut |o| outputs.push(o));
@@ -377,7 +382,7 @@ where
     let per_worker: Vec<(u64, BTreeMap<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
         chunks.iter().map(|c| combine_chunk(c)).collect()
     } else {
-        run_chunked(chunks, combine_chunk)
+        run_chunked(config.executor, chunks, combine_chunk)
     };
 
     let pre_combine_pairs: u64 = per_worker.iter().map(|(e, _)| *e).sum();
@@ -415,13 +420,14 @@ where
                 partitions[partition_of(&k, p)].push((k, v));
             }
         }
-        let (entries, stats) = shuffle_partitioned(partitions, config.max_reducer_inputs)?;
+        let (entries, stats) =
+            shuffle_partitioned(partitions, config.max_reducer_inputs, config.executor)?;
         (entries, wire_pairs, stats)
     };
 
     let loads: Vec<u64> = entries.iter().map(|(_, vs)| vs.len() as u64).collect();
     let reducers = entries.len() as u64;
-    let outputs = naive_reduce_phase(&entries, reducer, configured_workers);
+    let outputs = naive_reduce_phase(&entries, reducer, configured_workers, config.executor);
 
     let metrics = CombinedMetrics {
         round: RoundMetrics {

@@ -1,0 +1,462 @@
+//! The resident execution substrate: a persistent work-stealing pool.
+//!
+//! Every fan-out in this workspace used to spawn fresh threads through
+//! [`std::thread::scope`] — once per map phase, per partition group-sort,
+//! per reduce range, per DAG level, per dirty-reducer chunk, per sweep
+//! q-point. On the small-and-medium rounds the planner actually emits,
+//! that spawn + join barrier dominates wall-clock: the paper's cost model
+//! prices communication, but the reproduction was paying orchestration.
+//!
+//! [`WorkerPool`] replaces the spawn with a **resident** pool:
+//!
+//! * **One spawn, ever.** [`WorkerPool::global`] lazily spawns
+//!   `available_parallelism` workers on first use; every subsequent batch
+//!   reuses them. A resident process (the future `mr-serve` daemon) pays
+//!   thread creation once per lifetime, not once per request phase.
+//! * **Injector + stealing.** A batch of tasks enters a shared injector
+//!   queue. Idle workers pull (steal) tasks one at a time from the oldest
+//!   batch, so load balances dynamically — the sweep's
+//!   orders-of-magnitude point-cost spread and the engine's skewed
+//!   partitions need exactly that. The *submitting* thread participates
+//!   too: it drains its own batch alongside the workers, which both adds
+//!   a lane and guarantees progress when batches nest (a DAG level's node
+//!   task submits its round's map batch from inside a worker) or when the
+//!   pool has zero threads.
+//! * **Parked-idle protocol.** A worker that finds the injector empty
+//!   parks on a condvar. Parked workers consume no CPU, so a resident
+//!   pool costs nothing between requests; [`WorkerPool::parked`] exposes
+//!   the count for the battery that pins this.
+//! * **Determinism.** Results land in per-task slots indexed by
+//!   submission order, so a batch's result vector is byte-identical no
+//!   matter which worker ran what or in what order — the same
+//!   chunk-order-in/chunk-order-out contract the scoped substrate had.
+//!   [`Executor::Scoped`] retains that original substrate as the oracle,
+//!   the way [`naive`](crate::naive) pins the columnar data plane.
+//! * **Panic transparency.** A panicking task does not kill its worker:
+//!   the payload is caught, the batch completes, and the payload is
+//!   re-thrown on the submitting thread — observable behaviour matches
+//!   the scoped substrate's `join().expect(..)`.
+//!
+//! # Safety story
+//!
+//! Tasks borrow from the submitting stack frame (`'env`), but resident
+//! workers are `'static`; [`WorkerPool::run`] erases the lifetime with a
+//! `transmute` exactly the way scoped threads do under the hood. The
+//! erasure is sound for the same reason `std::thread::scope` is: `run`
+//! does not return until every task of the batch has completed (the
+//! completion latch), so no borrow outlives its frame.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Which parallel substrate a fan-out executes on.
+///
+/// The engine's default is the resident [`WorkerPool`]; the original
+/// per-call [`std::thread::scope`] substrate is retained as the oracle —
+/// the substrate twin of [`Pipeline`](crate::Pipeline)'s data-plane pair.
+/// Both satisfy the same determinism contract, so everything built on the
+/// engine is parameterised over the substrate and differential tests can
+/// cross-check them in one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// The resident work-stealing pool (the production substrate).
+    Pool,
+    /// Fresh `std::thread::scope` threads per call (the oracle substrate).
+    Scoped,
+}
+
+impl Executor {
+    /// Both substrates, for exhaustive differential loops.
+    pub const ALL: [Executor; 2] = [Executor::Pool, Executor::Scoped];
+
+    /// Short display name (`"pool"` / `"scoped"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Executor::Pool => "pool",
+            Executor::Scoped => "scoped",
+        }
+    }
+}
+
+/// A lifetime-erased batch task.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One submitted batch: its queue of pending tasks, the completion latch,
+/// and the first caught panic payload.
+struct Batch {
+    /// Tasks not yet claimed. Workers and the submitting thread pop from
+    /// the front; emptiness here does *not* mean completion (claimed
+    /// tasks may still be running) — that is what `remaining` tracks.
+    queue: Mutex<VecDeque<Task>>,
+    /// Tasks not yet *finished*. Guarded by a mutex (not an atomic) so
+    /// the completion wait is a standard condvar latch.
+    remaining: Mutex<usize>,
+    /// Signalled when `remaining` reaches zero.
+    done: Condvar,
+    /// First panic payload caught from a task, re-thrown at the caller.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl Batch {
+    fn new(tasks: VecDeque<Task>) -> Self {
+        let n = tasks.len();
+        Batch {
+            queue: Mutex::new(tasks),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claims the next unclaimed task, if any.
+    fn pop(&self) -> Option<Task> {
+        self.queue
+            .lock()
+            .expect("pool batch queue poisoned")
+            .pop_front()
+    }
+
+    /// Runs one claimed task, capturing a panic instead of unwinding into
+    /// the worker loop, and counts it finished.
+    fn run_task(&self, task: Task) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = self.panic.lock().expect("pool panic slot poisoned");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut remaining = self.remaining.lock().expect("pool batch latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every task of the batch has finished.
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("pool batch latch poisoned");
+        while *remaining > 0 {
+            remaining = self
+                .done
+                .wait(remaining)
+                .expect("pool batch latch poisoned");
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Inner {
+    /// The injector: batches with unclaimed tasks, oldest first.
+    injector: Mutex<VecDeque<Arc<Batch>>>,
+    /// Wakes parked workers when a batch arrives (or shutdown begins).
+    work: Condvar,
+    /// Number of workers currently parked on `work`.
+    parked: AtomicUsize,
+    /// Set once, by `Drop`; parked workers observe it and exit.
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads executing batches of tasks from a
+/// shared injector queue. See the [module docs](self) for the protocol
+/// and determinism contract; most callers want [`WorkerPool::global`].
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with its own `workers.max(1)` resident threads. Intended
+    /// for lifecycle tests; production fan-outs share
+    /// [`global`](WorkerPool::global).
+    pub fn with_workers(workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            injector: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            parked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mr-pool-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { inner, handles }
+    }
+
+    /// The process-wide resident pool, spawned on first use with
+    /// `available_parallelism` workers and never torn down — the
+    /// substrate every `EngineConfig { executor: Pool, .. }` fan-out
+    /// shares.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            WorkerPool::with_workers(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Number of resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Number of workers currently parked idle (the between-requests
+    /// steady state of a resident pool is `parked() == workers()`).
+    pub fn parked(&self) -> usize {
+        self.inner.parked.load(Ordering::SeqCst)
+    }
+
+    /// Executes a batch of tasks and returns their results **in task
+    /// order**, independent of which thread ran what. Blocks until every
+    /// task has finished; the submitting thread drains the batch
+    /// alongside the workers (see the module docs). If a task panicked,
+    /// the first payload is re-thrown here after the batch completes.
+    pub fn run<'env, R: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+    ) -> Vec<R> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            let task = tasks.into_iter().next().expect("len checked");
+            return vec![task()];
+        }
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let base = results.as_mut_ptr();
+        let erased: VecDeque<Task> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, task)| {
+                // SAFETY: `i < n`, so the slot pointer is in bounds; slot
+                // `i` is written by exactly this task; and `results` is
+                // not read (or moved in a way that relocates its buffer)
+                // until `batch.wait()` below has proven every task done.
+                let slot = SlotPtr(unsafe { base.add(i) });
+                let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let slot = slot;
+                    unsafe { slot.0.write(Some(task())) }
+                });
+                // SAFETY: the lifetime erasure scoped threads perform
+                // internally — sound because `batch.wait()` below blocks
+                // this frame until every erased task has finished, so no
+                // `'env` borrow survives the frame.
+                unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(job)
+                }
+            })
+            .collect();
+        let batch = Arc::new(Batch::new(erased));
+        {
+            let mut injector = self.inner.injector.lock().expect("pool injector poisoned");
+            injector.push_back(Arc::clone(&batch));
+            self.inner.work.notify_all();
+        }
+        // Participate: drain our own batch so nested submissions (a pool
+        // task submitting a sub-batch) and zero-spare-worker situations
+        // always make progress, then wait out whatever was stolen.
+        while let Some(task) = batch.pop() {
+            batch.run_task(task);
+        }
+        batch.wait();
+        if let Some(payload) = batch.panic.lock().expect("pool panic slot poisoned").take() {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("batch latch guarantees every slot is written"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Tears the pool down (dedicated pools only — the global pool lives
+    /// for the process). `run` borrows the pool, so no batch can be in
+    /// flight while `Drop` runs.
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.inner.injector.lock().expect("pool injector poisoned");
+            self.inner.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A `Send`-able pointer to one result slot. Safety is argued at the two
+/// unsafe sites in [`WorkerPool::run`].
+struct SlotPtr<R>(*mut Option<R>);
+
+// SAFETY: the pointee is owned by the submitting frame, written by exactly
+// one task, and not read until the batch latch proves the writer finished.
+unsafe impl<R: Send> Send for SlotPtr<R> {}
+
+/// The resident worker: claim one task from the oldest batch with work,
+/// run it, repeat; park on the condvar when the injector is empty.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let claimed: (Arc<Batch>, Task) = {
+            let mut injector = inner.injector.lock().expect("pool injector poisoned");
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut found = None;
+                // Scan from the oldest batch; drop batches whose queues
+                // have drained (their claimed tasks finish elsewhere).
+                while let Some(front) = injector.front().cloned() {
+                    let mut queue = front.queue.lock().expect("pool batch queue poisoned");
+                    if let Some(task) = queue.pop_front() {
+                        let drained = queue.is_empty();
+                        drop(queue);
+                        if drained {
+                            injector.pop_front();
+                        }
+                        found = Some((front, task));
+                        break;
+                    }
+                    drop(queue);
+                    injector.pop_front();
+                }
+                if let Some(claimed) = found {
+                    break claimed;
+                }
+                // Parked-idle protocol: no work anywhere — sleep until a
+                // submission (or shutdown) signals the condvar.
+                inner.parked.fetch_add(1, Ordering::SeqCst);
+                injector = inner.work.wait(injector).expect("pool injector poisoned");
+                inner.parked.fetch_sub(1, Ordering::SeqCst);
+            }
+        };
+        let (batch, task) = claimed;
+        batch.run_task(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Boxes a results-producing closure for [`WorkerPool::run`].
+    fn job<'env, R: Send>(
+        f: impl FnOnce() -> R + Send + 'env,
+    ) -> Box<dyn FnOnce() -> R + Send + 'env> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::with_workers(4);
+        let results = pool.run((0..64).map(|i| job(move || i * i)).collect());
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_may_borrow_the_submitting_frame() {
+        let pool = WorkerPool::with_workers(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(100).collect();
+        let sums = pool.run(
+            chunks
+                .iter()
+                .map(|c| job(move || c.iter().sum::<u64>()))
+                .collect(),
+        );
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = WorkerPool::with_workers(2);
+        assert_eq!(pool.run(Vec::<Box<dyn FnOnce() -> u8 + Send>>::new()), []);
+        assert_eq!(pool.run(vec![job(|| 7u8)]), vec![7]);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        // A pool task that itself submits a batch — the DAG-level shape
+        // (node task → round phases). Caller participation guarantees
+        // progress even on a single-worker pool.
+        let pool = Arc::new(WorkerPool::with_workers(1));
+        let outer: Vec<_> = (0..4u64)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                job(move || {
+                    pool.run((0..4u64).map(|j| job(move || i * 10 + j)).collect())
+                        .iter()
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        let sums = pool.run(outer);
+        assert_eq!(sums, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn a_panicking_task_resumes_at_the_caller_and_spares_the_pool() {
+        let pool = WorkerPool::with_workers(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..8)
+                    .map(|i| job(move || if i == 5 { panic!("task 5 exploded") } else { i }))
+                    .collect(),
+            )
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // The pool survives and still executes fresh batches.
+        assert_eq!(pool.run(vec![job(|| 1), job(|| 2)]), vec![1, 2]);
+    }
+
+    #[test]
+    fn idle_workers_park() {
+        let pool = WorkerPool::with_workers(3);
+        pool.run((0..16).map(|i| job(move || i)).collect());
+        // After the batch, workers drift back to the condvar. Poll with a
+        // deadline — parking is prompt but asynchronous.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.parked() < pool.workers() {
+            assert!(
+                Instant::now() < deadline,
+                "workers failed to park: {}/{}",
+                pool.parked(),
+                pool.workers()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.parked(), 3);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().workers() >= 1);
+    }
+
+    #[test]
+    fn executor_vocabulary() {
+        assert_eq!(Executor::ALL.len(), 2);
+        assert_eq!(Executor::Pool.name(), "pool");
+        assert_eq!(Executor::Scoped.name(), "scoped");
+    }
+}

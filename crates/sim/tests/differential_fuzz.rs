@@ -13,7 +13,8 @@
 use mr_sim::naive::run_round_naive;
 use mr_sim::{
     run_round, run_round_combined_on, run_round_on, run_schema, run_schema_retained, DagJob, Delta,
-    EngineConfig, FnCombiner, FnMapper, FnReducer, Pipeline, RoundMetrics, SchemaJob, Seq,
+    EngineConfig, Executor, FnCombiner, FnMapper, FnReducer, Pipeline, RoundMetrics, SchemaJob,
+    Seq,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -288,9 +289,79 @@ proptest! {
             set.into_iter().collect()
         };
         let delta = Delta::new(adds, removed);
-        let cfg = EngineConfig::parallel(workers);
+        for executor in Executor::ALL {
+            let cfg = EngineConfig::parallel(workers).with_executor(executor);
+            for pipeline in Pipeline::ALL {
+                assert_delta_matches_full_run("random", &schema, &base, &delta, pipeline, &cfg);
+            }
+        }
+    }
+
+    /// The pooled-vs-scoped arm: for random workloads at any worker
+    /// count, the resident-pool substrate is indistinguishable from
+    /// fresh scoped threads (outputs and semantic metrics) on both
+    /// shuffle pipelines. The pool is the default; the scoped oracle is
+    /// retained precisely for this cross-check.
+    #[test]
+    fn random_workloads_agree_across_executors(
+        keys in proptest::collection::vec(0u64..5_000, 0..600),
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let truth = digest_round(
+            Pipeline::Naive,
+            &inputs,
+            &EngineConfig::sequential().with_executor(Executor::Scoped),
+        );
         for pipeline in Pipeline::ALL {
-            assert_delta_matches_full_run("random", &schema, &base, &delta, pipeline, &cfg);
+            for executor in Executor::ALL {
+                let cfg = EngineConfig::parallel(workers).with_executor(executor);
+                let got = digest_round(pipeline, &inputs, &cfg);
+                prop_assert_eq!(
+                    &truth,
+                    &got,
+                    "{}/{} diverged at workers={}",
+                    pipeline.name(),
+                    executor.name(),
+                    workers
+                );
+            }
+        }
+    }
+
+    /// The pooled-vs-scoped arm for budgets: the overflow verdict — both
+    /// succeed, or both fail with the same smallest offender — is
+    /// executor-independent at any worker count.
+    #[test]
+    fn random_budget_verdicts_agree_across_executors(
+        keys in proptest::collection::vec(0u64..40, 1..300),
+        q in 1u64..12,
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+            emit(key, idx);
+        });
+        let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {});
+        let cfg = |e: Executor| {
+            EngineConfig::parallel(workers)
+                .with_max_reducer_inputs(q)
+                .with_executor(e)
+        };
+        let scoped = run_round(&inputs, &mapper, &reducer, &cfg(Executor::Scoped));
+        let pooled = run_round(&inputs, &mapper, &reducer, &cfg(Executor::Pool));
+        match (scoped, pooled) {
+            (Ok((so, sm)), Ok((po, pm))) => {
+                prop_assert_eq!(so, po);
+                prop_assert_eq!(sm, pm);
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+            (s, p) => prop_assert!(
+                false,
+                "verdicts diverged: scoped ok={} pooled ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
         }
     }
 
@@ -307,13 +378,29 @@ proptest! {
     ) {
         let dag = random_dag(&masks);
         let (truth_out, truth_m) = dag
-            .run(&inputs, &EngineConfig::sequential())
+            .run(
+                &inputs,
+                &EngineConfig::sequential().with_executor(Executor::Scoped),
+            )
             .expect("no budget set");
-        let (out, m) = dag
-            .run(&inputs, &EngineConfig::parallel(workers))
-            .expect("no budget set");
-        prop_assert_eq!(&truth_out, &out, "outputs diverged at workers={}", workers);
-        prop_assert_eq!(&truth_m, &m, "metrics diverged at workers={}", workers);
+        for executor in Executor::ALL {
+            let cfg = EngineConfig::parallel(workers).with_executor(executor);
+            let (out, m) = dag.run(&inputs, &cfg).expect("no budget set");
+            prop_assert_eq!(
+                &truth_out,
+                &out,
+                "outputs diverged on {} at workers={}",
+                executor.name(),
+                workers
+            );
+            prop_assert_eq!(
+                &truth_m,
+                &m,
+                "metrics diverged on {} at workers={}",
+                executor.name(),
+                workers
+            );
+        }
     }
 
     /// The degenerate single-round DAG *is* `run_schema`: one schema

@@ -1,0 +1,388 @@
+//! Executor parity battery: the resident [`WorkerPool`] substrate against
+//! the retained scoped-thread oracle.
+//!
+//! [`Executor::Scoped`] is the pre-pool fan-out (fresh `std::thread::scope`
+//! threads per call), kept precisely so this suite can exist — the
+//! substrate twin of `mr_sim::naive` pinning the columnar data plane. For
+//! every execution surface the crate offers — raw rounds on both shuffle
+//! pipelines, the combined path, retained deltas, staged DAG levels — the
+//! pooled execution must produce byte-identical outputs, equal semantic
+//! metrics, and the same overflow verdict (down to the reported offender
+//! key) at every worker count 1–16. The battery also pins the worker-count
+//! clamp contract through the pooled path: `workers: 0` and absurdly large
+//! worker counts are behavioural no-ops.
+
+use mr_sim::naive::run_round_combined_naive;
+use mr_sim::{
+    run_round_combined_on, run_round_on, run_schema, run_schema_retained, DagJob, Delta,
+    EngineConfig, Executor, FnCombiner, FnMapper, FnReducer, Pipeline, RoundMetrics, SchemaJob,
+    Seq, WorkerPool,
+};
+use std::collections::BTreeSet;
+
+/// Worker counts the battery sweeps on every executor.
+const WORKER_COUNTS: [usize; 6] = [1, 2, 3, 4, 8, 16];
+
+/// Indexes a key sequence into `(position, key)` inputs.
+fn indexed(keys: &[u64]) -> Vec<(u64, u64)> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (i as u64, k))
+        .collect()
+}
+
+/// A mixed-skew key workload: a few heavy hubs plus a long distinct tail,
+/// so radix buckets fill unevenly and morsel sizes differ across workers.
+fn mixed_keys() -> Vec<u64> {
+    let mut keys: Vec<u64> = Vec::new();
+    for hot in 0..8u64 {
+        keys.extend(std::iter::repeat_n(hot * 1_000_003 + 11, 300));
+    }
+    keys.extend((0..2_000u64).map(|x| x * 17 + 3));
+    keys
+}
+
+/// One round with an order-sensitive reducer (rotate-xor value chaining),
+/// so any within-key reordering or cross-key leakage between substrates
+/// changes the output.
+fn digest_round(
+    pipeline: Pipeline,
+    inputs: &[(u64, u64)],
+    config: &EngineConfig,
+) -> (Vec<(u64, u64, u64)>, RoundMetrics) {
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    let reducer = FnReducer(
+        |k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64, u64))| {
+            emit((
+                *k,
+                vs.len() as u64,
+                vs.iter().fold(0u64, |acc, v| acc.rotate_left(7) ^ v),
+            ))
+        },
+    );
+    run_round_on(pipeline, inputs, &mapper, &reducer, config).expect("no q bound set")
+}
+
+/// The shared oblivious schema (input `x` fans out to `reps` reducers
+/// derived from `x` alone, each emitting an order-sensitive digest).
+#[derive(Clone, Copy)]
+struct DigestFan {
+    groups: u64,
+    reps: u64,
+}
+
+impl SchemaJob<u64, u64> for DigestFan {
+    fn assign(&self, x: &u64) -> Vec<u64> {
+        let set: BTreeSet<u64> = (0..self.reps)
+            .map(|j| x.wrapping_mul(2 * j + 7).wrapping_add(j) % self.groups)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    fn reduce(&self, r: u64, inputs: &[u64], emit: &mut dyn FnMut(u64)) {
+        let digest = inputs.iter().fold(0u64, |acc, v| acc.rotate_left(9) ^ v);
+        emit(
+            r.wrapping_mul(1_000_003)
+                .wrapping_add(inputs.len() as u64)
+                .wrapping_add(digest.rotate_left(17)),
+        );
+    }
+}
+
+#[test]
+fn raw_rounds_are_executor_independent_on_both_pipelines() {
+    let inputs = indexed(&mixed_keys());
+    let truth = digest_round(
+        Pipeline::Naive,
+        &inputs,
+        &EngineConfig::sequential().with_executor(Executor::Scoped),
+    );
+    for pipeline in Pipeline::ALL {
+        for executor in Executor::ALL {
+            for workers in WORKER_COUNTS {
+                let cfg = EngineConfig::parallel(workers).with_executor(executor);
+                let got = digest_round(pipeline, &inputs, &cfg);
+                assert_eq!(
+                    truth,
+                    got,
+                    "{}/{} diverged at workers={workers}",
+                    pipeline.name(),
+                    executor.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn combined_rounds_keep_exact_accounting_on_the_pool() {
+    // Combined accounting is worker-count *dependent* by contract (the
+    // combiner is chunk-local, so the wire-pair count varies with the
+    // chunking) but must be substrate-independent: at any matching worker
+    // count, pooled, scoped, and the naive oracle agree on outputs,
+    // pre-combine pairs, and the full post-combine RoundMetrics — the
+    // chunk computation was left untouched, only the fan-out substrate
+    // was swapped.
+    let keys = mixed_keys();
+    let mapper = FnMapper(|k: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k % 97, 1));
+    let combiner = FnCombiner(|_: &u64, acc: &mut u64, v: u64| *acc += v);
+    let reducer = FnReducer(|k: &u64, vs: &[u64], emit: &mut dyn FnMut((u64, u64))| {
+        emit((*k, vs.iter().sum()))
+    });
+    for workers in WORKER_COUNTS {
+        let truth = run_round_combined_naive(
+            &keys,
+            &mapper,
+            &combiner,
+            &reducer,
+            &EngineConfig::parallel(workers).with_executor(Executor::Scoped),
+        )
+        .unwrap();
+        for pipeline in Pipeline::ALL {
+            for executor in Executor::ALL {
+                let cfg = EngineConfig::parallel(workers).with_executor(executor);
+                let (out, m) =
+                    run_round_combined_on(pipeline, &keys, &mapper, &combiner, &reducer, &cfg)
+                        .unwrap();
+                assert_eq!(truth.0, out, "combined outputs diverged");
+                assert_eq!(
+                    truth.1.round,
+                    m.round,
+                    "combined metrics diverged on {}/{} at workers={workers}",
+                    pipeline.name(),
+                    executor.name()
+                );
+                assert_eq!(truth.1.pre_combine_pairs, m.pre_combine_pairs);
+                assert_eq!(truth.1.pairs_saved(), m.pairs_saved());
+            }
+        }
+    }
+}
+
+#[test]
+fn overflow_offenders_are_executor_independent() {
+    // Many concurrently over-budget keys: both substrates must report the
+    // *same* offender — the smallest in key order — at every worker count.
+    let mut keys: Vec<u64> = Vec::new();
+    for hot in 0..64u64 {
+        keys.extend(std::iter::repeat_n(hot * 1_000_003 + 11, 8));
+    }
+    keys.extend((0..500u64).map(|x| x * 17 + 3));
+    let inputs = indexed(&keys);
+    let mapper = FnMapper(|&(idx, key): &(u64, u64), emit: &mut dyn FnMut(u64, u64)| {
+        emit(key, idx);
+    });
+    let reducer = FnReducer(|_: &u64, _: &[u64], _: &mut dyn FnMut(u64)| {
+        panic!("reducer must not run on an over-budget round")
+    });
+    let cfg = |w: usize, e: Executor| {
+        EngineConfig::parallel(w)
+            .with_max_reducer_inputs(5)
+            .with_executor(e)
+    };
+    let truth = run_round_on(
+        Pipeline::Columnar,
+        &inputs,
+        &mapper,
+        &reducer,
+        &cfg(1, Executor::Scoped),
+    )
+    .unwrap_err();
+    for pipeline in Pipeline::ALL {
+        for executor in Executor::ALL {
+            for workers in WORKER_COUNTS {
+                let err = run_round_on(
+                    pipeline,
+                    &inputs,
+                    &mapper,
+                    &reducer,
+                    &cfg(workers, executor),
+                )
+                .unwrap_err();
+                assert_eq!(
+                    truth,
+                    err,
+                    "offender diverged on {}/{} at workers={workers}",
+                    pipeline.name(),
+                    executor.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retained_deltas_are_executor_independent() {
+    // The full retained lifecycle — init, mixed churn, full-churn — must
+    // be byte-identical across substrates: routing fan-outs and the dirty
+    // re-reduce both ride the configured executor.
+    let schema = DigestFan {
+        groups: 37,
+        reps: 3,
+    };
+    let base: Vec<u64> = (0..400u64).map(|i| i * 13 + 7).collect();
+    let deltas: Vec<(&str, Delta<u64>)> = vec![
+        ("empty", Delta::empty()),
+        ("adds", Delta::add((10_000..10_080).collect())),
+        (
+            "mixed",
+            Delta::new(
+                (10_000..10_040).collect(),
+                (0..80).map(|i| i * 5 as Seq).collect(),
+            ),
+        ),
+        (
+            "full-churn",
+            Delta::new((20_000..20_400).collect(), (0..400 as Seq).collect()),
+        ),
+    ];
+    // Scoped sequential ground truth per delta kind.
+    for (name, delta) in &deltas {
+        let truth_cfg = EngineConfig::sequential().with_executor(Executor::Scoped);
+        let mut truth_job =
+            run_schema_retained(&base, schema, Pipeline::Columnar, &truth_cfg).unwrap();
+        truth_job.apply(delta).unwrap();
+        let (truth_out, truth_m) = (truth_job.outputs(), truth_job.metrics());
+        for pipeline in Pipeline::ALL {
+            for executor in Executor::ALL {
+                for workers in WORKER_COUNTS {
+                    let cfg = EngineConfig::parallel(workers).with_executor(executor);
+                    let mut job = run_schema_retained(&base, schema, pipeline, &cfg).unwrap();
+                    job.apply(delta).unwrap();
+                    assert_eq!(
+                        truth_out,
+                        job.outputs(),
+                        "[{name}] delta outputs diverged on {}/{} at workers={workers}",
+                        pipeline.name(),
+                        executor.name()
+                    );
+                    assert_eq!(
+                        truth_m,
+                        job.metrics(),
+                        "[{name}] delta metrics diverged on {}/{} at workers={workers}",
+                        pipeline.name(),
+                        executor.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A diamond-with-tail DAG over [`DigestFan`] rounds: two independent
+/// sources (a real same-level fan-out for the staged executor), a join
+/// node reading both, and a tail round — deep enough that pooled DAG
+/// staging nests pool-backed rounds inside pool-backed level fan-outs.
+fn diamond_dag() -> DagJob<u64> {
+    let mut dag = DagJob::new();
+    let a = dag.add_schema_round(
+        "a",
+        vec![],
+        DigestFan {
+            groups: 11,
+            reps: 2,
+        },
+        Pipeline::Columnar,
+    );
+    let b = dag.add_schema_round(
+        "b",
+        vec![],
+        DigestFan {
+            groups: 17,
+            reps: 3,
+        },
+        Pipeline::Naive,
+    );
+    let join = dag.add_schema_round(
+        "join",
+        vec![a, b],
+        DigestFan {
+            groups: 23,
+            reps: 2,
+        },
+        Pipeline::Columnar,
+    );
+    dag.add_schema_round(
+        "tail",
+        vec![join],
+        DigestFan { groups: 7, reps: 1 },
+        Pipeline::Columnar,
+    );
+    dag
+}
+
+#[test]
+fn dag_levels_are_executor_independent() {
+    let dag = diamond_dag();
+    let inputs: Vec<u64> = (0..600u64).map(|i| i * 31 + 5).collect();
+    let truth = dag
+        .run(
+            &inputs,
+            &EngineConfig::sequential().with_executor(Executor::Scoped),
+        )
+        .expect("no budget set");
+    for executor in Executor::ALL {
+        for workers in WORKER_COUNTS {
+            let cfg = EngineConfig::parallel(workers).with_executor(executor);
+            let got = dag.run(&inputs, &cfg).expect("no budget set");
+            assert_eq!(
+                truth.0,
+                got.0,
+                "DAG outputs diverged on {} at workers={workers}",
+                executor.name()
+            );
+            assert_eq!(
+                truth.1,
+                got.1,
+                "DAG metrics diverged on {} at workers={workers}",
+                executor.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_clamps_identically_through_the_pool() {
+    // Satellite regression: `workers: 0` (the degenerate sequential clamp)
+    // and worker counts far above both the morsel count and the machine's
+    // core count must be behavioural no-ops on the pooled path — same
+    // outputs, same semantic metrics, no panic, no deadlock.
+    let inputs = indexed(&mixed_keys());
+    let schema = DigestFan {
+        groups: 29,
+        reps: 2,
+    };
+    let schema_inputs: Vec<u64> = (0..800u64).map(|i| i * 7 + 1).collect();
+    let truth_cfg = EngineConfig::parallel(1).with_executor(Executor::Pool);
+    let truth_round = digest_round(Pipeline::Columnar, &inputs, &truth_cfg);
+    let truth_schema = run_schema(&schema_inputs, &schema, &truth_cfg).unwrap();
+    for workers in [0usize, 1, 4_096, 1 << 20] {
+        let cfg = EngineConfig::parallel(workers).with_executor(Executor::Pool);
+        assert_eq!(cfg.effective_workers(), workers.max(1));
+        let got = digest_round(Pipeline::Columnar, &inputs, &cfg);
+        assert_eq!(truth_round, got, "clamp visible at workers={workers}");
+        let got_schema = run_schema(&schema_inputs, &schema, &cfg).unwrap();
+        assert_eq!(
+            truth_schema, got_schema,
+            "schema clamp visible at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn the_global_pool_survives_the_whole_battery() {
+    // After everything above has pushed thousands of batches through the
+    // resident pool, it is still the same live singleton: workers parked,
+    // nothing leaked, and a fresh batch still runs. (A pool that silently
+    // lost workers would deadlock here, not just slow down.)
+    let pool = WorkerPool::global();
+    let doubled = pool.run(
+        (0..64u64)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect(),
+    );
+    assert_eq!(doubled, (0..64u64).map(|i| i * 2).collect::<Vec<_>>());
+    assert!(pool.workers() >= 1);
+}
