@@ -1,0 +1,62 @@
+//! Observability overhead benchmark: the same engine round with the
+//! mr-obs recorder disabled (the shipping default — every instrumentation
+//! site reduces to one relaxed atomic load) and enabled (spans recorded
+//! into per-worker lanes and merged).
+//!
+//! `full_round/disabled` vs `full_round/traced` is the pair the <3%
+//! disabled-overhead target is judged on: `disabled` runs the exact
+//! instrumented binary with recording off, so its cost over a
+//! hypothetical uninstrumented build *is* the disabled-mode overhead the
+//! tracing subsystem promises to keep near zero. `traced` prices the
+//! enabled path (span timestamps, lane pushes, merge) for when a run is
+//! actually being recorded.
+//!
+//! Baseline committed as `BENCH_obs.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mr_bench::baseline::delta_schema;
+use mr_sim::{run_schema, EngineConfig};
+use std::hint::black_box;
+
+/// Inputs in the full-round instance (matches `engine_pool`'s baseline
+/// workload, so the two benches price the same round).
+const N: u64 = 200_000;
+
+/// Engine fan-out width.
+const WORKERS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("engine_obs");
+    grp.sample_size(10);
+    let schema = delta_schema();
+    let base: Vec<u64> = (0..N).collect();
+    let cfg = EngineConfig::parallel(WORKERS);
+
+    grp.bench_function("full_round/disabled", |b| {
+        b.iter(|| {
+            black_box(
+                run_schema(black_box(&base), &schema, &cfg)
+                    .unwrap()
+                    .1
+                    .reducers,
+            )
+        })
+    });
+
+    grp.bench_function("full_round/traced", |b| {
+        b.iter(|| {
+            let (reducers, trace) = mr_obs::record(|| {
+                run_schema(black_box(&base), &schema, &cfg)
+                    .unwrap()
+                    .1
+                    .reducers
+            });
+            black_box((reducers, trace.total_events()))
+        })
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,15 +5,15 @@
 //! ```
 //!
 //! Writes `BENCH_shuffle.json`, `BENCH_frontier.json`,
-//! `BENCH_plan.json`, `BENCH_dag.json`, `BENCH_delta.json` and
-//! `BENCH_pool.json` into
+//! `BENCH_plan.json`, `BENCH_dag.json`, `BENCH_delta.json`,
+//! `BENCH_pool.json` and `BENCH_obs.json` into
 //! `out_dir` (default: the current directory), each stamped with the
 //! recording machine's core count and the UTC date. Run it from the
 //! workspace root on a quiet machine to refresh the committed baselines.
 
 use mr_bench::baseline::{
-    record_dag, record_delta, record_frontier, record_plan, record_pool, record_shuffle,
-    MachineStamp,
+    record_dag, record_delta, record_frontier, record_obs, record_plan, record_pool,
+    record_shuffle, MachineStamp,
 };
 use std::path::Path;
 
@@ -50,6 +50,10 @@ fn main() {
     let pool_json = record_pool(&stamp);
     eprintln!("done");
 
+    eprint!("engine_obs ... ");
+    let obs_json = record_obs(&stamp);
+    eprintln!("done");
+
     for (name, json) in [
         ("BENCH_shuffle.json", &shuffle_json),
         ("BENCH_frontier.json", &frontier_json),
@@ -57,6 +61,7 @@ fn main() {
         ("BENCH_dag.json", &dag_json),
         ("BENCH_delta.json", &delta_json),
         ("BENCH_pool.json", &pool_json),
+        ("BENCH_obs.json", &obs_json),
     ] {
         let path = out_dir.join(name);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

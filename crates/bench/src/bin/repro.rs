@@ -12,18 +12,23 @@
 //! cargo run --release -p mr-bench --bin repro -- delta triangles small
 //! cargo run --release -p mr-bench --bin repro -- dag      # round-structure search
 //! cargo run --release -p mr-bench --bin repro -- dag matmul --q-budget 8
+//! cargo run --release -p mr-bench --bin repro -- trace hamming-d1     # record a run
+//! cargo run --release -p mr-bench --bin repro -- trace join-agg --out t.json
+//! cargo run --release -p mr-bench --bin repro -- plan --trace  # traced planner run
 //! cargo run --release -p mr-bench --bin repro -- list    # ids + descriptions
 //! ```
 //!
 //! Tokens after `frontier`/`plan`-style selectors: any token naming an
 //! experiment id selects that experiment; any token naming a family (or a
 //! scale preset `small`/`default`/`full`) selects within the `frontier`
-//! experiment — or within `plan`/`delta`/`dag` when one of those is
-//! chosen — and implies `frontier` otherwise. A DAG-workload token like
-//! `join-agg` that no registry family answers to implies `dag`.
+//! experiment — or within `plan`/`delta`/`dag`/`trace` when one of those
+//! is chosen — and implies `frontier` otherwise. A DAG-workload token
+//! like `join-agg` that no registry family answers to implies `dag`.
 //! `--q-budget N` belongs to `plan` (or `dag` when that is chosen) and
-//! implies `plan` otherwise. Unknown tokens abort with the full
-//! vocabulary.
+//! implies `plan` otherwise. `--trace` asks `plan`/`dag`/`delta` to
+//! record themselves with mr-obs (implying `plan` when none is chosen);
+//! `--out PATH` belongs to `trace` and implies it. Unknown tokens abort
+//! with the full vocabulary.
 
 use mr_bench::experiments::{self, plan, Experiment};
 use mr_bench::sweep;
@@ -47,12 +52,22 @@ fn main() {
     let mut ids: Vec<&str> = Vec::new();
     let mut selectors: Vec<String> = Vec::new();
     let mut plan_extra: Vec<String> = Vec::new();
+    let mut out_extra: Vec<String> = Vec::new();
+    let mut trace_flag = false;
     let mut unknown: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if all.iter().any(|e| e.id == a.as_str()) {
             ids.push(a);
+        } else if a == experiments::trace::TRACE_FLAG {
+            trace_flag = true;
+        } else if a == experiments::trace::OUT_FLAG {
+            out_extra.push(a.clone());
+            if let Some(value) = args.get(i + 1) {
+                out_extra.push(value.clone());
+                i += 1;
+            }
         } else if plan::is_plan_flag(a) {
             plan_extra.push(a.clone());
             if let Some(value) = args.get(i + 1) {
@@ -66,6 +81,12 @@ fn main() {
         }
         i += 1;
     }
+    // The trace experiment resolves its own workload vocabulary (unique
+    // prefixes like `hamming` included), so when it is chosen the
+    // leftover tokens are its to judge, not ours to reject.
+    if ids.contains(&"trace") {
+        selectors.extend(unknown.drain(..).map(str::to_string));
+    }
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s) {unknown:?}");
         eprintln!(
@@ -77,21 +98,35 @@ fn main() {
             sweep::available_families().join(", "),
             sweep::SCALE_TOKENS.join(", ")
         );
-        eprintln!("plan flags: {} N", plan::Q_BUDGET_FLAG);
+        eprintln!(
+            "plan flags: {} N; trace flags: {}, {} PATH",
+            plan::Q_BUDGET_FLAG,
+            experiments::trace::TRACE_FLAG,
+            experiments::trace::OUT_FLAG
+        );
         std::process::exit(1);
     }
     // A budget flag implies the plan experiment; a dag-only workload
-    // token (`join-agg`) implies the dag experiment; bare family/scale
-    // selectors imply the frontier experiment unless plan/dag/delta
-    // claimed them.
+    // token (`join-agg`) implies the dag experiment; `--out` implies the
+    // trace experiment; `--trace` asks a chosen plan/dag/delta run to
+    // record itself and implies plan when none is chosen; bare
+    // family/scale selectors imply the frontier experiment unless
+    // plan/dag/delta/trace claimed them.
     if selectors
         .iter()
         .any(|s| experiments::dag::is_dag_workload(s) && !sweep::is_selector(s))
         && !ids.contains(&"dag")
+        && !ids.contains(&"trace")
     {
         ids.push("dag");
     }
+    if !out_extra.is_empty() && !ids.contains(&"trace") {
+        ids.push("trace");
+    }
     if !plan_extra.is_empty() && !ids.contains(&"plan") && !ids.contains(&"dag") {
+        ids.push("plan");
+    }
+    if trace_flag && !ids.contains(&"plan") && !ids.contains(&"dag") && !ids.contains(&"delta") {
         ids.push("plan");
     }
     if !selectors.is_empty()
@@ -99,6 +134,7 @@ fn main() {
         && !ids.contains(&"frontier")
         && !ids.contains(&"delta")
         && !ids.contains(&"dag")
+        && !ids.contains(&"trace")
     {
         ids.push("frontier");
     }
@@ -109,10 +145,20 @@ fn main() {
         all.iter().filter(|e| ids.contains(&e.id)).collect()
     };
 
+    let with_trace = |mut tokens: Vec<String>| {
+        if trace_flag {
+            tokens.push(experiments::trace::TRACE_FLAG.to_string());
+        }
+        tokens
+    };
     for e in selected {
         let extra: Vec<String> = match e.id {
-            "frontier" | "delta" => selectors.clone(),
-            "plan" | "dag" => selectors.iter().chain(plan_extra.iter()).cloned().collect(),
+            "frontier" => selectors.clone(),
+            "delta" => with_trace(selectors.clone()),
+            "plan" | "dag" => {
+                with_trace(selectors.iter().chain(plan_extra.iter()).cloned().collect())
+            }
+            "trace" => selectors.iter().chain(out_extra.iter()).cloned().collect(),
             _ => Vec::new(),
         };
         println!("================================================================");

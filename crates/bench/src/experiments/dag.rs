@@ -8,7 +8,9 @@
 //! the searched workloads, a scale token (`small`/`default`/`full`)
 //! picks the instance preset, and `--q-budget N` bounds every round's
 //! reducer load — the knob that demonstrates the §6.3 crossover being
-//! *found* by the search rather than special-cased.
+//! *found* by the search rather than special-cased. `--trace` records
+//! the run with [`mr_obs`] and appends a span summary after the
+//! semantic JSON (which stays byte-identical either way).
 
 use crate::json;
 use crate::table::{fmt, Table};
@@ -22,13 +24,16 @@ use super::plan::Q_BUDGET_FLAG;
 /// tokens work exactly as in `repro plan`; workload tokens name the
 /// searchable workloads (a superset view: `join-agg` is the join
 /// pipeline workload over the `join-cycle3` registry instance).
-fn parse(args: &[String]) -> Result<(Vec<DagWorkload>, Scale, ClusterSpec), String> {
+fn parse(args: &[String]) -> Result<(Vec<DagWorkload>, Scale, ClusterSpec, bool), String> {
     let mut picked: Vec<DagWorkload> = Vec::new();
     let mut scale: Option<Scale> = None;
     let mut cluster = ClusterSpec::default();
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(tok) = it.next() {
-        if tok == Q_BUDGET_FLAG {
+        if tok == super::trace::TRACE_FLAG {
+            trace = true;
+        } else if tok == Q_BUDGET_FLAG {
             let value = it
                 .next()
                 .ok_or_else(|| format!("{Q_BUDGET_FLAG} requires a value"))?;
@@ -61,7 +66,7 @@ fn parse(args: &[String]) -> Result<(Vec<DagWorkload>, Scale, ClusterSpec), Stri
     if picked.is_empty() {
         picked = DagWorkload::ALL.to_vec();
     }
-    Ok((picked, scale.unwrap_or_default(), cluster))
+    Ok((picked, scale.unwrap_or_default(), cluster, trace))
 }
 
 /// One workload's outcome: a measured report, an honest refusal, or an
@@ -74,25 +79,33 @@ enum Outcome {
 }
 
 fn run(args: &[String]) -> Result<String, String> {
-    let (picked, scale, cluster) = parse(args)?;
+    let (picked, scale, cluster, trace) = parse(args)?;
     // As in `repro plan`: a resident PlanCache fronts the round-structure
     // search. The first pass populates (all misses, used for execution);
     // the second pass proves a repeated request skips the search.
-    let cache = PlanCache::new();
-    let outcomes: Vec<Outcome> = picked
-        .iter()
-        .map(|w| match cache.plan_dag(*w, &cluster, scale) {
-            Ok(plan) => match plan.execute() {
-                Ok(report) => Outcome::Planned(Box::new(report)),
-                Err(e) => Outcome::Aborted(w.name(), e),
-            },
-            Err(e) => Outcome::Refused(w.name(), e),
-        })
-        .collect();
-    for w in &picked {
-        let _ = cache.plan_dag(*w, &cluster, scale);
-    }
-    let cache_stats = cache.stats();
+    let compute = || {
+        let cache = PlanCache::new();
+        let outcomes: Vec<Outcome> = picked
+            .iter()
+            .map(|w| match cache.plan_dag(*w, &cluster, scale) {
+                Ok(plan) => match plan.execute() {
+                    Ok(report) => Outcome::Planned(Box::new(report)),
+                    Err(e) => Outcome::Aborted(w.name(), e),
+                },
+                Err(e) => Outcome::Refused(w.name(), e),
+            })
+            .collect();
+        for w in &picked {
+            let _ = cache.plan_dag(*w, &cluster, scale);
+        }
+        (outcomes, cache.stats())
+    };
+    let ((outcomes, cache_stats), trace_report) = if trace {
+        let (result, tr) = mr_obs::record(compute);
+        (result, Some(tr))
+    } else {
+        (compute(), None)
+    };
 
     let mut out = format!(
         "Round-structure search (mr-plan::dag): the cheapest DAG of rounds per workload.\n\
@@ -134,7 +147,7 @@ fn run(args: &[String]) -> Result<String, String> {
     for o in &outcomes {
         if let Outcome::Planned(rep) = o {
             let mut rt = Table::new(&[
-                "workload", "round", "q(pred)", "q(meas)", "r(pred)", "r(meas)",
+                "workload", "round", "q(pred)", "q(meas)", "r(pred)", "r(meas)", "skew",
             ]);
             for obs in &rep.rounds {
                 rt.row(vec![
@@ -144,6 +157,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     obs.measured_q.to_string(),
                     fmt(obs.predicted_r),
                     fmt(obs.measured_r),
+                    format!("{:.2}", obs.partition_skew),
                 ]);
             }
             out.push_str(&rt.render());
@@ -176,6 +190,9 @@ fn run(args: &[String]) -> Result<String, String> {
          see the table):\n\n",
     );
     out.push_str(&semantic_json(&cluster, &outcomes, cache_stats));
+    if let Some(tr) = &trace_report {
+        out.push_str(&super::trace::trace_section(tr));
+    }
     Ok(out)
 }
 
@@ -322,5 +339,25 @@ mod tests {
             out.split("JSON").nth(1).unwrap().to_string()
         };
         assert_eq!(json(()), json(()));
+    }
+
+    #[test]
+    fn trace_flag_appends_a_trace_section_without_touching_the_json() {
+        let with = report_args(&args(&["small", "join-agg", "--trace"]));
+        let without = report_args(&args(&["small", "join-agg"]));
+        let json_of = |s: &str| {
+            s.split("JSON")
+                .nth(1)
+                .unwrap()
+                .split("\nTrace (")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(json_of(&with), json_of(&without));
+        assert!(with.contains("span tree: well-formed"), "{with}");
+        assert!(with.contains("dag.execute"), "{with}");
+        // The per-round table carries the observed partition skew.
+        assert!(with.contains("skew"), "{with}");
     }
 }

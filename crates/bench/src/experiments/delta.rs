@@ -5,7 +5,9 @@
 //! equivalents, with the byte-identity and census-exactness verdicts.
 //!
 //! Arguments: family names filter the registry, a scale token
-//! (`small`/`default`/`full`) picks the instance preset. The churn is a
+//! (`small`/`default`/`full`) picks the instance preset, and `--trace`
+//! records the run with [`mr_obs`], appending a span summary after the
+//! semantic JSON (which stays byte-identical either way). The churn is a
 //! pure function of the instance size ([`DeltaSpec::tail_churn`]), so
 //! everything but wall-clock is deterministic across runs.
 
@@ -16,12 +18,15 @@ use mr_sim::Pipeline;
 
 /// Parses the experiment's tokens through the shared
 /// [`crate::selectors`] helpers (the same ones frontier and plan use).
-fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale), String> {
+fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, bool), String> {
     let names = crate::sweep::available_families();
     let mut picked: Vec<&'static str> = Vec::new();
     let mut scale: Option<Scale> = None;
+    let mut trace = false;
     for tok in args {
-        if let Some(sc) = crate::selectors::scale_token(tok) {
+        if tok == super::trace::TRACE_FLAG {
+            trace = true;
+        } else if let Some(sc) = crate::selectors::scale_token(tok) {
             crate::selectors::set_scale(&mut scale, sc)?;
         } else if !crate::selectors::pick_family(&names, tok, &mut picked) {
             return Err(format!(
@@ -33,7 +38,7 @@ fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale), String> {
     if picked.is_empty() {
         picked = names;
     }
-    Ok((picked, scale.unwrap_or_default()))
+    Ok((picked, scale.unwrap_or_default(), trace))
 }
 
 /// One family's measured delta run, plus the labels the report prints.
@@ -66,8 +71,14 @@ fn churn_family(family: &'static str, scale: Scale) -> Row {
 }
 
 fn run(args: &[String]) -> Result<String, String> {
-    let (picked, scale) = parse(args)?;
-    let rows: Vec<Row> = picked.iter().map(|f| churn_family(f, scale)).collect();
+    let (picked, scale, trace) = parse(args)?;
+    let compute = || -> Vec<Row> { picked.iter().map(|f| churn_family(f, scale)).collect() };
+    let (rows, trace_report) = if trace {
+        let (rows, tr) = mr_obs::record(compute);
+        (rows, Some(tr))
+    } else {
+        (compute(), None)
+    };
 
     let mut out = String::from(
         "Incremental (delta) execution: each family held resident, then churned —\n\
@@ -116,6 +127,9 @@ fn run(args: &[String]) -> Result<String, String> {
          see the table):\n\n",
     );
     out.push_str(&semantic_json(scale, &rows));
+    if let Some(tr) = &trace_report {
+        out.push_str(&super::trace::trace_section(tr));
+    }
     Ok(out)
 }
 
@@ -204,5 +218,24 @@ mod tests {
             out.split("JSON").nth(1).unwrap().to_string()
         };
         assert_eq!(json(()), json(()));
+    }
+
+    #[test]
+    fn trace_flag_appends_a_trace_section_without_touching_the_json() {
+        let with = report_args(&args(&["small", "two-path", "--trace"]));
+        let without = report_args(&args(&["small", "two-path"]));
+        let json_of = |s: &str| {
+            s.split("JSON")
+                .nth(1)
+                .unwrap()
+                .split("\nTrace (")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(json_of(&with), json_of(&without));
+        assert!(with.contains("span tree: well-formed"), "{with}");
+        assert!(with.contains("delta.apply"), "{with}");
+        assert!(with.contains("delta.routing"), "{with}");
     }
 }

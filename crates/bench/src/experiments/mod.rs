@@ -17,6 +17,7 @@ pub mod plan;
 pub mod t6_matmul;
 pub mod table1;
 pub mod table2;
+pub mod trace;
 
 /// How an experiment's report is produced.
 pub enum Runner {
@@ -156,6 +157,14 @@ pub fn all() -> Vec<Experiment> {
                  count and delta-shuffle volume vs the full run; args select \
                  families/scale (e.g. `delta triangles small`)",
             runner: Runner::WithArgs(crate::experiments::delta::report_args),
+        },
+        Experiment {
+            id: "trace",
+            description: "mr-obs: record one workload end to end — span summary, metrics \
+                 snapshot, and Chrome trace_event JSON for Perfetto; args pick a \
+                 family or dag workload, a scale, and `--out PATH` \
+                 (e.g. `trace hamming-d1 --out trace.json`)",
+            runner: Runner::WithArgs(crate::experiments::trace::report_args),
         },
     ]
 }

@@ -21,14 +21,17 @@ pub const Q_BUDGET_FLAG: &str = "--q-budget";
 /// Parses the experiment's tokens into a selection. Family/scale tokens
 /// go through the shared [`crate::selectors`] helpers (the same ones the
 /// frontier experiment uses); only the budget flag is plan-specific.
-fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, ClusterSpec), String> {
+fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, ClusterSpec, bool), String> {
     let names = plannable_families();
     let mut picked: Vec<&'static str> = Vec::new();
     let mut scale: Option<Scale> = None;
     let mut cluster = ClusterSpec::default();
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(tok) = it.next() {
-        if tok == Q_BUDGET_FLAG {
+        if tok == super::trace::TRACE_FLAG {
+            trace = true;
+        } else if tok == Q_BUDGET_FLAG {
             let value = it
                 .next()
                 .ok_or_else(|| format!("{Q_BUDGET_FLAG} requires a value"))?;
@@ -52,7 +55,7 @@ fn parse(args: &[String]) -> Result<(Vec<&'static str>, Scale, ClusterSpec), Str
     if picked.is_empty() {
         picked = names;
     }
-    Ok((picked, scale.unwrap_or_default(), cluster))
+    Ok((picked, scale.unwrap_or_default(), cluster, trace))
 }
 
 /// One family's outcome: a measured report, an honest refusal, or an
@@ -65,27 +68,38 @@ enum Outcome {
 }
 
 fn run(args: &[String]) -> Result<String, String> {
-    let (picked, scale, cluster) = parse(args)?;
+    let (picked, scale, cluster, trace) = parse(args)?;
     // All planning goes through a resident PlanCache, the way the future
     // mr-serve daemon would hold one: the first pass over the families
     // populates it (all misses), and a second pass demonstrates that a
     // repeated request skips the census/LP entirely (all hits, except for
     // refused plans, which are deliberately never cached).
-    let cache = PlanCache::new();
-    let outcomes: Vec<Outcome> = picked
-        .iter()
-        .map(|family| match cache.plan_family(family, &cluster, scale) {
-            Ok(plan) => match plan.execute() {
-                Ok(report) => Outcome::Planned(Box::new(report)),
-                Err(e) => Outcome::Aborted(family, e),
-            },
-            Err(e) => Outcome::Refused(family, e),
-        })
-        .collect();
-    for family in &picked {
-        let _ = cache.plan_family(family, &cluster, scale);
-    }
-    let cache_stats = cache.stats();
+    let compute = || {
+        let cache = PlanCache::new();
+        let outcomes: Vec<Outcome> = picked
+            .iter()
+            .map(|family| match cache.plan_family(family, &cluster, scale) {
+                Ok(plan) => match plan.execute() {
+                    Ok(report) => Outcome::Planned(Box::new(report)),
+                    Err(e) => Outcome::Aborted(family, e),
+                },
+                Err(e) => Outcome::Refused(family, e),
+            })
+            .collect();
+        for family in &picked {
+            let _ = cache.plan_family(family, &cluster, scale);
+        }
+        let stats = cache.stats();
+        (outcomes, stats)
+    };
+    // Recording never perturbs semantics (invariant #12), so the traced
+    // report's semantic JSON stays byte-identical to the untraced one.
+    let ((outcomes, cache_stats), trace_report) = if trace {
+        let (result, tr) = mr_obs::record(compute);
+        (result, Some(tr))
+    } else {
+        (compute(), None)
+    };
 
     let mut out = format!(
         "Cost-based planner (mr-plan): the cheapest algorithm per family for a cluster.\n\
@@ -106,6 +120,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "cost(pred)",
         "cost(meas)",
         "outputs",
+        "skew",
         "wall(ms)",
     ]);
     for o in &outcomes {
@@ -120,6 +135,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 fmt(rep.plan.predicted_cost),
                 fmt(rep.measured_cost),
                 rep.outputs.to_string(),
+                format!("{:.2}", rep.partition_skew),
                 format!("{:.3}", rep.wall.as_secs_f64() * 1e3),
             ]);
         }
@@ -149,6 +165,9 @@ fn run(args: &[String]) -> Result<String, String> {
          see the table):\n\n",
     );
     out.push_str(&semantic_json(&cluster, &outcomes, cache_stats));
+    if let Some(tr) = &trace_report {
+        out.push_str(&super::trace::trace_section(tr));
+    }
     Ok(out)
 }
 
@@ -289,6 +308,32 @@ mod tests {
             out.contains("\"plan_cache\": {\"hits\": 0, \"misses\": 2}"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn trace_flag_appends_a_trace_section_without_touching_the_json() {
+        let with = report_args(&args(&["small", "two-path", "--trace"]));
+        let without = report_args(&args(&["small", "two-path"]));
+        let json_of = |s: &str| {
+            s.split("JSON")
+                .nth(1)
+                .unwrap()
+                .split("\nTrace (")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        // The semantic JSON is byte-identical with tracing on or off.
+        assert_eq!(json_of(&with), json_of(&without));
+        assert!(with.contains("span tree: well-formed"), "{with}");
+        assert!(with.contains("plan.execute"), "{with}");
+        assert!(!without.contains("span tree"), "{without}");
+    }
+
+    #[test]
+    fn partition_skew_lands_in_the_table() {
+        let out = report_args(&args(&["small"]));
+        assert!(out.contains("skew"), "{out}");
     }
 
     #[test]

@@ -350,7 +350,10 @@ where
         gap: bound_gap(measured.r, bound),
         bound,
         partition_skew: metrics.shuffle.partition_skew(),
-        shuffle_bytes: metrics.shuffle.bytes_moved,
+        // Registry rounds always run the real engine, which fills the
+        // byte count; `unwrap_or(0)` only guards a hypothetical synthetic
+        // stats path.
+        shuffle_bytes: metrics.shuffle.bytes_moved.unwrap_or(0),
         bucket_loads: metrics.shuffle.bucket_loads.clone(),
         wall,
         measured,

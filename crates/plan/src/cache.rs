@@ -20,15 +20,19 @@
 //!
 //! [`CacheStats`] hit/miss counters are surfaced in the `repro plan` /
 //! `repro dag` semantic JSON — the first scrapeable operational stat for
-//! the future daemon.
+//! the future daemon. The counters live in a per-cache
+//! [`mr_obs::MetricsHub`] (keys `plan_cache.hits` /
+//! `plan_cache.misses`), so the same registry the execution stack
+//! reports into is the single source of truth; [`CacheStats`] is just a
+//! snapshot of those two counters.
 
 use crate::cluster::ClusterSpec;
 use crate::dag::{plan_dag, DagPlan, DagWorkload};
 use crate::plan::Plan;
 use crate::planner::{plan_family, PlanError};
 use mr_core::family::Scale;
+use mr_obs::{Counter, MetricsHub};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Hit/miss counters of a [`PlanCache`], taken at one instant.
@@ -47,12 +51,30 @@ pub struct CacheStats {
 /// callers own their copy and the cache never hands out references into
 /// its own storage). See the [module docs](self) for the key and the
 /// only-cache-successes policy.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
     plans: Mutex<BTreeMap<String, Plan>>,
     dags: Mutex<BTreeMap<String, DagPlan>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Per-cache metrics registry holding the `plan_cache.hits` /
+    /// `plan_cache.misses` counters (cached handles below).
+    hub: MetricsHub,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        let hub = MetricsHub::new();
+        let hits = hub.counter("plan_cache.hits");
+        let misses = hub.counter("plan_cache.misses");
+        PlanCache {
+            plans: Mutex::new(BTreeMap::new()),
+            dags: Mutex::new(BTreeMap::new()),
+            hub,
+            hits,
+            misses,
+        }
+    }
 }
 
 /// The cache key: every input the pure planners read, rendered to a
@@ -85,10 +107,10 @@ impl PlanCache {
     ) -> Result<Plan, PlanError> {
         let key = key_of(family, cluster, scale);
         if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(plan.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let plan = plan_family(family, cluster, scale)?;
         self.plans
             .lock()
@@ -106,10 +128,10 @@ impl PlanCache {
     ) -> Result<DagPlan, PlanError> {
         let key = key_of(workload.name(), cluster, scale);
         if let Some(plan) = self.dags.lock().expect("plan cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(plan.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let plan = plan_dag(workload, cluster, scale)?;
         self.dags
             .lock()
@@ -118,12 +140,20 @@ impl PlanCache {
         Ok(plan)
     }
 
-    /// The counters so far.
+    /// The counters so far — a snapshot of the `plan_cache.hits` /
+    /// `plan_cache.misses` counters in [`metrics`](Self::metrics).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hub.counter_value("plan_cache.hits"),
+            misses: self.hub.counter_value("plan_cache.misses"),
         }
+    }
+
+    /// The cache's metrics registry — the scrape surface the future
+    /// `mr-serve` daemon reads, holding the same counters
+    /// [`stats`](Self::stats) snapshots.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.hub
     }
 }
 

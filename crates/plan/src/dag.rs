@@ -563,6 +563,13 @@ pub struct RoundObservation {
     pub predicted_r: f64,
     /// Engine-measured `pairs / |I|`.
     pub measured_r: f64,
+    /// Engine-observed shuffle-partition skew of the round, `max
+    /// partition load / mean` (0 when the round was not partitioned).
+    /// Execution metadata, excluded from semantic comparisons.
+    pub partition_skew: f64,
+    /// Engine-observed shuffle volume of the round in bytes. Execution
+    /// metadata, like `partition_skew`.
+    pub shuffle_bytes: u64,
 }
 
 /// The result of executing a [`DagPlan`].
@@ -662,6 +669,7 @@ impl DagPlan {
 
     /// [`execute`](DagPlan::execute) on an explicit engine configuration.
     pub fn execute_with(&self, engine: &EngineConfig) -> Result<DagPlanReport, EngineError> {
+        let _span = mr_obs::span("dag.execute");
         let (outputs, metrics, wall) = match self.structure {
             DagStructure::MatMulOnePhase { n, s } | DagStructure::MatMulTree { n, s, .. } => {
                 let (a, b) = matmul_instance(n);
@@ -710,6 +718,8 @@ impl DagPlan {
                 measured_q: m.load.max,
                 predicted_r: self.dag.round_r(i),
                 measured_r: m.kv_pairs as f64 / self.dag.inputs as f64,
+                partition_skew: m.shuffle.partition_skew(),
+                shuffle_bytes: m.shuffle.bytes_moved.unwrap_or(0),
             })
             .collect();
         let measured_cost: f64 = rounds

@@ -87,6 +87,13 @@ pub struct PlanReport {
     pub measured_cost: f64,
     /// Outputs the execution emitted.
     pub outputs: u64,
+    /// Engine-observed shuffle-partition skew, `max partition load /
+    /// mean` (max over rounds for multi-round choices; 0 when the run
+    /// was not partitioned). Execution metadata, like `wall`.
+    pub partition_skew: f64,
+    /// Engine-observed shuffle volume in bytes (summed over rounds).
+    /// Execution metadata, like `wall`.
+    pub shuffle_bytes: u64,
     /// Wall-clock time (execution metadata, varies run to run).
     pub wall: Duration,
 }
@@ -119,6 +126,7 @@ impl Plan {
     /// Panics if the plan's family/point no longer exists in the
     /// registry.
     pub fn execute_with(&self, engine: &EngineConfig) -> Result<PlanReport, EngineError> {
+        let _span = mr_obs::span("plan.execute");
         let budgeted = engine
             .clone()
             .with_max_reducer_inputs(self.predicted_q)
@@ -136,6 +144,8 @@ impl Plan {
                     measured_cost: self.cluster.cost(fp.measured.q as f64, fp.measured.r)
                         + self.cluster.round_latency,
                     outputs: fp.measured.outputs,
+                    partition_skew: fp.partition_skew,
+                    shuffle_bytes: fp.shuffle_bytes,
                     wall: fp.wall,
                     plan: self.clone(),
                 })
@@ -168,6 +178,16 @@ impl Plan {
                     measured_r,
                     measured_cost,
                     outputs: out.len() as u64,
+                    partition_skew: metrics
+                        .rounds
+                        .iter()
+                        .map(|m| m.shuffle.partition_skew())
+                        .fold(0.0, f64::max),
+                    shuffle_bytes: metrics
+                        .rounds
+                        .iter()
+                        .map(|m| m.shuffle.bytes_moved.unwrap_or(0))
+                        .sum(),
                     wall,
                     plan: self.clone(),
                 })

@@ -217,6 +217,7 @@ impl<K, V> ColumnBuf<K, V> {
     /// growth reallocation, the second half of the map-scatter
     /// reallocation fix.
     pub fn scatter(self, parts: usize, route: impl Fn(u64) -> usize) -> Vec<ColumnBuf<K, V>> {
+        let _span = mr_obs::span("columnar.scatter");
         let mut counts = vec![0usize; parts];
         for &h in &self.hashes {
             counts[route(h)] += 1;

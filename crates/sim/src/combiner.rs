@@ -120,6 +120,7 @@ where
     // Values arrive in emission order, so the fold order matches the old
     // incremental map-based combine exactly.
     let combine_chunk = |c: &[I]| -> (u64, ColumnBuf<K, V>) {
+        let _span = mr_obs::span("engine.combine.chunk");
         let mut emitted = 0u64;
         let mut buf = ColumnBuf::with_capacity(hint_for(c.len()));
         for input in c {
@@ -145,11 +146,13 @@ where
         (emitted, combined)
     };
 
+    let combine_span = mr_obs::span("engine.combine");
     let per_worker: Vec<(u64, ColumnBuf<K, V>)> = if workers <= 1 || chunks.len() <= 1 {
         chunks.into_iter().map(combine_chunk).collect()
     } else {
         run_chunked(config.executor, chunks, combine_chunk)
     };
+    drop(combine_span);
 
     // Pre-combine accounting happens per worker, before any partitioning:
     // the paper's replication numerator is independent of the shuffle.
@@ -160,6 +163,7 @@ where
     // into P partitions by the retained fingerprints. P reuses the
     // input-clamped worker count so a huge worker count over a tiny input
     // stays cheap.
+    let shuffle_span = mr_obs::span("engine.shuffle");
     let p = if configured_workers <= 1 { 1 } else { workers };
     let mut partitions: Vec<ColumnBuf<K, V>> = (0..p).map(|_| ColumnBuf::new()).collect();
     for (_, buf) in per_worker {
@@ -183,10 +187,13 @@ where
         pair_bytes::<K, V>(),
         config.executor,
     )?;
+    drop(shuffle_span);
 
     let loads = shuffled.loads();
     let reducers = loads.len() as u64;
+    let reduce_span = mr_obs::span("engine.reduce");
     let outputs = reduce_phase(&shuffled, reducer, configured_workers, config.executor);
+    drop(reduce_span);
 
     let metrics = CombinedMetrics {
         round: RoundMetrics {

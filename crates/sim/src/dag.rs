@@ -211,12 +211,14 @@ impl<T: Clone + Send + Sync + 'static> DagJob<T> {
         inputs: &[T],
         config: &EngineConfig,
     ) -> Result<(Vec<T>, JobMetrics), EngineError> {
+        let _dag_span = mr_obs::span("dag.run");
         let levels = self.levels();
         let max_level = levels.iter().copied().max().unwrap_or(0);
         let mut results: Vec<Option<(Vec<T>, RoundMetrics)>> = Vec::new();
         results.resize_with(self.nodes.len(), || None);
 
         for level in 0..=max_level {
+            let _level_span = mr_obs::span_with(|| format!("dag.level.{level}"));
             let stage: Vec<usize> = (0..self.nodes.len())
                 .filter(|&i| levels[i] == level)
                 .collect();
@@ -333,6 +335,7 @@ impl<T: Clone + Send + Sync + 'static> DagJob<T> {
         config: &EngineConfig,
     ) -> Result<(Vec<T>, RoundMetrics), EngineError> {
         let node = &self.nodes[i];
+        let _span = mr_obs::span_with(|| format!("dag.node.{}", node.name));
         let mut cfg = config.clone();
         if let Some(q) = node.budget {
             cfg = cfg.with_max_reducer_inputs(q);

@@ -47,7 +47,22 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::ops::Range;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Cached handles for the delta path's always-on metrics counters.
+struct DeltaCounters {
+    applies: mr_obs::Counter,
+    dirty_reducers: mr_obs::Counter,
+}
+
+fn delta_counters() -> &'static DeltaCounters {
+    static COUNTERS: OnceLock<DeltaCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| DeltaCounters {
+        applies: mr_obs::global().counter("delta.applies"),
+        dirty_reducers: mr_obs::global().counter("delta.dirty_reducers"),
+    })
+}
 
 /// Stable identifier of one retained input. Assigned monotonically by
 /// [`DeltaJob`] (the initial instance gets `0..n` in input order) and
@@ -368,6 +383,7 @@ where
     /// copies before anything commits.
     pub fn apply(&mut self, delta: &Delta<I>) -> Result<DeltaOutcome<O>, DeltaError> {
         let start = Instant::now();
+        let _apply_span = mr_obs::span("delta.apply");
 
         // Resolve and validate the changed inputs. Removals are looked up
         // in the live map (the mapper needs the removed *value* to know
@@ -416,8 +432,10 @@ where
                 emit((*rid, changes.to_vec()))
             },
         );
+        let routing_span = mr_obs::span("delta.routing");
         let (groups, routing) =
             run_round_on(self.pipeline, &ops, &mapper, &reducer, &routing_config)?;
+        drop(routing_span);
 
         // Stage every dirty reducer's post-delta input list. `groups`
         // arrives in ascending reducer order (the engine's output
@@ -477,6 +495,7 @@ where
 
         // Re-execute exactly the dirty reducers. Chunk order in, chunk
         // order out: deterministic at every worker count.
+        let rereduce_span = mr_obs::span("delta.rereduce");
         let workers = self.config.effective_workers().min(staged.len().max(1));
         let new_outputs: Vec<Vec<O>> = if workers <= 1 {
             staged
@@ -504,6 +523,7 @@ where
             .flatten()
             .collect()
         };
+        drop(rereduce_span);
 
         // Commit. Retractions are the dirty reducers' previous outputs
         // (moved out of the state); additions are the recomputed ones.
@@ -538,6 +558,8 @@ where
         }
         self.next_seq = added_seqs.end;
 
+        delta_counters().applies.incr();
+        delta_counters().dirty_reducers.add(routing.reducers);
         let metrics = DeltaMetrics {
             dirty_reducers: routing.reducers,
             total_reducers: self.reducers.len() as u64,

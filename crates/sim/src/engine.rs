@@ -51,6 +51,22 @@ use crate::metrics::{LoadStats, RoundMetrics, ShuffleStats};
 use crate::pool::{Executor, WorkerPool};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::OnceLock;
+
+/// Always-on engine counters in the global [`mr_obs`] hub, cached so the
+/// per-round cost is two atomic adds.
+struct EngineCounters {
+    rounds: mr_obs::Counter,
+    kv_pairs: mr_obs::Counter,
+}
+
+fn engine_counters() -> &'static EngineCounters {
+    static COUNTERS: OnceLock<EngineCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| EngineCounters {
+        rounds: mr_obs::global().counter("engine.rounds"),
+        kv_pairs: mr_obs::global().counter("engine.kv_pairs"),
+    })
+}
 
 /// Engine configuration for one round.
 #[derive(Debug, Clone)]
@@ -206,6 +222,8 @@ where
     R: Reducer<K, V, O> + ?Sized,
 {
     let workers = config.effective_workers();
+    let _round_span = mr_obs::span("engine.round");
+    engine_counters().rounds.incr();
     // Partition count: P = workers, clamped to the input size so a huge
     // worker count over a tiny input never spawns more threads (or
     // allocates more buckets) than there are inputs — the same envelope
@@ -223,16 +241,21 @@ where
             .pairs_hint
             .map(|h| h as usize)
             .unwrap_or(inputs.len());
+        let map_span = mr_obs::span("engine.map");
         let buckets = map_bucketed_phase(inputs, mapper, est);
+        drop(map_span);
         let kv_pairs: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+        let shuffle_span = mr_obs::span("engine.shuffle");
         let (shuffled, stats) = shuffle_bucketed(
             buckets,
             kv_pairs,
             config.max_reducer_inputs,
             pair_bytes::<K, V>(),
         )?;
+        drop(shuffle_span);
         (shuffled, stats, kv_pairs)
     } else {
+        let map_span = mr_obs::span("engine.map");
         let partitions = map_columnar_phase(
             inputs,
             mapper,
@@ -241,7 +264,9 @@ where
             config.pairs_hint,
             config.executor,
         );
+        drop(map_span);
         let kv_pairs: u64 = partitions.iter().map(|part| part.len() as u64).sum();
+        let shuffle_span = mr_obs::span("engine.shuffle");
         let (shuffled, stats) = shuffle_columns(
             partitions,
             config.max_reducer_inputs,
@@ -249,9 +274,13 @@ where
             pair_bytes::<K, V>(),
             config.executor,
         )?;
+        drop(shuffle_span);
         (shuffled, stats, kv_pairs)
     };
+    engine_counters().kv_pairs.add(kv_pairs);
+    let reduce_span = mr_obs::span("engine.reduce");
     let outputs = reduce_phase(&shuffled, reducer, workers, config.executor);
+    drop(reduce_span);
     let metrics = round_metrics(
         inputs.len(),
         kv_pairs,
@@ -313,7 +342,7 @@ where
     K: Ord + Debug + 'static,
 {
     let mut stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
-    stats.bytes_moved = kv_pairs * bytes_per_pair;
+    stats.bytes_moved = Some(kv_pairs * bytes_per_pair);
     let mut run = group_buckets(buckets);
     run.sort_groups_by_key();
     let runs = vec![run];
@@ -356,6 +385,7 @@ where
             .unwrap_or(chunk_len)
     };
     let map_chunk = |c: &[I]| -> Vec<ColumnBuf<K, V>> {
+        let _span = mr_obs::span("engine.map.chunk");
         let mut buf = ColumnBuf::with_capacity(hint_for(c.len()));
         for input in c {
             mapper.map(input, &mut |k, v| buf.emit(k, v));
@@ -408,9 +438,10 @@ where
 {
     let partition_loads: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
     let mut stats = ShuffleStats::from_partition_loads(&partition_loads);
-    stats.bytes_moved = partition_loads.iter().sum::<u64>() * bytes_per_pair;
+    stats.bytes_moved = Some(partition_loads.iter().sum::<u64>() * bytes_per_pair);
 
     let group_one = |buf: ColumnBuf<K, V>| -> GroupedRun<K, V> {
+        let _span = mr_obs::span("engine.group.partition");
         let mut run = group_partition(buf);
         run.sort_groups_by_key();
         run
@@ -563,6 +594,7 @@ where
         .map(|s| (s, (s + chunk).min(n)))
         .collect();
     let results = run_owned(executor, ranges, |(s, e)| {
+        let _span = mr_obs::span("engine.reduce.chunk");
         let mut outputs = Vec::with_capacity(e - s);
         shuffled.for_each_in(s..e, |k, vs| {
             reducer.reduce(k, vs, &mut |o| outputs.push(o))
@@ -907,7 +939,7 @@ mod tests {
         for workers in [1usize, 4] {
             let (_, m) =
                 run_round(&inputs, &mapper, &reducer, &EngineConfig::parallel(workers)).unwrap();
-            assert_eq!(m.shuffle.bytes_moved, m.kv_pairs * (8 + 8 + 8));
+            assert_eq!(m.shuffle.bytes_moved, Some(m.kv_pairs * (8 + 8 + 8)));
             assert_eq!(m.shuffle.bucket_loads.iter().sum::<u64>(), m.kv_pairs);
             assert_eq!(m.shuffle.bucket_loads.len() as u64, m.shuffle.partitions);
         }

@@ -97,9 +97,11 @@ pub struct ShuffleStats {
     /// Total bytes the shuffle's columns moved:
     /// `pairs × (8-byte fingerprint + size_of::<K>() + size_of::<V>())`.
     /// An in-process estimate of the paper's communication cost in bytes
-    /// rather than pairs. Filled by the engine; 0 when constructed from
-    /// raw loads.
-    pub bytes_moved: u64,
+    /// rather than pairs. `Some` only when the engine filled it — the
+    /// pair width is known nowhere else, so
+    /// [`from_partition_loads`](ShuffleStats::from_partition_loads)
+    /// leaves it explicitly `None` (unknown) rather than a silent 0.
+    pub bytes_moved: Option<u64>,
     /// Per-partition occupancy histogram: the raw pair count of every
     /// shuffle partition, in partition order. `partitions`, `min/max/mean`
     /// above are summaries of this vector; it is retained so skew is
@@ -109,7 +111,8 @@ pub struct ShuffleStats {
 
 impl ShuffleStats {
     /// Computes statistics from raw per-partition pair counts.
-    /// `bytes_moved` is left 0 — only the engine knows the pair width.
+    /// `bytes_moved` is left `None` — only the engine knows the pair
+    /// width, and an unknown must read as unknown, not as 0 bytes.
     pub fn from_partition_loads(loads: &[u64]) -> Self {
         if loads.is_empty() {
             return ShuffleStats::default();
@@ -120,7 +123,7 @@ impl ShuffleStats {
             min_partition_load: *loads.iter().min().unwrap(),
             max_partition_load: *loads.iter().max().unwrap(),
             mean_partition_load: total as f64 / loads.len() as f64,
-            bytes_moved: 0,
+            bytes_moved: None,
             bucket_loads: loads.to_vec(),
         }
     }
@@ -278,9 +281,9 @@ mod tests {
         assert!((s.mean_partition_load - 15.0).abs() < 1e-12);
         assert!((s.partition_skew() - 2.0).abs() < 1e-12);
         // The raw histogram is retained in partition order; bytes are
-        // unknown at this layer.
+        // *unknown* at this layer — explicitly None, never a silent 0.
         assert_eq!(s.bucket_loads, vec![10, 30, 20, 0]);
-        assert_eq!(s.bytes_moved, 0);
+        assert_eq!(s.bytes_moved, None);
     }
 
     #[test]

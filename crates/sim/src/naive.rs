@@ -90,7 +90,7 @@ where
     }
     let kv_pairs = pairs.len() as u64;
     let mut shuffle_stats = ShuffleStats::from_partition_loads(&[kv_pairs]);
-    shuffle_stats.bytes_moved = kv_pairs * pair_bytes::<K, V>();
+    shuffle_stats.bytes_moved = Some(kv_pairs * pair_bytes::<K, V>());
     let groups = shuffle(pairs);
 
     if let Some(q) = config.max_reducer_inputs {
@@ -140,7 +140,7 @@ where
     let kv_pairs: u64 = partitions.iter().map(|p| p.len() as u64).sum();
     let (entries, mut shuffle_stats) =
         shuffle_partitioned(partitions, config.max_reducer_inputs, config.executor)?;
-    shuffle_stats.bytes_moved = kv_pairs * pair_bytes::<K, V>();
+    shuffle_stats.bytes_moved = Some(kv_pairs * pair_bytes::<K, V>());
     let outputs = naive_reduce_phase(&entries, reducer, workers, config.executor);
     let metrics = round_metrics(
         inputs.len(),

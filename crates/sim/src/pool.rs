@@ -52,6 +52,21 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cached handles for the pool's always-on metrics counters.
+struct PoolCounters {
+    batches: mr_obs::Counter,
+    tasks: mr_obs::Counter,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static COUNTERS: OnceLock<PoolCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PoolCounters {
+        batches: mr_obs::global().counter("pool.batches"),
+        tasks: mr_obs::global().counter("pool.tasks"),
+    })
+}
 
 /// Which parallel substrate a fan-out executes on.
 ///
@@ -99,6 +114,9 @@ struct Batch {
     done: Condvar,
     /// First panic payload caught from a task, re-thrown at the caller.
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Submission timestamp, stamped only while the trace recorder is
+    /// enabled; every claim records a `pool.queue_wait` interval from it.
+    enqueued: Option<Instant>,
 }
 
 impl Batch {
@@ -109,6 +127,7 @@ impl Batch {
             remaining: Mutex::new(n),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            enqueued: mr_obs::now_if_enabled(),
         }
     }
 
@@ -118,6 +137,16 @@ impl Batch {
             .lock()
             .expect("pool batch queue poisoned")
             .pop_front()
+    }
+
+    /// Records the queue-wait interval for a freshly claimed task and
+    /// runs it under a `pool.task` span.
+    fn run_claimed(&self, task: Task) {
+        if let Some(enqueued) = self.enqueued {
+            mr_obs::complete("pool.queue_wait", enqueued);
+        }
+        let _span = mr_obs::span("pool.task");
+        self.run_task(task);
     }
 
     /// Runs one claimed task, capturing a panic instead of unwinding into
@@ -158,6 +187,8 @@ struct Inner {
     parked: AtomicUsize,
     /// Set once, by `Drop`; parked workers observe it and exit.
     shutdown: AtomicBool,
+    /// Resident worker count, for the occupancy trace events.
+    workers: usize,
 }
 
 /// A persistent pool of worker threads executing batches of tasks from a
@@ -178,6 +209,7 @@ impl WorkerPool {
             work: Condvar::new(),
             parked: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            workers: workers.max(1),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -230,8 +262,11 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        pool_counters().batches.incr();
+        pool_counters().tasks.add(n as u64);
         if n == 1 {
             let task = tasks.into_iter().next().expect("len checked");
+            let _span = mr_obs::span("pool.task");
             return vec![task()];
         }
         let mut results: Vec<Option<R>> = Vec::with_capacity(n);
@@ -271,9 +306,11 @@ impl WorkerPool {
         // Participate: drain our own batch so nested submissions (a pool
         // task submitting a sub-batch) and zero-spare-worker situations
         // always make progress, then wait out whatever was stolen.
+        let caller_span = mr_obs::span("pool.caller");
         while let Some(task) = batch.pop() {
-            batch.run_task(task);
+            batch.run_claimed(task);
         }
+        drop(caller_span);
         batch.wait();
         if let Some(payload) = batch.panic.lock().expect("pool panic slot poisoned").take() {
             std::panic::resume_unwind(payload);
@@ -347,7 +384,13 @@ fn worker_loop(inner: &Inner) {
             }
         };
         let (batch, task) = claimed;
-        batch.run_task(task);
+        mr_obs::instant_value(
+            "pool.occupancy",
+            inner
+                .workers
+                .saturating_sub(inner.parked.load(Ordering::SeqCst)) as u64,
+        );
+        batch.run_claimed(task);
     }
 }
 

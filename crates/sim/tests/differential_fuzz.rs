@@ -423,6 +423,31 @@ proptest! {
         prop_assert_eq!(vec![flat_m], dag_m.rounds);
     }
 
+    /// The recorder arm (invariant #12): random workloads run under
+    /// `mr_obs::record` are byte-identical — outputs and semantic
+    /// metrics — to the disabled run, on both pipelines at any worker
+    /// count, and every collected trace is structurally well-formed.
+    #[test]
+    fn random_workloads_are_recorder_invariant(
+        keys in proptest::collection::vec(0u64..5_000, 0..600),
+        workers in 1usize..17,
+    ) {
+        let inputs = indexed(&keys);
+        let cfg = EngineConfig::parallel(workers);
+        for pipeline in Pipeline::ALL {
+            let truth = digest_round(pipeline, &inputs, &cfg);
+            let (recorded, trace) = mr_obs::record(|| digest_round(pipeline, &inputs, &cfg));
+            prop_assert_eq!(
+                &truth,
+                &recorded,
+                "recorder perturbed {} at workers={}",
+                pipeline.name(),
+                workers
+            );
+            prop_assert!(trace.check_well_formed().is_ok(), "malformed trace");
+        }
+    }
+
     /// Random budgets through the retained path: initialising a
     /// `DeltaJob` under a reducer budget gives exactly the full-run
     /// verdict — same success (and outputs), or same offender.
